@@ -1,0 +1,64 @@
+// ablation_sampling — IBS sampling-period sensitivity.
+//
+// The tool's densities drive grouping and the online tuner's priorities;
+// hardware IBS periods trade overhead for accuracy. This ablation feeds a
+// known 4-group traffic mix through the sampler at increasing periods and
+// reports the density estimation error and the sample budget, showing the
+// period range where the paper's density-based ranking stays reliable.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "pools/page_map.h"
+#include "sample/sampler.h"
+
+int main() {
+  using namespace hmpt;
+  bench::print_header("Ablation", "IBS sampling period vs density error");
+
+  // Ground truth: 4 allocations with densities 0.55 / 0.30 / 0.10 / 0.05.
+  const double truth[4] = {0.55, 0.30, 0.10, 0.05};
+  pools::PageMap map;
+  for (int r = 0; r < 4; ++r)
+    map.insert(0x100000u * static_cast<std::uintptr_t>(r + 1), 0x40000,
+               r % 2, static_cast<std::uint64_t>(r + 1));
+
+  constexpr int kEvents = 2'000'000;
+  Table table({"period", "samples", "max_density_error",
+               "ranking_correct"});
+  for (const std::uint64_t period :
+       {64ull, 256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
+    sample::IbsSampler sampler({period, sample::SamplingMode::Poisson, 7});
+    Rng rng(11);
+    for (int i = 0; i < kEvents; ++i) {
+      const double u = rng.next_double();
+      int r = 0;
+      double acc = truth[0];
+      while (u > acc && r < 3) acc += truth[++r];
+      sampler.feed({0x100000u * static_cast<std::uintptr_t>(r + 1) +
+                        rng.next_below(0x40000),
+                    false, 0.0},
+                   map);
+    }
+    const auto report = sampler.report();
+    double max_err = 0.0;
+    bool ranking = true;
+    double prev = 2.0;
+    for (int r = 0; r < 4; ++r) {
+      const double d = report.density(static_cast<std::uint64_t>(r + 1));
+      max_err = std::max(max_err, std::fabs(d - truth[r]));
+      if (d > prev) ranking = false;  // truth is descending
+      prev = d;
+    }
+    table.add_row({std::to_string(period),
+                   std::to_string(report.samples_kept), cell(max_err, 4),
+                   ranking ? "yes" : "NO"});
+  }
+  std::cout << table.to_text();
+  bench::print_csv_block("ablation_sampling", table);
+  std::cout << "expected: density error grows ~1/sqrt(samples); the\n"
+               "hot/cold ranking the tuner needs survives far coarser\n"
+               "periods than exact densities do\n";
+  return 0;
+}

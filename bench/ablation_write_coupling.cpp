@@ -1,0 +1,44 @@
+// ablation_write_coupling — sensitivity of the Fig. 5 mixed-placement
+// results to the cross-pool write-coupling penalty (the model mechanism
+// behind the HBM->DDR ~65 % anomaly). Sweeps the penalty factor and prints
+// how the Copy placements and the STREAM-workload sweep react; with the
+// penalty off (factor 1.0) HBM->DDR copy would look symmetric to DDR->HBM,
+// which contradicts the paper's measurement.
+#include <iostream>
+
+#include "bench_util.h"
+#include "workloads/stream.h"
+
+int main() {
+  using namespace hmpt;
+  bench::print_header("Ablation", "cross-pool write-coupling penalty");
+
+  const double factors[] = {1.0, 0.9, 0.8, 0.65, 0.5};
+  Table table({"penalty_factor", "copy_ddr_to_hbm_GBps",
+               "copy_hbm_to_ddr_GBps", "asymmetry_ratio"});
+
+  for (const double factor : factors) {
+    auto config = sim::default_spr_hbm_calibration();
+    config.cross_pool_write_penalty = factor;
+    sim::MachineSimulator simulator(topo::xeon_max_9468_single_flat_snc4(),
+                                    config);
+    const auto ctx = simulator.socket_context(12);
+    const auto phase = workloads::make_stream_phase(
+        workloads::StreamKernel::Copy, 16.0 * GB);
+    using topo::PoolKind;
+    const double d2h = simulator.phase_bandwidth(
+        phase,
+        sim::Placement({PoolKind::DDR, PoolKind::DDR, PoolKind::HBM}), ctx);
+    const double h2d = simulator.phase_bandwidth(
+        phase,
+        sim::Placement({PoolKind::HBM, PoolKind::HBM, PoolKind::DDR}), ctx);
+    table.add_row({cell(factor, 2), cell(d2h / GB, 1), cell(h2d / GB, 1),
+                   cell(h2d / d2h, 3)});
+  }
+  std::cout << table.to_text();
+  bench::print_csv_block("ablation_write_coupling", table);
+  std::cout << "paper check: the paper's measured asymmetry corresponds to "
+               "factor ~0.65; factor 1.0 (no coupling) predicts symmetric "
+               "copies, which the hardware does not show\n";
+  return 0;
+}

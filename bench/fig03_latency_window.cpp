@@ -1,0 +1,51 @@
+// fig03_latency_window — regenerates Fig. 3: single-core pointer-chase
+// latency vs working-set window size (8 kB .. 256 MB) with the chase ring
+// in DDR vs HBM; the L1/L2/L3 plateaus and the ~20 % HBM latency penalty
+// should be visible.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace hmpt;
+  bench::print_header("Fig. 3",
+                      "pointer-chase latency vs window size, DDR vs HBM");
+
+  auto simulator = sim::MachineSimulator::paper_platform_single();
+
+  Table table({"window_kB", "ddr_latency_ns", "hbm_latency_ns",
+               "hbm_penalty"});
+  ChartSeries ddr{"DDR", 'd', {}, {}};
+  ChartSeries hbm{"HBM", 'h', {}, {}};
+
+  for (int exp = 3; exp <= 18; ++exp) {
+    const double window = static_cast<double>(1u << exp) * KB;
+    const double lat_ddr =
+        simulator.chase_latency(window, topo::PoolKind::DDR);
+    const double lat_hbm =
+        simulator.chase_latency(window, topo::PoolKind::HBM);
+    table.add_row({std::to_string(1u << exp), cell(lat_ddr / ns, 1),
+                   cell(lat_hbm / ns, 1), cell(lat_hbm / lat_ddr, 3)});
+    ddr.x.push_back(exp);
+    ddr.y.push_back(lat_ddr / ns);
+    hbm.x.push_back(exp);
+    hbm.y.push_back(lat_hbm / ns);
+  }
+
+  std::cout << table.to_text();
+  ChartOptions options;
+  options.title = "chase latency vs log2(window kB)";
+  options.x_label = "log2(Window size [kB])";
+  options.y_label = "Latency [ns]";
+  options.y_min = 0.0;
+  std::cout << render_xy_chart({ddr, hbm}, options);
+  bench::print_csv_block("fig03", table);
+
+  const double full_ddr =
+      simulator.chase_latency(256.0 * MB, topo::PoolKind::DDR);
+  const double full_hbm =
+      simulator.chase_latency(256.0 * MB, topo::PoolKind::HBM);
+  std::cout << "paper check: out-of-cache HBM penalty ~20 % (measured "
+            << cell((full_hbm / full_ddr - 1.0) * 100.0, 1) << " %)\n";
+  return 0;
+}

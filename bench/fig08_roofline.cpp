@@ -1,0 +1,74 @@
+// fig08_roofline — regenerates Fig. 8: the estimated roofline of a single
+// Xeon Max 9468 at 2.1 GHz (L1/L2/HBM/DDR bandwidth roofs, DP vector and
+// scalar FMA peaks) with the NPB applications and the STREAM Add/Triad
+// kernels placed at their DRAM arithmetic intensity.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "simmem/roofline.h"
+#include "workloads/stream.h"
+
+int main() {
+  using namespace hmpt;
+  bench::print_header("Fig. 8", "roofline of 1x Intel Xeon Max 9468");
+
+  const auto roofline = sim::spr_hbm_roofline();
+  auto simulator = sim::MachineSimulator::paper_platform();
+
+  Table ceilings({"ceiling", "value", "unit"});
+  for (const auto& c : roofline.ceilings())
+    ceilings.add_row({c.name,
+                      cell(c.value / (c.is_bandwidth ? GB : 1e9), 1),
+                      c.is_bandwidth ? "GB/s" : "GFLOP/s"});
+  std::cout << ceilings.to_text();
+
+  Table points({"application", "arithmetic_intensity_flop_per_byte",
+                "attainable_DDR_GFLOPs", "attainable_HBM_GFLOPs"});
+  ChartSeries apps{"applications", 'a', {}, {}};
+
+  auto add_point = [&](const std::string& name, double ai) {
+    const double ddr = roofline.attainable(ai, "DDR");
+    const double hbm = roofline.attainable(ai, "HBM");
+    points.add_row({name, cell(ai, 3), cell(ddr / 1e9, 1),
+                    cell(hbm / 1e9, 1)});
+    apps.x.push_back(std::log10(ai));
+    apps.y.push_back(std::log10(hbm / 1e9));
+  };
+
+  for (const auto& app : workloads::paper_benchmark_suite(simulator))
+    add_point(app.name, workloads::arithmetic_intensity(*app.workload));
+  // STREAM context points, as in the paper.
+  add_point("STREAM: Add",
+            workloads::stream_flops_per_elem(workloads::StreamKernel::Add) /
+                (3.0 * sizeof(double)));
+  add_point("STREAM: Triad",
+            workloads::stream_flops_per_elem(
+                workloads::StreamKernel::Triad) /
+                (3.0 * sizeof(double)));
+
+  std::cout << points.to_text();
+
+  // Roofline curve (log-log) for the two DRAM roofs.
+  ChartSeries ddr_roof{"DDR roof", 'd', {}, {}};
+  ChartSeries hbm_roof{"HBM roof", 'h', {}, {}};
+  for (double e = -1.5; e <= 2.0; e += 0.125) {
+    const double ai = std::pow(10.0, e);
+    ddr_roof.x.push_back(e);
+    ddr_roof.y.push_back(std::log10(roofline.attainable(ai, "DDR") / 1e9));
+    hbm_roof.x.push_back(e);
+    hbm_roof.y.push_back(std::log10(roofline.attainable(ai, "HBM") / 1e9));
+  }
+  ChartOptions options;
+  options.title = "roofline (log10-log10)";
+  options.x_label = "log10 AI [FLOP/Byte]";
+  options.y_label = "log10 Performance [GFLOP/s]";
+  std::cout << render_xy_chart({ddr_roof, hbm_roof, apps}, options);
+  bench::print_csv_block("fig08", points);
+
+  std::cout << "paper check: ridge points DDR "
+            << cell(roofline.ridge_point("DDR"), 1) << " / HBM "
+            << cell(roofline.ridge_point("HBM"), 1)
+            << " FLOP/Byte; NPB apps sit in the memory-bound region\n";
+  return 0;
+}

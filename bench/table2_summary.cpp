@@ -1,0 +1,32 @@
+// table2_summary — regenerates Table II: per application the maximum
+// speedup over all placements, the HBM-only speedup, and the HBM usage of
+// the smallest configuration achieving 90 % of the maximum; paper values
+// are printed alongside for comparison.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace hmpt;
+  bench::print_header("Table II",
+                      "summary of results on the selected benchmarks");
+
+  auto simulator = sim::MachineSimulator::paper_platform();
+  const auto suite = workloads::paper_benchmark_suite(simulator);
+
+  Table table({"Application", "Max Speedup", "HBM-only Speedup",
+               "90% Speedup HBM Usage [%]", "paper: max", "paper: hbm",
+               "paper: usage [%]"});
+  for (const auto& app : suite) {
+    const auto summary = bench::sweep_app(simulator, app);
+    table.add_row({app.name, cell(summary.max_speedup, 2),
+                   cell(summary.hbm_only_speedup, 2),
+                   cell(summary.usage90 * 100.0, 1),
+                   cell(app.paper.max_speedup, 2),
+                   cell(app.paper.hbm_only_speedup, 2),
+                   cell(app.paper.usage90 * 100.0, 1)});
+  }
+  std::cout << table.to_text();
+  bench::print_csv_block("table2", table);
+  return 0;
+}

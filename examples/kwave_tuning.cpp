@@ -1,0 +1,73 @@
+// kwave_tuning — the paper's real-application case study (Sec. IV-B).
+//
+// k-Wave's 34 allocations are folded with domain knowledge: the three
+// components of each vector field form one group, the complex FFT
+// temporaries stay separate. This example runs the executable mini solver
+// through the shim to demonstrate the custom grouping on real allocations,
+// then analyses the paper-scale 512^3 model and reports the Fig. 15
+// summary view.
+#include <iostream>
+
+#include "common/units.h"
+#include "core/grouping.h"
+#include "core/report.h"
+#include "core/summary.h"
+#include "simmem/simulator.h"
+#include "workloads/app_models.h"
+#include "workloads/kwave.h"
+
+int main() {
+  using namespace hmpt;
+
+  auto simulator = sim::MachineSimulator::paper_platform();
+
+  // --- Part 1: profile the executable mini solver with custom grouping.
+  pools::PoolAllocator pool(simulator.machine());
+  shim::ShimAllocator shim(pool);
+  sample::IbsSampler sampler({256, sample::SamplingMode::Poisson, 3});
+  workloads::KWaveConfig config;
+  config.n = 16;
+  config.steps = 2;
+  std::cout << "running mini k-Wave (" << config.n << "^3, "
+            << config.steps << " steps) through the shim...\n";
+  const auto run = workloads::run_mini_kwave(shim, config, &sampler);
+  std::cout << "  finite: " << (run.finite ? "yes" : "NO")
+            << ", mass drift: " << run.mass_drift << "\n\n";
+
+  const auto usage = shim.registry().site_usage(shim.sites());
+  const auto densities = tuner::site_densities(
+      shim.registry(), shim.sites(), sampler.report());
+  const auto groups = tuner::build_groups_by_labels(
+      usage, densities,
+      {{"kwave::fft_tmp"},
+       {"kwave::u_vec"},
+       {"kwave::p"},
+       {"kwave::rho"}});
+  std::cout << "custom allocation grouping (vector fields folded):\n";
+  for (const auto& g : groups)
+    std::cout << "  " << g.label << "  " << format_bytes(g.bytes)
+              << "  density " << format_percent(g.access_density) << '\n';
+
+  // --- Part 2: paper-scale analysis (512^3, Fig. 15).
+  const auto app = workloads::make_kwave_model(simulator);
+  std::cout << "\nanalysing " << app.name << " ("
+            << format_bytes(app.memory_bytes) << ", "
+            << app.filtered_allocations << " filtered allocations -> "
+            << app.workload->num_groups() << " groups)\n\n";
+
+  std::vector<double> bytes;
+  for (const auto& g : app.workload->groups()) bytes.push_back(g.bytes);
+  tuner::ConfigSpace space(bytes);
+  tuner::ExperimentRunner runner(simulator, app.context, {3, true});
+  const auto sweep = runner.sweep(*app.workload, space);
+  const auto summary = tuner::summarize(sweep);
+
+  std::cout << tuner::render_summary_view(summary, app.variant).scatter
+            << '\n';
+  std::cout << "speedup " << cell(summary.max_speedup, 2)
+            << "x; 90 % of it needs " << format_percent(summary.usage90)
+            << " of the data in HBM (paper: 76.8 %) — more than the NPB\n"
+            << "codes because k-Wave is already optimised for a small\n"
+            << "memory footprint (Sec. IV-B)\n";
+  return 0;
+}

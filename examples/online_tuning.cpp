@@ -1,0 +1,81 @@
+// online_tuning — the paper's stated future direction (Sec. III): online
+// profiling and control instead of an offline 2^n sweep.
+//
+// The OnlineTuner starts from all-DDR and, between iterations of the
+// running application, greedily migrates the allocation group with the
+// best expected gain per HBM byte, keeping a move only when the next
+// observed iteration confirms the improvement. This example tunes every
+// paper benchmark online and compares cost (measured runs) and result
+// against the exhaustive sweep, then demonstrates the matching low-level
+// primitive: live object migration in the pool allocator.
+#include <cstring>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "core/online.h"
+#include "core/summary.h"
+#include "simmem/simulator.h"
+#include "workloads/app_models.h"
+
+int main() {
+  using namespace hmpt;
+
+  auto simulator = sim::MachineSimulator::paper_platform();
+  const auto suite = workloads::paper_benchmark_suite(simulator);
+
+  Table table({"Application", "online speedup", "exhaustive max",
+               "online runs", "exhaustive runs"});
+  for (const auto& app : suite) {
+    std::vector<double> bytes;
+    for (const auto& g : app.workload->groups()) bytes.push_back(g.bytes);
+    tuner::ConfigSpace space(bytes);
+
+    tuner::OnlineTuner online(simulator, app.context);
+    const auto result = online.tune(*app.workload, space);
+
+    tuner::ExperimentRunner runner(simulator, app.context, {3, true});
+    const auto sweep = runner.sweep(*app.workload, space);
+    const auto summary = tuner::summarize(sweep);
+
+    table.add_row({app.name, cell(result.speedup, 2) + "x",
+                   cell(summary.max_speedup, 2) + "x",
+                   std::to_string(result.iterations_used),
+                   std::to_string(3 * space.size())});
+  }
+  std::cout << table.to_text() << '\n';
+
+  // Show one trajectory in detail.
+  const auto mg = workloads::make_mg_model(simulator);
+  std::vector<double> bytes;
+  for (const auto& g : mg.workload->groups()) bytes.push_back(g.bytes);
+  tuner::ConfigSpace space(bytes);
+  tuner::OnlineTuner online(simulator, mg.context);
+  const auto result = online.tune(*mg.workload, space);
+  std::cout << "MG online trajectory (baseline "
+            << format_time(result.baseline_time) << "):\n";
+  for (const auto& step : result.trajectory) {
+    std::cout << "  iter " << step.iteration << ": try group "
+              << step.moved_group << (step.to_hbm ? " -> HBM" : " -> DDR")
+              << ", observed " << format_time(step.observed_time) << " — "
+              << (step.kept ? "kept" : "reverted") << '\n';
+  }
+  std::cout << "final: " << cell(result.speedup, 2) << "x in "
+            << result.iterations_used << " measured iterations\n\n";
+
+  // The low-level primitive behind a kept move: object migration.
+  pools::PoolAllocator pool(simulator.machine());
+  auto block = pool.allocate(64u << 20, topo::PoolKind::DDR);
+  std::memset(block.ptr, 0x42, 64u << 20);
+  std::cout << "migrating a " << format_bytes(64.0 * MiB)
+            << " object DDR -> HBM... ";
+  const auto moved = pool.migrate(block.ptr, topo::PoolKind::HBM);
+  std::cout << "now on node " << moved.node << " ("
+            << topo::to_string(moved.kind) << "), contents "
+            << (static_cast<unsigned char*>(moved.ptr)[12345] == 0x42
+                    ? "intact"
+                    : "CORRUPT")
+            << '\n';
+  pool.deallocate(moved.ptr);
+  return 0;
+}

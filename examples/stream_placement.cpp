@@ -1,0 +1,66 @@
+// stream_placement — the paper's platform investigation as an application
+// of the public API (Figs. 2 and 5): measures STREAM bandwidth for every
+// per-array DDR/HBM placement, demonstrating the mixed-pool effects that
+// motivate allocation-level tuning — including the HBM->DDR copy anomaly
+// and the "one input can stay in DDR for free" Add result.
+#include <iostream>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "simmem/simulator.h"
+#include "workloads/stream.h"
+
+int main() {
+  using namespace hmpt;
+  using topo::PoolKind;
+
+  auto simulator = sim::MachineSimulator::paper_platform_single();
+  const auto ctx = simulator.socket_context(12);  // fully loaded socket
+  const double array_bytes = 16.0 * GB;
+
+  const auto name_of = [](PoolKind kind) {
+    return kind == PoolKind::DDR ? "DDR" : "HBM";
+  };
+
+  std::cout << "STREAM per-array placement study, one socket, 12 "
+               "threads/tile, 16 GB arrays\n\n";
+
+  // Copy: c = a. All four placements of (a, c).
+  Table copy_table({"a (src)", "c (dst)", "bandwidth", "vs DDR-only"});
+  const auto copy = workloads::make_stream_phase(
+      workloads::StreamKernel::Copy, array_bytes);
+  const double copy_ddr = simulator.phase_bandwidth(
+      copy, sim::Placement::uniform(3, PoolKind::DDR), ctx);
+  for (PoolKind src : {PoolKind::DDR, PoolKind::HBM})
+    for (PoolKind dst : {PoolKind::DDR, PoolKind::HBM}) {
+      const double bw = simulator.phase_bandwidth(
+          copy, sim::Placement({src, src, dst}), ctx);
+      copy_table.add_row({name_of(src), name_of(dst),
+                          format_bandwidth(bw), cell(bw / copy_ddr, 2)});
+    }
+  std::cout << "Copy (c = a):\n" << copy_table.to_text() << '\n';
+
+  // Add: c = a + b. All eight placements.
+  Table add_table({"a", "b", "c", "bandwidth", "vs HBM-only"});
+  const auto add = workloads::make_stream_phase(
+      workloads::StreamKernel::Add, array_bytes);
+  const double add_hbm = simulator.phase_bandwidth(
+      add, sim::Placement::uniform(3, PoolKind::HBM), ctx);
+  for (PoolKind a : {PoolKind::DDR, PoolKind::HBM})
+    for (PoolKind b : {PoolKind::DDR, PoolKind::HBM})
+      for (PoolKind c : {PoolKind::DDR, PoolKind::HBM}) {
+        const double bw =
+            simulator.phase_bandwidth(add, sim::Placement({a, b, c}), ctx);
+        add_table.add_row({name_of(a), name_of(b), name_of(c),
+                           format_bandwidth(bw), cell(bw / add_hbm, 2)});
+      }
+  std::cout << "Add (c = a + b):\n" << add_table.to_text() << '\n';
+
+  std::cout
+      << "observations (as in the paper):\n"
+      << "  * copying HBM->DDR is far below its expected bandwidth, while\n"
+      << "    DDR->HBM is not — writes into the slow pool couple badly;\n"
+      << "  * DDR+HBM->HBM Add runs at (near-)HBM-only speed: one third\n"
+      << "    of the working set can stay in DDR at no cost.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hmpt {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  void pad_if_degenerate() {
+    if (!valid()) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (std::fabs(v) >= 1000.0 || (std::fabs(v) > 0 && std::fabs(v) < 0.01)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_xy_chart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options) {
+  const int w = std::max(16, options.width);
+  const int h = std::max(6, options.height);
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    HMPT_REQUIRE(s.x.size() == s.y.size(), "series x/y size mismatch");
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  for (double v : options.hlines) yr.include(v);
+  if (options.x_min) xr.lo = *options.x_min;
+  if (options.x_max) xr.hi = *options.x_max;
+  if (options.y_min) yr.lo = *options.y_min;
+  if (options.y_max) yr.hi = *options.y_max;
+  xr.pad_if_degenerate();
+  yr.pad_if_degenerate();
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    double t = (x - xr.lo) / (xr.hi - xr.lo);
+    int c = static_cast<int>(std::lround(t * (w - 1)));
+    return std::clamp(c, 0, w - 1);
+  };
+  auto to_row = [&](double y) {
+    double t = (y - yr.lo) / (yr.hi - yr.lo);
+    int r = static_cast<int>(std::lround(t * (h - 1)));
+    return std::clamp(h - 1 - r, 0, h - 1);
+  };
+
+  for (double hl : options.hlines) {
+    int r = to_row(hl);
+    for (int c = 0; c < w; ++c)
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '-';
+  }
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      grid[static_cast<std::size_t>(to_row(s.y[i]))]
+          [static_cast<std::size_t>(to_col(s.x[i]))] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  const std::string ytick_hi = format_tick(yr.hi);
+  const std::string ytick_lo = format_tick(yr.lo);
+  const std::size_t margin =
+      std::max(ytick_hi.size(), ytick_lo.size()) + 1;
+
+  for (int r = 0; r < h; ++r) {
+    std::string prefix(margin, ' ');
+    if (r == 0)
+      prefix = ytick_hi + std::string(margin - ytick_hi.size(), ' ');
+    else if (r == h - 1)
+      prefix = ytick_lo + std::string(margin - ytick_lo.size(), ' ');
+    os << prefix << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  os << std::string(margin + 1, ' ') << format_tick(xr.lo);
+  const std::string xhi = format_tick(xr.hi);
+  int gap = w - static_cast<int>(format_tick(xr.lo).size()) -
+            static_cast<int>(xhi.size());
+  os << std::string(static_cast<std::size_t>(std::max(1, gap)), ' ') << xhi
+     << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(margin + 1, ' ') << options.x_label;
+    if (!options.y_label.empty()) os << "   (y: " << options.y_label << ")";
+    os << '\n';
+  }
+  for (const auto& s : series)
+    os << "  " << s.glyph << " = " << s.name << '\n';
+  return os.str();
+}
+
+std::string render_bar_chart(const std::vector<BarItem>& items,
+                             const std::string& title, int width,
+                             double baseline) {
+  double max_v = baseline;
+  std::size_t label_w = 0;
+  for (const auto& it : items) {
+    max_v = std::max(max_v, it.value);
+    if (it.secondary) max_v = std::max(max_v, *it.secondary);
+    label_w = std::max(label_w, it.label.size());
+  }
+  if (max_v <= baseline) max_v = baseline + 1.0;
+
+  auto bar_len = [&](double v) {
+    double t = (v - baseline) / (max_v - baseline);
+    return static_cast<int>(std::lround(std::clamp(t, 0.0, 1.0) * width));
+  };
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  for (const auto& it : items) {
+    os << it.label << std::string(label_w - it.label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(bar_len(it.value)), '#') << ' '
+       << format_tick(it.value) << '\n';
+    if (it.secondary) {
+      os << std::string(label_w, ' ') << " |"
+         << std::string(static_cast<std::size_t>(bar_len(*it.secondary)), '~')
+         << ' ' << format_tick(*it.secondary) << " (est)" << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hmpt

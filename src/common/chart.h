@@ -1,0 +1,52 @@
+// chart.h — ASCII renderings of the paper's figure types.
+//
+// The bench harnesses print each figure both as CSV (for external plotting)
+// and as an ASCII chart so the paper's shapes are visible straight from the
+// terminal: scatter plots for the "summary views" (Figs. 7b, 9-15), line
+// series for bandwidth/latency sweeps (Figs. 2-5), bars for the detailed
+// view (Fig. 7a).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hmpt {
+
+/// One plotted series: points plus the glyph used to draw them.
+struct ChartSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Configuration for an ASCII XY chart.
+struct ChartOptions {
+  int width = 72;    // plot area columns
+  int height = 20;   // plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  /// Optional horizontal reference lines (e.g. max and 90 %-of-max speedup).
+  std::vector<double> hlines;
+  /// Force axis ranges; auto-fit when unset.
+  std::optional<double> x_min, x_max, y_min, y_max;
+};
+
+/// Render scatter/line series into a monospace grid with axes and legend.
+std::string render_xy_chart(const std::vector<ChartSeries>& series,
+                            const ChartOptions& options);
+
+/// Render a labelled horizontal bar chart (used for Fig. 7a's grouped bars).
+/// Each item may carry a secondary value drawn as a second bar underneath.
+struct BarItem {
+  std::string label;
+  double value = 0.0;
+  std::optional<double> secondary;  // e.g. linear-estimate speedup
+};
+std::string render_bar_chart(const std::vector<BarItem>& items,
+                             const std::string& title, int width = 60,
+                             double baseline = 0.0);
+
+}  // namespace hmpt

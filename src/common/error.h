@@ -1,0 +1,37 @@
+// error.h — precondition checking for the hmpt libraries.
+//
+// Library code throws hmpt::Error on contract violations so that tests can
+// assert on failure modes; hot paths use HMPT_ASSERT which compiles to
+// nothing in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hmpt {
+
+/// Exception type thrown on all hmpt precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }
+
+}  // namespace hmpt
+
+/// Check `cond`; on failure throw hmpt::Error with file/line context.
+#define HMPT_REQUIRE(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::hmpt::raise(std::string(__FILE__) + ":" +                      \
+                    std::to_string(__LINE__) + ": requirement failed " \
+                    "(" #cond "): " + (msg));                          \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define HMPT_ASSERT(cond) ((void)0)
+#else
+#define HMPT_ASSERT(cond) HMPT_REQUIRE(cond, "assertion")
+#endif

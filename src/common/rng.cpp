@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace hmpt {
+
+double Rng::next_gaussian(double mean, double stddev) {
+  // Box-Muller; discard the second variate to keep the generator stateless
+  // beyond its 256-bit core state.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::next_exponential(double lambda) {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+}  // namespace hmpt

@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford accumulators.
+  double delta = other.mean_ - mean_;
+  std::size_t total = n_ + other.n_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  mean_ += delta * nb / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  running_.add(x);
+}
+
+double Summary::mean() const { return running_.mean(); }
+double Summary::stddev() const { return running_.stddev(); }
+double Summary::min() const { return running_.min(); }
+double Summary::max() const { return running_.max(); }
+
+double Summary::percentile(double p) const {
+  HMPT_REQUIRE(!samples_.empty(), "percentile of empty summary");
+  HMPT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Summary::ci95_halfwidth() const {
+  if (count() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count()));
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  HMPT_REQUIRE(x.size() == y.size(), "fit_linear size mismatch");
+  HMPT_REQUIRE(x.size() >= 2, "fit_linear needs >= 2 points");
+  double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += r * r;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double harmonic_mean(const std::vector<double>& values) {
+  HMPT_REQUIRE(!values.empty(), "harmonic_mean of empty vector");
+  double acc = 0.0;
+  for (double v : values) {
+    HMPT_REQUIRE(v > 0.0, "harmonic_mean requires positive values");
+    acc += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / acc;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  HMPT_REQUIRE(!values.empty(), "geometric_mean of empty vector");
+  double acc = 0.0;
+  for (double v : values) {
+    HMPT_REQUIRE(v > 0.0, "geometric_mean requires positive values");
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace hmpt

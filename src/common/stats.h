@@ -1,0 +1,72 @@
+// stats.h — streaming statistics and repeated-measurement summaries.
+//
+// ExperimentRunner averages over n runs per placement configuration (as the
+// paper does); RunningStats provides numerically stable mean/variance, and
+// Summary adds percentiles and confidence intervals over stored samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hmpt {
+
+/// Welford one-pass mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining summary: percentiles, median, CI half-width.
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Half-width of the ~95 % normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStats running_;
+};
+
+/// Ordinary least squares fit y = a + b·x over paired samples.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Harmonic mean (used to average rates such as bandwidths over sub-tests).
+double harmonic_mean(const std::vector<double>& values);
+
+/// Geometric mean of positive values.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace hmpt

@@ -1,0 +1,65 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hmpt {
+
+namespace {
+
+std::string format_scaled(double value, const char* const* suffixes,
+                          int n_suffixes, double base) {
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= base && idx + 1 < n_suffixes) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  if (std::fabs(v) >= 100.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffixes[idx]);
+  } else if (std::fabs(v) >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* kSuffix[] = {"B", "kB", "MB", "GB", "TB"};
+  return format_scaled(bytes, kSuffix, 5, 1e3);
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f GB/s", bytes_per_second / GB);
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  static const char* kSuffix[] = {"ns", "us", "ms", "s"};
+  double v = seconds / ns;
+  int idx = 0;
+  while (std::fabs(v) >= 1e3 && idx + 1 < 4) {
+    v /= 1e3;
+    ++idx;
+  }
+  char buf[64];
+  if (std::fabs(v) >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace hmpt

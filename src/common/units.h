@@ -1,0 +1,47 @@
+// units.h — byte/time/bandwidth units and human-readable formatting.
+//
+// All quantities in hmpt are carried in SI base units (bytes, seconds) as
+// double or std::uint64_t; the helpers here exist so call sites can say
+// `16.0 * GiB` instead of sprinkling magic powers of two around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hmpt {
+
+// --- byte units -----------------------------------------------------------
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+inline constexpr double TiB = 1024.0 * GiB;
+
+// Decimal units: memory vendors (and the paper's GB/s figures) use these.
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+// --- time units (seconds base) --------------------------------------------
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+// --- bandwidth (bytes/second base) ----------------------------------------
+inline constexpr double GBps = 1e9;
+
+/// Cache line size assumed throughout the memory model (bytes).
+inline constexpr double kCacheLine = 64.0;
+
+/// Format a byte count as a short human string, e.g. "26.46 GB".
+std::string format_bytes(double bytes);
+
+/// Format a bandwidth as e.g. "693.1 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Format a duration as e.g. "12.3 ms" / "104 ns".
+std::string format_time(double seconds);
+
+/// Format a ratio as a percentage string, e.g. "69.6 %".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace hmpt

@@ -1,0 +1,71 @@
+#include "core/config_space.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+ConfigSpace::ConfigSpace(std::vector<double> group_bytes)
+    : bytes_(std::move(group_bytes)) {
+  HMPT_REQUIRE(!bytes_.empty(), "config space needs >= 1 group");
+  HMPT_REQUIRE(static_cast<int>(bytes_.size()) <= kMaxGroups,
+               "too many groups to enumerate exhaustively");
+  for (double b : bytes_) {
+    HMPT_REQUIRE(b >= 0.0, "negative group bytes");
+    total_ += b;
+  }
+  HMPT_REQUIRE(total_ > 0.0, "config space with zero total footprint");
+}
+
+std::vector<ConfigMask> ConfigSpace::all_masks() const {
+  std::vector<ConfigMask> masks(size());
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    masks[i] = static_cast<ConfigMask>(i);
+  return masks;
+}
+
+std::vector<ConfigMask> ConfigSpace::gray_masks() const {
+  std::vector<ConfigMask> masks(size());
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    masks[i] = static_cast<ConfigMask>(i ^ (i >> 1));
+  return masks;
+}
+
+std::vector<ConfigMask> ConfigSpace::masks_of_rank(int k) const {
+  HMPT_REQUIRE(k >= 0 && k <= num_groups(), "rank out of range");
+  std::vector<ConfigMask> masks;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (std::popcount(i) == static_cast<unsigned>(k))
+      masks.push_back(static_cast<ConfigMask>(i));
+  }
+  return masks;
+}
+
+sim::Placement ConfigSpace::placement(ConfigMask mask) const {
+  HMPT_REQUIRE(mask < size(), "mask out of range");
+  std::vector<topo::PoolKind> pools(bytes_.size(), topo::PoolKind::DDR);
+  for (int g = 0; g < num_groups(); ++g)
+    if (mask & (ConfigMask{1} << g))
+      pools[static_cast<std::size_t>(g)] = topo::PoolKind::HBM;
+  return sim::Placement(std::move(pools));
+}
+
+double ConfigSpace::hbm_usage(ConfigMask mask) const {
+  return hbm_bytes(mask) / total_;
+}
+
+double ConfigSpace::hbm_bytes(ConfigMask mask) const {
+  HMPT_REQUIRE(mask < size(), "mask out of range");
+  double bytes = 0.0;
+  for (int g = 0; g < num_groups(); ++g)
+    if (mask & (ConfigMask{1} << g))
+      bytes += bytes_[static_cast<std::size_t>(g)];
+  return bytes;
+}
+
+int ConfigSpace::popcount(ConfigMask mask) const {
+  return std::popcount(mask);
+}
+
+}  // namespace hmpt::tuner

@@ -1,0 +1,53 @@
+// config_space.h — enumeration of the placement configuration space.
+//
+// With two pools, a configuration is a subset of allocation groups placed
+// in HBM (the rest stays in DDR): 2^|AG| configurations (Sec. III-A). The
+// paper measures all of them n times each; this module enumerates masks,
+// converts them to Placements, and computes per-configuration footprint
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmem/solver.h"
+
+namespace hmpt::tuner {
+
+/// Bitmask over groups: bit i set = group i in HBM.
+using ConfigMask = std::uint32_t;
+
+class ConfigSpace {
+ public:
+  /// `group_bytes[i]` is group i's footprint (for HBM-usage fractions).
+  explicit ConfigSpace(std::vector<double> group_bytes);
+
+  int num_groups() const { return static_cast<int>(bytes_.size()); }
+  std::size_t size() const { return std::size_t{1} << num_groups(); }
+
+  /// All masks in natural order (0 = all-DDR first, baseline).
+  std::vector<ConfigMask> all_masks() const;
+  /// All masks in Gray-code order: consecutive configurations differ by a
+  /// single group move, minimising replacement work between measurements.
+  std::vector<ConfigMask> gray_masks() const;
+  /// Masks with exactly `k` groups in HBM.
+  std::vector<ConfigMask> masks_of_rank(int k) const;
+
+  sim::Placement placement(ConfigMask mask) const;
+  /// Fraction of total footprint in HBM under `mask`.
+  double hbm_usage(ConfigMask mask) const;
+  /// Bytes in HBM under `mask`.
+  double hbm_bytes(ConfigMask mask) const;
+  int popcount(ConfigMask mask) const;
+
+  const std::vector<double>& group_bytes() const { return bytes_; }
+  double total_bytes() const { return total_; }
+
+  static constexpr int kMaxGroups = 20;  ///< 2^20 configs upper guard
+
+ private:
+  std::vector<double> bytes_;
+  double total_ = 0.0;
+};
+
+}  // namespace hmpt::tuner

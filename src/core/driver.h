@@ -1,0 +1,86 @@
+// driver.h — the paper's "driver script" as a library object (Fig. 6).
+//
+// Ties the whole workflow together: take a workload (analytic model or a
+// recorded profiling run), build its configuration space, sweep it on the
+// platform, summarise, choose a placement under the HBM capacity budget,
+// and materialise a shim PlacementPlan for the next run. One call replaces
+// the paper's external orchestration.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config_space.h"
+#include "core/estimator.h"
+#include "core/experiment.h"
+#include "core/grouping.h"
+#include "core/planner.h"
+#include "core/report.h"
+#include "core/summary.h"
+#include "simmem/simulator.h"
+#include "workloads/recorded.h"
+#include "workloads/workload.h"
+
+namespace hmpt::tuner {
+
+struct DriverOptions {
+  ExperimentOptions experiment;        ///< repetitions, enumeration order
+  double threshold_fraction = 0.9;     ///< the paper's 90 % criterion
+  /// HBM capacity budget for the recommended plan; <= 0 means "the
+  /// machine's full HBM capacity".
+  double hbm_budget_bytes = 0.0;
+};
+
+/// Everything one analysis produces.
+struct AnalysisReport {
+  std::string workload_name;
+  ConfigSpace space;
+  SweepResult sweep;
+  SummaryAnalysis summary;
+  EstimatorError estimator_error;
+  PlanChoice recommended;       ///< best under the HBM budget
+  PlanChoice minimal90;         ///< cheapest config at >= 90 % of max
+  DetailedView detailed;
+  SummaryView summary_view;
+
+  /// Full human-readable report (tables + charts + recommendation).
+  std::string to_text() const;
+};
+
+class Driver {
+ public:
+  Driver(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+         DriverOptions options = {});
+
+  /// Analyse any workload (analytic app model or recorded run).
+  AnalysisReport analyze(const workloads::Workload& workload) const;
+
+  /// Build a RecordedWorkload from a finished profiling run: groups from
+  /// the shim registry (filter + top-k fold using the sampling report) and
+  /// the trace recorded by the mini kernel. `alloc_order_labels` gives the
+  /// trace's group-id ordering (allocation order).
+  workloads::RecordedWorkload record(
+      const shim::ShimAllocator& shim, const sample::SampleReport& samples,
+      sim::PhaseTrace trace,
+      const std::vector<std::string>& alloc_order_labels,
+      const GroupingOptions& grouping, const std::string& name) const;
+
+  /// Materialise the recommended placement of a report as a shim plan.
+  shim::PlacementPlan plan_for(
+      const AnalysisReport& report,
+      const std::vector<AllocationGroup>& groups) const;
+  shim::PlacementPlan plan_for(const AnalysisReport& report,
+                               const std::vector<AllocationGroup>& groups,
+                               const shim::CallSiteRegistry& sites) const;
+
+  const DriverOptions& options() const { return options_; }
+
+ private:
+  double effective_budget() const;
+
+  sim::MachineSimulator* sim_;
+  sim::ExecutionContext ctx_;
+  DriverOptions options_;
+};
+
+}  // namespace hmpt::tuner

@@ -1,0 +1,64 @@
+#include "core/estimator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+LinearEstimator::LinearEstimator(const SweepResult& sweep) {
+  HMPT_REQUIRE(sweep.num_groups >= 1, "sweep has no groups");
+  single_speedups_.resize(static_cast<std::size_t>(sweep.num_groups));
+  for (int g = 0; g < sweep.num_groups; ++g)
+    single_speedups_[static_cast<std::size_t>(g)] =
+        sweep.of(ConfigMask{1} << g).speedup;
+}
+
+LinearEstimator::LinearEstimator(std::vector<double> single_speedups)
+    : single_speedups_(std::move(single_speedups)) {
+  HMPT_REQUIRE(!single_speedups_.empty(), "estimator needs >= 1 group");
+}
+
+double LinearEstimator::single_speedup(int group) const {
+  HMPT_REQUIRE(group >= 0 && group < num_groups(), "group out of range");
+  return single_speedups_[static_cast<std::size_t>(group)];
+}
+
+double LinearEstimator::estimate(ConfigMask mask) const {
+  HMPT_REQUIRE(mask < (ConfigMask{1} << num_groups()), "mask out of range");
+  double est = 1.0;
+  for (int g = 0; g < num_groups(); ++g)
+    if (mask & (ConfigMask{1} << g))
+      est += single_speedups_[static_cast<std::size_t>(g)] - 1.0;
+  return est;
+}
+
+std::vector<double> LinearEstimator::estimate_all() const {
+  std::vector<double> out(std::size_t{1} << num_groups());
+  for (std::size_t mask = 0; mask < out.size(); ++mask)
+    out[mask] = estimate(static_cast<ConfigMask>(mask));
+  return out;
+}
+
+EstimatorError estimator_error(const SweepResult& sweep,
+                               const LinearEstimator& estimator) {
+  HMPT_REQUIRE(sweep.num_groups == estimator.num_groups(),
+               "arity mismatch");
+  EstimatorError err;
+  double sq_sum = 0.0, abs_sum = 0.0;
+  for (const auto& cfg : sweep.configs) {
+    const double e = estimator.estimate(cfg.mask) - cfg.speedup;
+    abs_sum += std::fabs(e);
+    sq_sum += e * e;
+    if (std::fabs(e) > err.max_abs) {
+      err.max_abs = std::fabs(e);
+      err.worst_mask = cfg.mask;
+    }
+  }
+  const double n = static_cast<double>(sweep.configs.size());
+  err.mean_abs = abs_sum / n;
+  err.rmse = std::sqrt(sq_sum / n);
+  return err;
+}
+
+}  // namespace hmpt::tuner

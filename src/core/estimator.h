@@ -1,0 +1,48 @@
+// estimator.h — the independent-groups linear speedup estimate.
+//
+// Fig. 7a's orange bars: the expected speedup of a configuration is the
+// linear combination of the speedups its groups achieve individually,
+// est(S) = 1 + sum_{g in S} (s({g}) - 1), i.e. groups are assumed not to
+// interact. Comparing est against measured quantifies how independent the
+// groups really are (bench/ablation_estimator sweeps this error).
+#pragma once
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace hmpt::tuner {
+
+class LinearEstimator {
+ public:
+  /// Fit from a full sweep: reads off the single-group configurations.
+  explicit LinearEstimator(const SweepResult& sweep);
+  /// Fit from explicit single-group speedups.
+  explicit LinearEstimator(std::vector<double> single_speedups);
+
+  int num_groups() const {
+    return static_cast<int>(single_speedups_.size());
+  }
+  double single_speedup(int group) const;
+
+  /// est(S) = 1 + sum over set bits of (s_i - 1).
+  double estimate(ConfigMask mask) const;
+
+  /// Estimates for every mask of an n-group space.
+  std::vector<double> estimate_all() const;
+
+ private:
+  std::vector<double> single_speedups_;
+};
+
+/// Error statistics of the estimator against measured speedups.
+struct EstimatorError {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double rmse = 0.0;
+  ConfigMask worst_mask = 0;
+};
+EstimatorError estimator_error(const SweepResult& sweep,
+                               const LinearEstimator& estimator);
+
+}  // namespace hmpt::tuner

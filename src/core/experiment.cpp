@@ -1,0 +1,84 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace hmpt::tuner {
+
+const ConfigResult& SweepResult::of(ConfigMask mask) const {
+  HMPT_REQUIRE(mask < configs.size(), "mask out of range");
+  return configs[mask];
+}
+
+const ConfigResult& SweepResult::all_hbm() const {
+  return configs.back();
+}
+
+ExperimentRunner::ExperimentRunner(sim::MachineSimulator& sim,
+                                   sim::ExecutionContext ctx,
+                                   ExperimentOptions options)
+    : sim_(&sim), ctx_(ctx), options_(options) {
+  HMPT_REQUIRE(options_.repetitions >= 1, "need >= 1 repetition");
+}
+
+ConfigResult ExperimentRunner::measure(const workloads::Workload& workload,
+                                       const ConfigSpace& space,
+                                       ConfigMask mask,
+                                       double baseline_time) {
+  const auto trace = workload.trace();
+  const auto placement = space.placement(mask);
+  RunningStats stats;
+  for (int rep = 0; rep < options_.repetitions; ++rep)
+    stats.add(sim_->measure_trace(trace, placement, ctx_));
+
+  ConfigResult result;
+  result.mask = mask;
+  result.mean_time = stats.mean();
+  result.stddev_time = stats.stddev();
+  result.speedup = baseline_time > 0.0 ? baseline_time / stats.mean() : 1.0;
+  result.hbm_usage = space.hbm_usage(mask);
+  result.hbm_density = hbm_access_fraction(trace, placement);
+  result.groups_in_hbm = space.popcount(mask);
+  return result;
+}
+
+SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
+                                    const ConfigSpace& space) {
+  HMPT_REQUIRE(space.num_groups() == workload.num_groups(),
+               "config space arity does not match the workload");
+  SweepResult sweep;
+  sweep.num_groups = space.num_groups();
+  sweep.configs.resize(space.size());
+
+  // Baseline first: every speedup is relative to the all-DDR mean.
+  ConfigResult baseline = measure(workload, space, 0, 0.0);
+  baseline.speedup = 1.0;
+  sweep.baseline_time = baseline.mean_time;
+  sweep.configs[0] = baseline;
+
+  const auto masks =
+      options_.gray_order ? space.gray_masks() : space.all_masks();
+  for (const ConfigMask mask : masks) {
+    if (mask == 0) continue;
+    sweep.configs[mask] =
+        measure(workload, space, mask, sweep.baseline_time);
+  }
+  return sweep;
+}
+
+double hbm_access_fraction(const sim::PhaseTrace& trace,
+                           const sim::Placement& placement) {
+  double total = 0.0, hbm = 0.0;
+  for (const auto& phase : trace.phases) {
+    for (const auto& s : phase.streams) {
+      const double bytes = s.bytes_read + s.bytes_written;
+      total += bytes;
+      if (placement.of(s.group) == topo::PoolKind::HBM) hbm += bytes;
+    }
+  }
+  return total > 0.0 ? hbm / total : 0.0;
+}
+
+}  // namespace hmpt::tuner

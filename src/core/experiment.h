@@ -1,0 +1,70 @@
+// experiment.h — the measurement campaign over the configuration space.
+//
+// For a fixed workload, the runner measures every placement configuration
+// n times on the (simulated) platform and aggregates speedups relative to
+// the all-DDR baseline — the roughly 2^|AG| * n measurements of Sec. III-A.
+#pragma once
+
+#include <vector>
+
+#include "core/config_space.h"
+#include "simmem/simulator.h"
+#include "workloads/workload.h"
+
+namespace hmpt::tuner {
+
+/// Aggregated result of one placement configuration.
+struct ConfigResult {
+  ConfigMask mask = 0;
+  double mean_time = 0.0;
+  double stddev_time = 0.0;
+  double speedup = 0.0;       ///< vs. the all-DDR baseline's mean time
+  double hbm_usage = 0.0;     ///< footprint fraction in HBM
+  double hbm_density = 0.0;   ///< access fraction (bytes) served from HBM
+  int groups_in_hbm = 0;
+};
+
+struct ExperimentOptions {
+  int repetitions = 3;  ///< n runs averaged per configuration
+  /// When true, enumerate in Gray order (adjacent configs differ by one
+  /// group); results are returned sorted by mask either way.
+  bool gray_order = true;
+};
+
+/// Full sweep outcome.
+struct SweepResult {
+  std::vector<ConfigResult> configs;  ///< sorted by mask; [0] = all-DDR
+  double baseline_time = 0.0;
+
+  const ConfigResult& of(ConfigMask mask) const;
+  const ConfigResult& all_ddr() const { return of(0); }
+  const ConfigResult& all_hbm() const;
+  int num_groups = 0;
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+                   ExperimentOptions options = {});
+
+  /// Measure every configuration of `space` for `workload`.
+  SweepResult sweep(const workloads::Workload& workload,
+                    const ConfigSpace& space);
+
+  /// Measure a single configuration (n repetitions).
+  ConfigResult measure(const workloads::Workload& workload,
+                       const ConfigSpace& space, ConfigMask mask,
+                       double baseline_time);
+
+ private:
+  sim::MachineSimulator* sim_;
+  sim::ExecutionContext ctx_;
+  ExperimentOptions options_;
+};
+
+/// Fraction of trace bytes that land in HBM under `placement` — the
+/// model-side analogue of the blue crosses in Fig. 7a.
+double hbm_access_fraction(const sim::PhaseTrace& trace,
+                           const sim::Placement& placement);
+
+}  // namespace hmpt::tuner

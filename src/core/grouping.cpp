@@ -1,0 +1,137 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+std::vector<double> site_densities(const shim::AllocationRegistry& registry,
+                                   const shim::CallSiteRegistry& sites,
+                                   const sample::SampleReport& report) {
+  std::vector<double> densities(static_cast<std::size_t>(sites.num_sites()),
+                                0.0);
+  // Allocation-record ids are the PageMap tags the sampler attributes to.
+  std::map<std::uint64_t, int> tag_to_site;
+  for (const auto& rec : registry.all_records())
+    tag_to_site[rec.id] = rec.site;
+
+  for (const auto& tag : report.per_tag) {
+    auto it = tag_to_site.find(tag.tag);
+    if (it == tag_to_site.end()) continue;  // allocation outside the shim
+    if (it->second >= 0 &&
+        it->second < static_cast<int>(densities.size()))
+      densities[static_cast<std::size_t>(it->second)] +=
+          report.density(tag.tag);
+  }
+  return densities;
+}
+
+std::vector<AllocationGroup> build_groups(
+    const std::vector<shim::SiteUsage>& usage,
+    const std::vector<double>& densities, const GroupingOptions& options) {
+  HMPT_REQUIRE(options.max_groups >= 2, "need at least 2 groups");
+
+  auto density_of = [&](int site) {
+    return site >= 0 && site < static_cast<int>(densities.size())
+               ? densities[static_cast<std::size_t>(site)]
+               : 0.0;
+  };
+
+  // Partition into significant sites and the fold-away set.
+  std::vector<const shim::SiteUsage*> significant;
+  AllocationGroup rest;
+  rest.label = "rest";
+  for (const auto& u : usage) {
+    if (static_cast<double>(u.peak_live_bytes) < options.min_bytes) {
+      rest.sites.push_back(u.site);
+      rest.bytes += static_cast<double>(u.peak_live_bytes);
+      rest.access_density += density_of(u.site);
+    } else {
+      significant.push_back(&u);
+    }
+  }
+
+  std::sort(significant.begin(), significant.end(),
+            [&](const shim::SiteUsage* a, const shim::SiteUsage* b) {
+              if (options.ranking == GroupRanking::ByDensity) {
+                const double da = density_of(a->site);
+                const double db = density_of(b->site);
+                if (da != db) return da > db;
+              }
+              if (a->peak_live_bytes != b->peak_live_bytes)
+                return a->peak_live_bytes > b->peak_live_bytes;
+              return a->site < b->site;  // deterministic tie-break
+            });
+
+  std::vector<AllocationGroup> groups;
+  const std::size_t top_n = static_cast<std::size_t>(options.max_groups - 1);
+  for (std::size_t i = 0; i < significant.size(); ++i) {
+    const auto& u = *significant[i];
+    if (i < top_n) {
+      AllocationGroup g;
+      g.label = u.label.empty() ? "site#" + std::to_string(u.site) : u.label;
+      g.sites.push_back(u.site);
+      g.bytes = static_cast<double>(u.peak_live_bytes);
+      g.access_density = density_of(u.site);
+      groups.push_back(std::move(g));
+    } else {
+      rest.sites.push_back(u.site);
+      rest.bytes += static_cast<double>(u.peak_live_bytes);
+      rest.access_density += density_of(u.site);
+    }
+  }
+  if (!rest.sites.empty()) groups.push_back(std::move(rest));
+  return groups;
+}
+
+std::vector<AllocationGroup> build_groups_by_labels(
+    const std::vector<shim::SiteUsage>& usage,
+    const std::vector<double>& densities,
+    const std::vector<std::vector<std::string>>& label_sets) {
+  auto density_of = [&](int site) {
+    return site >= 0 && site < static_cast<int>(densities.size())
+               ? densities[static_cast<std::size_t>(site)]
+               : 0.0;
+  };
+
+  std::vector<AllocationGroup> groups(label_sets.size());
+  AllocationGroup rest;
+  rest.label = "rest";
+
+  for (std::size_t g = 0; g < label_sets.size(); ++g) {
+    HMPT_REQUIRE(!label_sets[g].empty(), "empty label set");
+    std::string label;
+    for (const auto& l : label_sets[g]) {
+      if (!label.empty()) label += "+";
+      label += l;
+    }
+    groups[g].label = label;
+  }
+
+  for (const auto& u : usage) {
+    bool placed = false;
+    for (std::size_t g = 0; g < label_sets.size() && !placed; ++g) {
+      for (const auto& wanted : label_sets[g]) {
+        if (u.label == wanted) {
+          groups[g].sites.push_back(u.site);
+          groups[g].bytes += static_cast<double>(u.peak_live_bytes);
+          groups[g].access_density += density_of(u.site);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      rest.sites.push_back(u.site);
+      rest.bytes += static_cast<double>(u.peak_live_bytes);
+      rest.access_density += density_of(u.site);
+    }
+  }
+  if (!rest.sites.empty()) groups.push_back(std::move(rest));
+  return groups;
+}
+
+}  // namespace hmpt::tuner

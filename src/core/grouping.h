@@ -1,0 +1,63 @@
+// grouping.h — allocation filtering and grouping (Sec. III-A).
+//
+// The tool captures a subset of allocations (aliased by call site), filters
+// out the insignificant ones (smaller than the L2/L3 cache they would fit
+// in), and folds the remainder into at most k groups: the top k-1 ranked by
+// individual impact plus one "rest" group. Custom groupings (e.g. k-Wave's
+// per-vector-field groups) are expressed by explicit label sets.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "shim/registry.h"
+
+namespace hmpt::tuner {
+
+/// One tunable allocation group after filtering/folding.
+struct AllocationGroup {
+  std::string label;
+  std::vector<int> sites;       ///< call sites folded into this group
+  double bytes = 0.0;           ///< peak live bytes of the group
+  double access_density = 0.0;  ///< fraction of attributed samples
+};
+
+enum class GroupRanking {
+  ByDensity,  ///< IBS access density (the paper's practical proxy)
+  ByBytes,    ///< footprint
+};
+
+struct GroupingOptions {
+  /// Allocations below this size are folded into the rest group; the paper
+  /// uses "smaller than L2 or L3" — pass the cache capacity of interest.
+  double min_bytes = 0.0;
+  /// Maximum number of groups including the rest group (paper: 8).
+  int max_groups = 8;
+  GroupRanking ranking = GroupRanking::ByDensity;
+};
+
+/// Per-site access densities: attributes the sampler's per-allocation tags
+/// back to call sites through the registry's records.
+std::vector<double> site_densities(const shim::AllocationRegistry& registry,
+                                   const shim::CallSiteRegistry& sites,
+                                   const sample::SampleReport& report);
+
+/// Build groups from per-site usage + densities. Result is ordered by rank
+/// (hottest first); a final "rest" group folds everything else (it is
+/// omitted when empty).
+std::vector<AllocationGroup> build_groups(
+    const std::vector<shim::SiteUsage>& usage,
+    const std::vector<double>& densities, const GroupingOptions& options);
+
+/// Explicit grouping: fold sites whose labels share a prefix up to "::"
+/// followed by the given field names (k-Wave style); unmatched labels fold
+/// into the rest group.
+std::vector<AllocationGroup> build_groups_by_labels(
+    const std::vector<shim::SiteUsage>& usage,
+    const std::vector<double>& densities,
+    const std::vector<std::vector<std::string>>& label_sets);
+
+}  // namespace hmpt::tuner

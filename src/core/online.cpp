@@ -1,0 +1,117 @@
+#include "core/online.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+OnlineTuner::OnlineTuner(sim::MachineSimulator& sim,
+                         sim::ExecutionContext ctx,
+                         OnlineTunerOptions options)
+    : sim_(&sim), ctx_(ctx), options_(options) {
+  HMPT_REQUIRE(options_.max_iterations >= 1, "need >= 1 iteration");
+  HMPT_REQUIRE(options_.patience >= 1, "patience must be >= 1");
+}
+
+double OnlineTuner::observe(const sim::PhaseTrace& trace,
+                            const ConfigSpace& space, ConfigMask mask) {
+  return sim_->measure_trace(trace, space.placement(mask), ctx_);
+}
+
+OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
+                               const ConfigSpace& space) {
+  HMPT_REQUIRE(space.num_groups() == workload.num_groups(),
+               "space/workload arity mismatch");
+  const auto trace = workload.trace();
+  const int n = space.num_groups();
+  const double budget = options_.hbm_budget_bytes > 0.0
+                            ? options_.hbm_budget_bytes
+                            : space.total_bytes() + 1.0;
+
+  OnlineResult result;
+  ConfigMask mask = 0;
+  double current = observe(trace, space, mask);
+  result.baseline_time = current;
+  int iterations = 1;
+  int rejections = 0;
+
+  // Heuristic priority: sampled access density per byte — the quantity
+  // the IBS profile gives the online controller for free.
+  std::vector<double> density(static_cast<std::size_t>(n), 0.0);
+  for (int g = 0; g < n; ++g)
+    density[static_cast<std::size_t>(g)] =
+        trace.access_fraction(g) /
+        std::max(1.0, space.group_bytes()[static_cast<std::size_t>(g)]);
+
+  while (iterations < options_.max_iterations &&
+         rejections < options_.patience) {
+    // Candidate flips, best heuristic first: move hot groups in, cold
+    // groups out.
+    struct Candidate {
+      int group;
+      bool to_hbm;
+      double score;
+    };
+    std::vector<Candidate> candidates;
+    for (int g = 0; g < n; ++g) {
+      const bool in_hbm = mask & (ConfigMask{1} << g);
+      if (!in_hbm) {
+        if (space.hbm_bytes(mask) +
+                space.group_bytes()[static_cast<std::size_t>(g)] >
+            budget)
+          continue;  // would blow the budget
+        candidates.push_back({g, true,
+                              density[static_cast<std::size_t>(g)]});
+      } else {
+        candidates.push_back({g, false,
+                              -density[static_cast<std::size_t>(g)]});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.score > b.score;
+              });
+
+    bool improved = false;
+    for (const auto& candidate : candidates) {
+      if (iterations >= options_.max_iterations) break;
+      const ConfigMask trial_mask =
+          mask ^ (ConfigMask{1} << candidate.group);
+      const double trial = observe(trace, space, trial_mask);
+      ++iterations;
+
+      OnlineStep step;
+      step.iteration = iterations;
+      step.moved_group = candidate.group;
+      step.to_hbm = candidate.to_hbm;
+      step.observed_time = trial;
+      step.kept = trial < current * (1.0 - options_.keep_threshold);
+      step.mask = step.kept ? trial_mask : mask;
+      result.trajectory.push_back(step);
+
+      if (step.kept) {
+        mask = trial_mask;
+        current = trial;
+        improved = true;
+        break;  // re-rank candidates from the new state
+      }
+    }
+    if (improved) {
+      rejections = 0;
+    } else {
+      // A full pass found nothing; with measurement noise a further pass
+      // (up to `patience` of them) may still flip a verdict.
+      ++rejections;
+      if (candidates.empty()) break;
+    }
+  }
+
+  result.final_mask = mask;
+  result.final_time = current;
+  result.speedup = result.baseline_time / current;
+  result.iterations_used = iterations;
+  return result;
+}
+
+}  // namespace hmpt::tuner

@@ -1,0 +1,70 @@
+// online.h — iterative online placement tuning.
+//
+// The paper positions its tool as "the first step towards a more dynamic
+// approach ... potentially allows for online profiling and control"
+// (Sec. III). This module implements that extension: instead of sweeping
+// all 2^n configurations offline, the tuner starts from all-DDR and
+// adjusts the placement between iterations of the running application —
+// observe one iteration's time, greedily move (or evict) the group with
+// the best expected marginal gain per HBM byte, keep the move only if the
+// next observed iteration confirms it. Converges in O(n^2) iterations
+// instead of O(2^n) runs and respects the HBM capacity budget throughout.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/config_space.h"
+#include "simmem/simulator.h"
+#include "workloads/workload.h"
+
+namespace hmpt::tuner {
+
+struct OnlineTunerOptions {
+  double hbm_budget_bytes = 0.0;  ///< <= 0: unlimited
+  /// Relative improvement a trial move must show to be kept.
+  double keep_threshold = 1e-3;
+  /// Stop after this many consecutive rejected trials.
+  int patience = 3;
+  int max_iterations = 200;
+};
+
+/// One step of the tuning trajectory.
+struct OnlineStep {
+  int iteration = 0;
+  ConfigMask mask = 0;       ///< placement after the step
+  double observed_time = 0.0;
+  int moved_group = -1;      ///< group moved this step (-1: none)
+  bool to_hbm = false;       ///< direction of the move
+  bool kept = false;         ///< move survived its confirmation run
+};
+
+struct OnlineResult {
+  ConfigMask final_mask = 0;
+  double final_time = 0.0;
+  double baseline_time = 0.0;  ///< first (all-DDR) observation
+  double speedup = 0.0;
+  int iterations_used = 0;
+  std::vector<OnlineStep> trajectory;
+};
+
+class OnlineTuner {
+ public:
+  OnlineTuner(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+              OnlineTunerOptions options = {});
+
+  /// Tune `workload` online: each "iteration" costs one measured run of
+  /// the workload's trace under the current placement.
+  OnlineResult tune(const workloads::Workload& workload,
+                    const ConfigSpace& space);
+
+ private:
+  double observe(const sim::PhaseTrace& trace, const ConfigSpace& space,
+                 ConfigMask mask);
+
+  sim::MachineSimulator* sim_;
+  sim::ExecutionContext ctx_;
+  OnlineTunerOptions options_;
+};
+
+}  // namespace hmpt::tuner

@@ -1,0 +1,141 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+CapacityPlanner::CapacityPlanner(const SweepResult& sweep,
+                                 const ConfigSpace& space)
+    : sweep_(&sweep), space_(&space) {
+  HMPT_REQUIRE(sweep.num_groups == space.num_groups(),
+               "sweep/space arity mismatch");
+}
+
+PlanChoice CapacityPlanner::best_under_budget(double budget_bytes) const {
+  HMPT_REQUIRE(budget_bytes >= 0.0, "negative budget");
+  PlanChoice best;
+  best.speedup = 0.0;
+  bool found = false;
+  for (const auto& cfg : sweep_->configs) {
+    const double bytes = space_->hbm_bytes(cfg.mask);
+    if (bytes > budget_bytes) continue;
+    if (!found || cfg.speedup > best.speedup ||
+        (cfg.speedup == best.speedup && bytes < best.hbm_bytes)) {
+      found = true;
+      best.mask = cfg.mask;
+      best.speedup = cfg.speedup;
+      best.hbm_bytes = bytes;
+      best.hbm_usage = cfg.hbm_usage;
+    }
+  }
+  HMPT_REQUIRE(found, "not even the all-DDR configuration fits");
+  return best;
+}
+
+std::optional<PlanChoice> CapacityPlanner::cheapest_reaching(
+    double target_speedup) const {
+  std::optional<PlanChoice> best;
+  for (const auto& cfg : sweep_->configs) {
+    if (cfg.speedup + 1e-12 < target_speedup) continue;
+    const double bytes = space_->hbm_bytes(cfg.mask);
+    if (!best || bytes < best->hbm_bytes ||
+        (bytes == best->hbm_bytes && cfg.speedup > best->speedup)) {
+      best = PlanChoice{cfg.mask, cfg.speedup, bytes, cfg.hbm_usage, true};
+    }
+  }
+  return best;
+}
+
+std::vector<PlanChoice> CapacityPlanner::pareto_front() const {
+  std::vector<PlanChoice> all;
+  for (const auto& cfg : sweep_->configs)
+    all.push_back({cfg.mask, cfg.speedup, space_->hbm_bytes(cfg.mask),
+                   cfg.hbm_usage, true});
+  std::sort(all.begin(), all.end(), [](const PlanChoice& a,
+                                       const PlanChoice& b) {
+    if (a.hbm_bytes != b.hbm_bytes) return a.hbm_bytes < b.hbm_bytes;
+    return a.speedup > b.speedup;
+  });
+  std::vector<PlanChoice> front;
+  double best = -1.0;
+  for (const auto& c : all) {
+    if (c.speedup > best) {
+      front.push_back(c);
+      best = c.speedup;
+    }
+  }
+  return front;
+}
+
+PlanChoice knapsack_plan(const LinearEstimator& estimator,
+                         const std::vector<double>& group_bytes,
+                         double budget_bytes, double granularity) {
+  const int n = estimator.num_groups();
+  HMPT_REQUIRE(static_cast<int>(group_bytes.size()) == n,
+               "bytes/estimator arity mismatch");
+  HMPT_REQUIRE(granularity > 0.0, "granularity must be positive");
+
+  const auto to_units = [&](double bytes) {
+    return static_cast<int>(std::ceil(bytes / granularity));
+  };
+  const int capacity = static_cast<int>(budget_bytes / granularity);
+
+  // dp[w] = best value using weight <= w; choice tracking via parent masks.
+  std::vector<double> dp(static_cast<std::size_t>(capacity) + 1, 0.0);
+  std::vector<ConfigMask> pick(static_cast<std::size_t>(capacity) + 1, 0);
+  for (int g = 0; g < n; ++g) {
+    const double value = estimator.single_speedup(g) - 1.0;
+    if (value <= 0.0) continue;  // DDR-preferring groups never help
+    const int w = to_units(group_bytes[static_cast<std::size_t>(g)]);
+    for (int cap = capacity; cap >= w; --cap) {
+      const double candidate =
+          dp[static_cast<std::size_t>(cap - w)] + value;
+      if (candidate > dp[static_cast<std::size_t>(cap)]) {
+        dp[static_cast<std::size_t>(cap)] = candidate;
+        pick[static_cast<std::size_t>(cap)] =
+            pick[static_cast<std::size_t>(cap - w)] |
+            (ConfigMask{1} << g);
+      }
+    }
+  }
+
+  PlanChoice choice;
+  choice.from_measurement = false;
+  choice.mask = pick[static_cast<std::size_t>(capacity)];
+  choice.speedup = 1.0 + dp[static_cast<std::size_t>(capacity)];
+  double total = 0.0;
+  for (int g = 0; g < n; ++g) {
+    total += group_bytes[static_cast<std::size_t>(g)];
+    if (choice.mask & (ConfigMask{1} << g))
+      choice.hbm_bytes += group_bytes[static_cast<std::size_t>(g)];
+  }
+  choice.hbm_usage = total > 0.0 ? choice.hbm_bytes / total : 0.0;
+  return choice;
+}
+
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups, ConfigMask mask) {
+  shim::PlacementPlan plan(topo::PoolKind::DDR);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!(mask & (ConfigMask{1} << g))) continue;
+    plan.set_named_site(groups[g].label, topo::PoolKind::HBM);
+  }
+  return plan;
+}
+
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups, ConfigMask mask,
+    const shim::CallSiteRegistry& sites) {
+  shim::PlacementPlan plan(topo::PoolKind::DDR);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!(mask & (ConfigMask{1} << g))) continue;
+    for (const int site : groups[g].sites)
+      plan.set_site(sites.site(site).hash, topo::PoolKind::HBM);
+  }
+  return plan;
+}
+
+}  // namespace hmpt::tuner

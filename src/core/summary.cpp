@@ -1,0 +1,49 @@
+#include "core/summary.h"
+
+#include "common/error.h"
+
+namespace hmpt::tuner {
+
+SummaryAnalysis summarize(const SweepResult& sweep, double fraction) {
+  HMPT_REQUIRE(!sweep.configs.empty(), "empty sweep");
+  HMPT_REQUIRE(fraction > 0.0 && fraction <= 1.0, "bad threshold fraction");
+
+  SummaryAnalysis out;
+  const LinearEstimator estimator(sweep);
+
+  for (const auto& cfg : sweep.configs) {
+    SummaryPoint p;
+    p.mask = cfg.mask;
+    p.hbm_usage = cfg.hbm_usage;
+    p.speedup = cfg.speedup;
+    p.estimate = estimator.estimate(cfg.mask);
+    p.single_group = cfg.groups_in_hbm == 1;
+    out.points.push_back(p);
+
+    if (cfg.speedup > out.max_speedup) {
+      out.max_speedup = cfg.speedup;
+      out.max_mask = cfg.mask;
+      out.max_usage = cfg.hbm_usage;
+    }
+  }
+  out.hbm_only_speedup = sweep.all_hbm().speedup;
+  out.threshold90 = 1.0 + fraction * (out.max_speedup - 1.0);
+
+  // Smallest HBM footprint reaching the threshold; speedup breaks ties.
+  bool found = false;
+  for (const auto& cfg : sweep.configs) {
+    if (cfg.speedup + 1e-12 < out.threshold90) continue;
+    if (!found || cfg.hbm_usage < out.usage90 ||
+        (cfg.hbm_usage == out.usage90 &&
+         cfg.speedup > out.usage90_speedup)) {
+      found = true;
+      out.usage90_mask = cfg.mask;
+      out.usage90 = cfg.hbm_usage;
+      out.usage90_speedup = cfg.speedup;
+    }
+  }
+  HMPT_REQUIRE(found, "no configuration reaches the threshold");
+  return out;
+}
+
+}  // namespace hmpt::tuner

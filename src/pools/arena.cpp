@@ -1,0 +1,127 @@
+#include "pools/arena.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hmpt::pools {
+
+namespace {
+
+constexpr std::size_t kMinAlign = 16;
+
+std::uintptr_t align_up(std::uintptr_t addr, std::size_t alignment) {
+  return (addr + alignment - 1) & ~static_cast<std::uintptr_t>(alignment - 1);
+}
+
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+PoolArena::PoolArena(std::size_t capacity, std::size_t slab_bytes)
+    : slab_bytes_(slab_bytes) {
+  HMPT_REQUIRE(capacity > 0, "arena capacity must be positive");
+  HMPT_REQUIRE(slab_bytes > 0, "slab size must be positive");
+  stats_.capacity = capacity;
+}
+
+PoolArena::~PoolArena() = default;
+
+void PoolArena::add_slab(std::size_t min_bytes) {
+  const std::size_t bytes = std::max(min_bytes, slab_bytes_);
+  Slab slab;
+  slab.data = std::make_unique<std::byte[]>(bytes);
+  slab.size = bytes;
+  const auto addr = reinterpret_cast<std::uintptr_t>(slab.data.get());
+  slabs_.push_back(std::move(slab));
+  stats_.host_reserved += bytes;
+  insert_free_block(addr, bytes);
+}
+
+void PoolArena::insert_free_block(std::uintptr_t addr, std::size_t size) {
+  if (size == 0) return;
+  auto next = free_.lower_bound(addr);
+  // Coalesce with predecessor when byte-adjacent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      addr = prev->first;
+      size += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Coalesce with successor when byte-adjacent.
+  if (next != free_.end() && addr + size == next->first) {
+    size += next->second;
+    free_.erase(next);
+  }
+  free_.emplace(addr, size);
+}
+
+void* PoolArena::allocate(std::size_t size, std::size_t alignment) {
+  HMPT_REQUIRE(size > 0, "zero-size allocation");
+  HMPT_REQUIRE(is_pow2(alignment), "alignment must be a power of two");
+  alignment = std::max(alignment, kMinAlign);
+
+  if (stats_.allocated + size > stats_.capacity) {
+    ++stats_.failed_allocs;
+    return nullptr;  // simulated pool exhausted (capacity semantics)
+  }
+
+  const std::size_t block_payload = align_up(size, kMinAlign);
+
+  // First-fit over the free list: find a block that can host an aligned
+  // payload after carving an (optional) front fragment.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      const std::uintptr_t block_addr = it->first;
+      const std::size_t block_size = it->second;
+      const std::uintptr_t user_addr = align_up(block_addr, alignment);
+      const std::size_t front = user_addr - block_addr;
+      if (front + block_payload > block_size) continue;
+
+      free_.erase(it);
+      insert_free_block(block_addr, front);
+      insert_free_block(user_addr + block_payload,
+                        block_size - front - block_payload);
+
+      live_.emplace(user_addr, LiveBlock{block_payload, size});
+      stats_.allocated += size;
+      stats_.peak_allocated = std::max(stats_.peak_allocated,
+                                       stats_.allocated);
+      ++stats_.num_allocs;
+      ++stats_.total_allocs;
+      return reinterpret_cast<void*>(user_addr);
+    }
+    // No fit: grow the backing store once, then retry.
+    add_slab(block_payload + alignment);
+  }
+  // Unreachable: a fresh slab always fits the request.
+  raise("arena failed to place allocation after growing");
+}
+
+void PoolArena::deallocate(void* ptr) {
+  HMPT_REQUIRE(ptr != nullptr, "deallocate(nullptr)");
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = live_.find(addr);
+  HMPT_REQUIRE(it != live_.end(), "pointer not owned by this arena");
+  stats_.allocated -= it->second.request_size;
+  --stats_.num_allocs;
+  insert_free_block(addr, it->second.block_size);
+  live_.erase(it);
+}
+
+std::size_t PoolArena::allocation_size(const void* ptr) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = live_.find(addr);
+  HMPT_REQUIRE(it != live_.end(), "pointer not owned by this arena");
+  return it->second.request_size;
+}
+
+bool PoolArena::owns(const void* ptr) const {
+  return live_.count(reinterpret_cast<std::uintptr_t>(ptr)) != 0;
+}
+
+std::size_t PoolArena::free_list_size() const { return free_.size(); }
+
+}  // namespace hmpt::pools

@@ -1,0 +1,85 @@
+// arena.h — free-list arena allocator backing one simulated memory pool.
+//
+// Plays the role memkind's per-kind arenas play on the real platform: all
+// allocations bound to one NUMA node come from its arena, which enforces
+// the node's (simulated) capacity. Backed by real host memory in chunked
+// slabs; carving uses a first-fit free list with splitting and coalescing
+// so fragmentation behaviour is realistic and testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace hmpt::pools {
+
+/// Allocation statistics of one arena.
+struct ArenaStats {
+  std::size_t capacity = 0;        ///< simulated pool capacity (bytes)
+  std::size_t allocated = 0;       ///< live payload bytes
+  std::size_t peak_allocated = 0;  ///< high-water mark
+  std::size_t host_reserved = 0;   ///< host bytes actually reserved in slabs
+  std::size_t num_allocs = 0;      ///< live allocation count
+  std::size_t total_allocs = 0;    ///< cumulative allocation count
+  std::size_t failed_allocs = 0;   ///< capacity-exceeded rejections
+};
+
+/// One pool's arena. Not thread-safe by itself; PoolAllocator serialises.
+class PoolArena {
+ public:
+  /// `capacity` is the simulated pool size; `slab_bytes` the host chunk
+  /// granularity (rounded up per allocation when larger).
+  explicit PoolArena(std::size_t capacity,
+                     std::size_t slab_bytes = 1u << 20);
+  ~PoolArena();
+
+  PoolArena(const PoolArena&) = delete;
+  PoolArena& operator=(const PoolArena&) = delete;
+
+  /// Allocate `size` bytes aligned to `alignment` (power of two).
+  /// Returns nullptr when the simulated capacity would be exceeded.
+  void* allocate(std::size_t size, std::size_t alignment = 16);
+
+  /// Release a pointer previously returned by allocate().
+  void deallocate(void* ptr);
+
+  /// Size originally requested for `ptr`.
+  std::size_t allocation_size(const void* ptr) const;
+
+  /// True if `ptr` was allocated (and not yet freed) by this arena.
+  bool owns(const void* ptr) const;
+
+  const ArenaStats& stats() const { return stats_; }
+  std::size_t available() const { return stats_.capacity - stats_.allocated; }
+
+  /// Number of entries in the free list (fragmentation inspection).
+  std::size_t free_list_size() const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  struct FreeBlock {
+    std::uintptr_t addr = 0;
+    std::size_t size = 0;
+  };
+  struct LiveBlock {
+    std::size_t block_size = 0;    // carved block (aligned)
+    std::size_t request_size = 0;  // user-visible size
+  };
+
+  void add_slab(std::size_t min_bytes);
+  void insert_free_block(std::uintptr_t addr, std::size_t size);
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  // Free blocks keyed by address so adjacent blocks coalesce on insert.
+  std::map<std::uintptr_t, std::size_t> free_;
+  std::map<std::uintptr_t, LiveBlock> live_;
+  ArenaStats stats_;
+};
+
+}  // namespace hmpt::pools

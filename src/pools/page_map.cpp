@@ -1,0 +1,55 @@
+#include "pools/page_map.h"
+
+#include "common/error.h"
+
+namespace hmpt::pools {
+
+void PageMap::insert(std::uintptr_t addr, std::size_t size, int node,
+                     std::uint64_t tag) {
+  HMPT_REQUIRE(size > 0, "cannot map an empty range");
+  const std::uintptr_t end = addr + size;
+  HMPT_REQUIRE(end > addr, "address range overflow");
+
+  // The first range starting at or after `addr` must begin at or after
+  // `end`; the range before `addr` must end at or before `addr`.
+  auto next = ranges_.lower_bound(addr);
+  if (next != ranges_.end())
+    HMPT_REQUIRE(next->second.begin >= end, "overlapping range (next)");
+  if (next != ranges_.begin()) {
+    auto prev = std::prev(next);
+    HMPT_REQUIRE(prev->second.end <= addr, "overlapping range (prev)");
+  }
+  ranges_.emplace(addr, RangeInfo{node, tag, addr, end});
+}
+
+RangeInfo PageMap::erase(std::uintptr_t addr) {
+  auto it = ranges_.find(addr);
+  HMPT_REQUIRE(it != ranges_.end(), "no range starts at this address");
+  RangeInfo info = it->second;
+  ranges_.erase(it);
+  return info;
+}
+
+std::optional<RangeInfo> PageMap::lookup(std::uintptr_t addr) const {
+  auto it = ranges_.upper_bound(addr);
+  if (it == ranges_.begin()) return std::nullopt;
+  --it;
+  const RangeInfo& info = it->second;
+  if (addr >= info.begin && addr < info.end) return info;
+  return std::nullopt;
+}
+
+void PageMap::set_node(std::uintptr_t addr, int node) {
+  auto it = ranges_.find(addr);
+  HMPT_REQUIRE(it != ranges_.end(), "no range starts at this address");
+  it->second.node = node;
+}
+
+std::size_t PageMap::bytes_on_node(int node) const {
+  std::size_t total = 0;
+  for (const auto& [begin, info] : ranges_)
+    if (node < 0 || info.node == node) total += info.size();
+  return total;
+}
+
+}  // namespace hmpt::pools

@@ -1,0 +1,55 @@
+// page_map.h — address-range to memory-pool mapping.
+//
+// The sampler resolves sampled access addresses to allocations (and hence
+// pools) exactly the way the paper's tool correlates IBS samples with known
+// allocation address ranges (Sec. III). Implemented as an ordered interval
+// map with O(log n) insert/erase/lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace hmpt::pools {
+
+/// What a mapped interval points at.
+struct RangeInfo {
+  int node = -1;          ///< NUMA node the range is resident on
+  std::uint64_t tag = 0;  ///< opaque owner tag (allocation id)
+  std::uintptr_t begin = 0;
+  std::uintptr_t end = 0;  ///< one past the last byte
+  std::size_t size() const { return end - begin; }
+};
+
+/// Non-overlapping interval map keyed by start address.
+class PageMap {
+ public:
+  /// Register [addr, addr+size); throws on overlap with an existing range.
+  void insert(std::uintptr_t addr, std::size_t size, int node,
+              std::uint64_t tag);
+
+  /// Remove the range starting exactly at `addr`; throws if absent.
+  RangeInfo erase(std::uintptr_t addr);
+
+  /// Find the range containing `addr`, if any.
+  std::optional<RangeInfo> lookup(std::uintptr_t addr) const;
+
+  /// Re-home a range (placement migration): change its node in place.
+  void set_node(std::uintptr_t addr, int node);
+
+  std::size_t size() const { return ranges_.size(); }
+  bool empty() const { return ranges_.empty(); }
+
+  /// Total mapped bytes on `node` (-1 = all nodes).
+  std::size_t bytes_on_node(int node = -1) const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [begin, info] : ranges_) fn(info);
+  }
+
+ private:
+  std::map<std::uintptr_t, RangeInfo> ranges_;  // keyed by begin
+};
+
+}  // namespace hmpt::pools

@@ -1,0 +1,159 @@
+#include "pools/pool_allocator.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace hmpt::pools {
+
+PoolAllocator::PoolAllocator(const topo::Machine& machine, OomPolicy policy)
+    : machine_(&machine), policy_(policy), rr_cursor_(topo::kNumPoolKinds, 0) {
+  arenas_.reserve(static_cast<std::size_t>(machine.num_nodes()));
+  for (const auto& node : machine.nodes()) {
+    arenas_.push_back(std::make_unique<PoolArena>(
+        static_cast<std::size_t>(node.pool.capacity_bytes)));
+  }
+}
+
+PoolAllocation PoolAllocator::try_allocate_kind(std::size_t size,
+                                                topo::PoolKind kind,
+                                                std::size_t alignment) {
+  // Round-robin over the kind's nodes (interleave policy); take the first
+  // node with room, starting from the rotating cursor.
+  const auto nodes = machine_->nodes_of_kind(kind);
+  if (nodes.empty()) return {};
+  int& cursor = rr_cursor_[static_cast<std::size_t>(kind)];
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const int node =
+        nodes[(static_cast<std::size_t>(cursor) + i) % nodes.size()];
+    void* ptr = arenas_[static_cast<std::size_t>(node)]->allocate(size,
+                                                                  alignment);
+    if (ptr != nullptr) {
+      cursor = static_cast<int>(
+          (static_cast<std::size_t>(cursor) + i + 1) % nodes.size());
+      page_map_.insert(reinterpret_cast<std::uintptr_t>(ptr), size, node,
+                       next_tag_++);
+      return {ptr, node, kind, false};
+    }
+  }
+  return {};
+}
+
+PoolAllocation PoolAllocator::allocate(std::size_t size, topo::PoolKind kind,
+                                       std::size_t alignment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PoolAllocation result = try_allocate_kind(size, kind, alignment);
+  if (result.ptr != nullptr) return result;
+
+  switch (policy_) {
+    case OomPolicy::Throw:
+      raise(std::string("pool ") + topo::to_string(kind) +
+            " out of capacity");
+    case OomPolicy::ReturnNull:
+      return {};
+    case OomPolicy::Spill: {
+      // Fall back to the other pool kind, as the SHIM library must when
+      // the 16 GB/tile HBM pool is exhausted mid-plan.
+      const auto fallback = kind == topo::PoolKind::HBM ? topo::PoolKind::DDR
+                                                        : topo::PoolKind::HBM;
+      result = try_allocate_kind(size, fallback, alignment);
+      if (result.ptr != nullptr) {
+        result.spilled = true;
+        return result;
+      }
+      raise("all pools out of capacity");
+    }
+  }
+  return {};
+}
+
+PoolAllocation PoolAllocator::allocate_on_node(std::size_t size, int node,
+                                               std::size_t alignment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMPT_REQUIRE(node >= 0 && node < machine_->num_nodes(),
+               "node out of range");
+  void* ptr =
+      arenas_[static_cast<std::size_t>(node)]->allocate(size, alignment);
+  if (ptr == nullptr) {
+    if (policy_ == OomPolicy::Throw) raise("node out of capacity");
+    return {};
+  }
+  page_map_.insert(reinterpret_cast<std::uintptr_t>(ptr), size, node,
+                   next_tag_++);
+  return {ptr, node, machine_->node(node).pool.kind, false};
+}
+
+PoolAllocation PoolAllocator::migrate(void* ptr, topo::PoolKind target,
+                                      std::size_t alignment) {
+  HMPT_REQUIRE(ptr != nullptr, "migrate(nullptr)");
+  std::size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto info = page_map_.lookup(reinterpret_cast<std::uintptr_t>(ptr));
+    HMPT_REQUIRE(info.has_value() &&
+                     info->begin == reinterpret_cast<std::uintptr_t>(ptr),
+                 "migrate of unknown pointer");
+    size = arenas_[static_cast<std::size_t>(info->node)]->allocation_size(
+        ptr);
+  }
+  // Allocate-copy-free outside the lock only for the copy itself; the
+  // allocate/deallocate calls take the lock internally.
+  PoolAllocation fresh = allocate(size, target, alignment);
+  if (fresh.ptr == nullptr) return {};  // ReturnNull policy propagates
+  std::memcpy(fresh.ptr, ptr, size);
+  deallocate(ptr);
+  return fresh;
+}
+
+void PoolAllocator::deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto info = page_map_.erase(reinterpret_cast<std::uintptr_t>(ptr));
+  arenas_[static_cast<std::size_t>(info.node)]->deallocate(ptr);
+}
+
+topo::PoolKind PoolAllocator::kind_of(const void* ptr) const {
+  return machine_->node(node_of(ptr)).pool.kind;
+}
+
+int PoolAllocator::node_of(const void* ptr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto info = page_map_.lookup(reinterpret_cast<std::uintptr_t>(ptr));
+  HMPT_REQUIRE(info.has_value(), "pointer not owned by this allocator");
+  return info->node;
+}
+
+std::size_t PoolAllocator::size_of(const void* ptr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto info = page_map_.lookup(reinterpret_cast<std::uintptr_t>(ptr));
+  HMPT_REQUIRE(info.has_value(), "pointer not owned by this allocator");
+  return arenas_[static_cast<std::size_t>(info->node)]->allocation_size(
+      reinterpret_cast<const void*>(info->begin));
+}
+
+std::size_t PoolAllocator::bytes_in_kind(topo::PoolKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (int node : machine_->nodes_of_kind(kind))
+    total += arenas_[static_cast<std::size_t>(node)]->stats().allocated;
+  return total;
+}
+
+std::size_t PoolAllocator::live_allocations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_map_.size();
+}
+
+ArenaStats PoolAllocator::node_stats(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMPT_REQUIRE(node >= 0 && node < machine_->num_nodes(),
+               "node out of range");
+  return arenas_[static_cast<std::size_t>(node)]->stats();
+}
+
+PageMap PoolAllocator::page_map_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_map_;
+}
+
+}  // namespace hmpt::pools

@@ -1,0 +1,122 @@
+// pool_allocator.h — memkind-like multi-pool allocator front-end.
+//
+// One arena per NUMA node of a simulated machine; allocations request a
+// pool kind (DDR/HBM) or an explicit node, are placed round-robin across
+// matching nodes (interleaving, like `numactl --interleave` over the pool's
+// nodes), and are registered in a PageMap so the sampler can attribute
+// access addresses. Thread-safe. Capacity is enforced per node with a
+// configurable fallback policy — the spill-to-DDR path models what the
+// paper's SHIM library must do when HBM (16 GB/tile) runs out.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "pools/arena.h"
+#include "pools/page_map.h"
+#include "topo/machine.h"
+
+namespace hmpt::pools {
+
+/// What to do when the requested pool kind has no capacity left.
+enum class OomPolicy {
+  Throw,       ///< raise hmpt::Error
+  ReturnNull,  ///< return nullptr (malloc semantics)
+  Spill,       ///< fall back to the other pool kind (HBM -> DDR)
+};
+
+/// Result of an allocation: pointer plus where it actually landed.
+struct PoolAllocation {
+  void* ptr = nullptr;
+  int node = -1;
+  topo::PoolKind kind = topo::PoolKind::DDR;
+  bool spilled = false;  ///< placed in a fallback pool
+};
+
+class PoolAllocator {
+ public:
+  explicit PoolAllocator(const topo::Machine& machine,
+                         OomPolicy policy = OomPolicy::Spill);
+
+  /// Allocate from any node of `kind` (round-robin interleave).
+  PoolAllocation allocate(std::size_t size, topo::PoolKind kind,
+                          std::size_t alignment = 16);
+
+  /// Allocate from a specific NUMA node.
+  PoolAllocation allocate_on_node(std::size_t size, int node,
+                                  std::size_t alignment = 16);
+
+  /// Free a pointer returned by allocate*(); no-op for nullptr.
+  void deallocate(void* ptr);
+
+  /// Move a live allocation to another pool kind (realloc semantics: a new
+  /// block is allocated on the target pool, contents copied, the old block
+  /// freed; the returned pointer replaces `ptr`). This is the object-level
+  /// analogue of move_pages() the online tuner uses between iterations.
+  /// Honours the OOM policy of the allocator for the target pool.
+  PoolAllocation migrate(void* ptr, topo::PoolKind target,
+                         std::size_t alignment = 16);
+
+  /// Kind/node the pointer is resident on.
+  topo::PoolKind kind_of(const void* ptr) const;
+  int node_of(const void* ptr) const;
+  std::size_t size_of(const void* ptr) const;
+
+  /// Live bytes per pool kind (optionally one socket).
+  std::size_t bytes_in_kind(topo::PoolKind kind) const;
+  std::size_t live_allocations() const;
+
+  ArenaStats node_stats(int node) const;
+
+  const topo::Machine& machine() const { return *machine_; }
+  OomPolicy policy() const { return policy_; }
+
+  /// Snapshot of the page map (copies under lock; for samplers/tests).
+  PageMap page_map_snapshot() const;
+
+ private:
+  PoolAllocation try_allocate_kind(std::size_t size, topo::PoolKind kind,
+                                   std::size_t alignment);
+
+  const topo::Machine* machine_;
+  OomPolicy policy_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<PoolArena>> arenas_;  // per node
+  std::vector<int> rr_cursor_;                      // per kind
+  PageMap page_map_;
+  std::uint64_t next_tag_ = 1;
+};
+
+/// C++ standard allocator adapter bound to (PoolAllocator, kind); lets STL
+/// containers live in a chosen pool: std::vector<double, PoolStlAllocator<double>>.
+template <typename T>
+class PoolStlAllocator {
+ public:
+  using value_type = T;
+
+  PoolStlAllocator(PoolAllocator& pool, topo::PoolKind kind)
+      : pool_(&pool), kind_(kind) {}
+  template <typename U>
+  PoolStlAllocator(const PoolStlAllocator<U>& other)
+      : pool_(other.pool_), kind_(other.kind_) {}
+
+  T* allocate(std::size_t n) {
+    auto result = pool_->allocate(n * sizeof(T), kind_, alignof(T));
+    if (!result.ptr) throw std::bad_alloc();
+    return static_cast<T*>(result.ptr);
+  }
+  void deallocate(T* ptr, std::size_t) { pool_->deallocate(ptr); }
+
+  bool operator==(const PoolStlAllocator& other) const {
+    return pool_ == other.pool_ && kind_ == other.kind_;
+  }
+  bool operator!=(const PoolStlAllocator& other) const {
+    return !(*this == other);
+  }
+
+  PoolAllocator* pool_;
+  topo::PoolKind kind_;
+};
+
+}  // namespace hmpt::pools

@@ -1,0 +1,107 @@
+#include "sample/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::sample {
+
+double SampleReport::density(std::uint64_t tag) const {
+  const std::uint64_t attributed = samples_kept - samples_unattributed;
+  if (attributed == 0) return 0.0;
+  return static_cast<double>(samples_of(tag)) /
+         static_cast<double>(attributed);
+}
+
+std::uint64_t SampleReport::samples_of(std::uint64_t tag) const {
+  for (const auto& t : per_tag)
+    if (t.tag == tag) return t.samples;
+  return 0;
+}
+
+IbsSampler::IbsSampler(SamplerConfig config)
+    : config_(config), rng_(config.seed) {
+  HMPT_REQUIRE(config_.period >= 1, "sampling period must be >= 1");
+  countdown_ = draw_gap();
+}
+
+std::uint64_t IbsSampler::draw_gap() {
+  if (config_.mode == SamplingMode::Systematic) return config_.period;
+  // Geometric gap with mean `period`: hardware samplers jitter the period
+  // so loop-synchronous access patterns are not systematically missed.
+  const double u = rng_.next_exponential(1.0 /
+                                         static_cast<double>(config_.period));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(u));
+}
+
+void IbsSampler::feed(const AccessEvent& event, const pools::PageMap& map) {
+  ++events_seen_;
+  if (--countdown_ > 0) return;
+  countdown_ = draw_gap();
+  ++samples_kept_;
+
+  const auto range = map.lookup(event.address);
+  if (!range) {
+    ++unattributed_;
+    return;
+  }
+  TagSamples& agg = per_tag_[range->tag];
+  agg.tag = range->tag;
+  agg.node = range->node;
+  ++agg.samples;
+  if (event.is_write) ++agg.writes;
+  agg.latency_sum += event.latency;
+}
+
+void IbsSampler::feed_synthetic(std::uint64_t tag, int node,
+                                std::uint64_t events, double write_fraction,
+                                double latency) {
+  HMPT_REQUIRE(write_fraction >= 0.0 && write_fraction <= 1.0,
+               "write fraction out of range");
+  events_seen_ += events;
+  // Expected kept samples = events/period; binomial-ish noise via Poisson
+  // approximation keeps densities realistic for the tuner's estimators.
+  const double expected =
+      static_cast<double>(events) / static_cast<double>(config_.period);
+  std::uint64_t kept;
+  if (config_.mode == SamplingMode::Systematic) {
+    kept = static_cast<std::uint64_t>(std::llround(expected));
+  } else {
+    // Normal approximation of Poisson(expected), clamped at zero.
+    const double noisy = rng_.next_gaussian(expected, std::sqrt(
+                                                std::max(expected, 1e-9)));
+    kept = noisy > 0 ? static_cast<std::uint64_t>(std::llround(noisy)) : 0;
+  }
+  if (kept == 0) return;
+  samples_kept_ += kept;
+  TagSamples& agg = per_tag_[tag];
+  agg.tag = tag;
+  agg.node = node;
+  agg.samples += kept;
+  agg.writes += static_cast<std::uint64_t>(
+      std::llround(write_fraction * static_cast<double>(kept)));
+  agg.latency_sum += latency * static_cast<double>(kept);
+}
+
+SampleReport IbsSampler::report() const {
+  SampleReport rep;
+  rep.events_seen = events_seen_;
+  rep.samples_kept = samples_kept_;
+  rep.samples_unattributed = unattributed_;
+  rep.per_tag.reserve(per_tag_.size());
+  for (const auto& [tag, agg] : per_tag_) rep.per_tag.push_back(agg);
+  std::sort(rep.per_tag.begin(), rep.per_tag.end(),
+            [](const TagSamples& a, const TagSamples& b) {
+              return a.tag < b.tag;
+            });
+  return rep;
+}
+
+void IbsSampler::reset() {
+  events_seen_ = samples_kept_ = unattributed_ = 0;
+  per_tag_.clear();
+  countdown_ = draw_gap();
+}
+
+}  // namespace hmpt::sample

@@ -1,0 +1,90 @@
+#include "shim/call_site.h"
+
+#include <execinfo.h>
+
+#include "common/error.h"
+
+namespace hmpt::shim {
+
+namespace {
+
+constexpr StackHash kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr StackHash kFnvPrime = 0x100000001b3ULL;
+
+StackHash fnv1a_step(StackHash h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+StackHash capture_stack_hash(int skip, int max_depth) {
+  HMPT_REQUIRE(skip >= 0 && max_depth > 0, "bad stack capture arguments");
+  std::array<void*, 64> frames{};
+  const int depth =
+      backtrace(frames.data(), static_cast<int>(frames.size()));
+  StackHash h = kFnvOffset;
+  // +1 skips this function's own frame.
+  for (int i = skip + 1; i < depth && i < skip + 1 + max_depth; ++i)
+    h = fnv1a_step(h, reinterpret_cast<std::uint64_t>(frames[
+        static_cast<std::size_t>(i)]));
+  return h;
+}
+
+StackHash hash_frames(const std::vector<std::uintptr_t>& frames) {
+  StackHash h = kFnvOffset;
+  for (auto f : frames) h = fnv1a_step(h, f);
+  return h;
+}
+
+int CallSiteRegistry::intern(StackHash hash, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_hash_.find(hash);
+  if (it != by_hash_.end()) return it->second;
+  const int id = static_cast<int>(sites_.size());
+  sites_.push_back({id, hash, label});
+  by_hash_.emplace(hash, id);
+  return id;
+}
+
+StackHash hash_label(const std::string& label) {
+  StackHash h = kFnvOffset;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+int CallSiteRegistry::intern_named(const std::string& label) {
+  return intern(hash_label(label), label);
+}
+
+const CallSite& CallSiteRegistry::site(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMPT_REQUIRE(id >= 0 && id < static_cast<int>(sites_.size()),
+               "call-site id out of range");
+  return sites_[static_cast<std::size_t>(id)];
+}
+
+int CallSiteRegistry::num_sites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(sites_.size());
+}
+
+int CallSiteRegistry::find_by_label(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& s : sites_)
+    if (s.label == label) return s.id;
+  return -1;
+}
+
+std::vector<CallSite> CallSiteRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sites_;
+}
+
+}  // namespace hmpt::shim

@@ -1,0 +1,67 @@
+// call_site.h — identification of allocation call sites.
+//
+// The paper's SHIM library identifies each allocation by the stack trace of
+// the allocating call and treats allocations with identical traces as one
+// logical allocation ("aliasing", Sec. III). We capture the return-address
+// chain with glibc backtrace(), hash it, and intern the hash into a dense
+// site id. Workloads may also tag sites with explicit names (the analogue
+// of resolving the trace against debug info), which the reports print.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hmpt::shim {
+
+/// Stable hash of a call stack (FNV-1a over return addresses).
+using StackHash = std::uint64_t;
+
+/// Capture the current call stack (skipping `skip` innermost frames,
+/// keeping at most `max_depth`) and return its hash.
+StackHash capture_stack_hash(int skip = 1, int max_depth = 16);
+
+/// Hash an explicit frame list (used by tests and the trace replayer).
+StackHash hash_frames(const std::vector<std::uintptr_t>& frames);
+
+/// Hash of a named call site; intern_named() and PlacementPlan share it so
+/// a plan naming "field::u" matches the site the workload interned.
+StackHash hash_label(const std::string& label);
+
+/// One interned call site.
+struct CallSite {
+  int id = -1;
+  StackHash hash = 0;
+  std::string label;  ///< optional human-readable tag ("field::u")
+};
+
+/// Thread-safe interning of stack hashes to dense call-site ids.
+class CallSiteRegistry {
+ public:
+  /// Get-or-create the site for `hash`; `label` is attached on first
+  /// interning only (subsequent calls with a different label keep the
+  /// original — the same source line cannot have two names).
+  int intern(StackHash hash, const std::string& label = {});
+
+  /// Intern by label alone (hash derived from the label); convenient for
+  /// workloads that tag sites explicitly.
+  int intern_named(const std::string& label);
+
+  const CallSite& site(int id) const;
+  int num_sites() const;
+
+  /// Find a site id by label; -1 if absent.
+  int find_by_label(const std::string& label) const;
+
+  std::vector<CallSite> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CallSite> sites_;
+  std::unordered_map<StackHash, int> by_hash_;
+};
+
+}  // namespace hmpt::shim

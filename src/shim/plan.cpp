@@ -1,0 +1,101 @@
+#include "shim/plan.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hmpt::shim {
+
+StackHash PlacementPlan::hash_label(const std::string& label) {
+  return ::hmpt::shim::hash_label(label);
+}
+
+void PlacementPlan::set_site(StackHash hash, topo::PoolKind kind) {
+  by_hash_[hash] = kind;
+}
+
+void PlacementPlan::set_named_site(const std::string& label,
+                                   topo::PoolKind kind) {
+  const StackHash h = hash_label(label);
+  by_hash_[h] = kind;
+  labels_[h] = label;
+}
+
+topo::PoolKind PlacementPlan::kind_for(StackHash hash) const {
+  auto it = by_hash_.find(hash);
+  return it != by_hash_.end() ? it->second : default_kind_;
+}
+
+topo::PoolKind PlacementPlan::kind_for_named(const std::string& label) const {
+  return kind_for(hash_label(label));
+}
+
+bool PlacementPlan::has_site(StackHash hash) const {
+  return by_hash_.count(hash) != 0;
+}
+
+void PlacementPlan::clear() {
+  by_hash_.clear();
+  labels_.clear();
+}
+
+std::string PlacementPlan::serialize() const {
+  std::ostringstream os;
+  os << "default " << topo::to_string(default_kind_) << '\n';
+  for (const auto& [hash, kind] : by_hash_) {
+    auto label_it = labels_.find(hash);
+    if (label_it != labels_.end()) {
+      os << "named " << label_it->second << ' ' << topo::to_string(kind)
+         << '\n';
+    } else {
+      os << "site " << std::hex << hash << std::dec << ' '
+         << topo::to_string(kind) << '\n';
+    }
+  }
+  return os.str();
+}
+
+PlacementPlan PlacementPlan::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+PlacementPlan PlacementPlan::parse(std::istream& is) {
+  PlacementPlan plan;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash_pos = line.find('#');
+    if (hash_pos != std::string::npos) line.erase(hash_pos);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank/comment line
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+    if (directive == "default") {
+      std::string kind;
+      HMPT_REQUIRE(static_cast<bool>(ls >> kind),
+                   "default needs a pool kind" + where);
+      plan.set_default_kind(topo::pool_kind_from_string(kind));
+    } else if (directive == "site") {
+      std::string hash_str, kind;
+      HMPT_REQUIRE(static_cast<bool>(ls >> hash_str >> kind),
+                   "site needs <hash> <kind>" + where);
+      StackHash hash = 0;
+      std::istringstream hs(hash_str);
+      hs >> std::hex >> hash;
+      HMPT_REQUIRE(!hs.fail(), "bad site hash" + where);
+      plan.set_site(hash, topo::pool_kind_from_string(kind));
+    } else if (directive == "named") {
+      std::string label, kind;
+      HMPT_REQUIRE(static_cast<bool>(ls >> label >> kind),
+                   "named needs <label> <kind>" + where);
+      plan.set_named_site(label, topo::pool_kind_from_string(kind));
+    } else {
+      raise("unknown plan directive '" + directive + "'" + where);
+    }
+  }
+  return plan;
+}
+
+}  // namespace hmpt::shim

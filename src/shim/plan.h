@@ -1,0 +1,58 @@
+// plan.h — placement plans mapping call sites to memory pools.
+//
+// The driver script of the paper's tool constructs a plan ("allocations
+// from site X go to HBM") and hands it to the SHIM library, which consults
+// it inside the intercepted allocation call. Plans are serialisable to a
+// small line-oriented text format so they can be precomputed by one run and
+// applied in the next, exactly like ecoHMEM/FlexMalloc profiles.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "shim/call_site.h"
+#include "topo/machine.h"
+
+namespace hmpt::shim {
+
+class PlacementPlan {
+ public:
+  explicit PlacementPlan(topo::PoolKind default_kind = topo::PoolKind::DDR)
+      : default_kind_(default_kind) {}
+
+  topo::PoolKind default_kind() const { return default_kind_; }
+  void set_default_kind(topo::PoolKind kind) { default_kind_ = kind; }
+
+  /// Pin a call site (by hash) to a pool.
+  void set_site(StackHash hash, topo::PoolKind kind);
+  /// Pin a named call site to a pool (labels hash like intern_named()).
+  void set_named_site(const std::string& label, topo::PoolKind kind);
+
+  /// Pool for a site; the default kind when unpinned.
+  topo::PoolKind kind_for(StackHash hash) const;
+  topo::PoolKind kind_for_named(const std::string& label) const;
+
+  bool has_site(StackHash hash) const;
+  std::size_t num_pinned_sites() const { return by_hash_.size(); }
+  void clear();
+
+  /// Text format: one directive per line:
+  ///   default DDR|HBM
+  ///   site <hex-hash> DDR|HBM
+  ///   named <label> DDR|HBM
+  /// '#' starts a comment. Unknown directives raise hmpt::Error.
+  std::string serialize() const;
+  static PlacementPlan parse(const std::string& text);
+  static PlacementPlan parse(std::istream& is);
+
+ private:
+  static StackHash hash_label(const std::string& label);
+
+  topo::PoolKind default_kind_;
+  std::unordered_map<StackHash, topo::PoolKind> by_hash_;
+  // Remember labels for round-tripping serialisation.
+  std::unordered_map<StackHash, std::string> labels_;
+};
+
+}  // namespace hmpt::shim

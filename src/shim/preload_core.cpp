@@ -1,0 +1,155 @@
+#include "shim/preload_core.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace hmpt::shim {
+
+namespace {
+
+std::size_t slot_of(std::uintptr_t site) {
+  // Fibonacci hashing of the return address.
+  return static_cast<std::size_t>(
+             (site * 0x9e3779b97f4a7c15ULL) >> 52) %
+         PreloadStatsTable::kSlots;
+}
+
+}  // namespace
+
+PreloadSiteStats* PreloadStatsTable::find_or_claim(std::uintptr_t site) {
+  std::size_t idx = slot_of(site);
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    PreloadSiteStats& slot = slots_[(idx + probe) % kSlots];
+    const std::uintptr_t current = slot.site.load(std::memory_order_acquire);
+    if (current == site) return &slot;
+    if (current == 0) {
+      std::uintptr_t expected = 0;
+      if (slot.site.compare_exchange_strong(expected, site,
+                                            std::memory_order_acq_rel))
+        return &slot;
+      if (expected == site) return &slot;  // lost the race to ourselves
+    }
+  }
+  return nullptr;  // table full
+}
+
+bool PreloadStatsTable::on_alloc(std::uintptr_t site, std::size_t size) {
+  PreloadSiteStats* slot = find_or_claim(site);
+  if (slot == nullptr) return false;
+  slot->allocs.fetch_add(1, std::memory_order_relaxed);
+  slot->bytes.fetch_add(size, std::memory_order_relaxed);
+  const std::uint64_t live =
+      slot->live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  // Peak update: monotone CAS loop.
+  std::uint64_t peak = slot->peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !slot->peak_live_bytes.compare_exchange_weak(
+             peak, live, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void PreloadStatsTable::on_free(std::uintptr_t site, std::size_t size) {
+  PreloadSiteStats* slot = find_or_claim(site);
+  if (slot == nullptr) return;
+  slot->frees.fetch_add(1, std::memory_order_relaxed);
+  // Saturating subtraction: frees can be attributed to a different site
+  // than the matching alloc (the hook only sees the freeing call site).
+  std::uint64_t live = slot->live_bytes.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t next = live >= size ? live - size : 0;
+    if (slot->live_bytes.compare_exchange_weak(live, next,
+                                               std::memory_order_relaxed))
+      break;
+  }
+}
+
+std::size_t PreloadStatsTable::num_sites() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_)
+    if (slot.site.load(std::memory_order_relaxed) != 0) ++count;
+  return count;
+}
+
+std::uint64_t PreloadStatsTable::total_allocs() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_)
+    total += slot.allocs.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string PreloadStatsTable::report() const {
+  struct Row {
+    std::uintptr_t site;
+    std::uint64_t allocs, frees, bytes, peak;
+  };
+  std::vector<Row> rows;
+  for (const auto& slot : slots_) {
+    const std::uintptr_t site = slot.site.load(std::memory_order_relaxed);
+    if (site == 0) continue;
+    rows.push_back({site, slot.allocs.load(std::memory_order_relaxed),
+                    slot.frees.load(std::memory_order_relaxed),
+                    slot.bytes.load(std::memory_order_relaxed),
+                    slot.peak_live_bytes.load(std::memory_order_relaxed)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.bytes > b.bytes; });
+  std::string out = "# hmpt preload profile: site allocs frees bytes peak\n";
+  char line[160];
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "site %llx allocs %llu frees %llu bytes %llu peak %llu\n",
+                  static_cast<unsigned long long>(row.site),
+                  static_cast<unsigned long long>(row.allocs),
+                  static_cast<unsigned long long>(row.frees),
+                  static_cast<unsigned long long>(row.bytes),
+                  static_cast<unsigned long long>(row.peak));
+    out += line;
+  }
+  return out;
+}
+
+void PreloadStatsTable::reset() {
+  for (auto& slot : slots_) {
+    slot.site.store(0, std::memory_order_relaxed);
+    slot.allocs.store(0, std::memory_order_relaxed);
+    slot.frees.store(0, std::memory_order_relaxed);
+    slot.bytes.store(0, std::memory_order_relaxed);
+    slot.live_bytes.store(0, std::memory_order_relaxed);
+    slot.peak_live_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+PreloadConfig read_preload_config(const char* (*getenv_fn)(const char*)) {
+  const auto get = [&](const char* name) -> const char* {
+    return getenv_fn != nullptr ? getenv_fn(name) : std::getenv(name);
+  };
+  PreloadConfig config;
+  if (const char* path = get("HMPT_PROFILE_OUT")) config.profile_path = path;
+  if (const char* min = get("HMPT_MIN_SIZE"))
+    config.min_size = static_cast<std::size_t>(std::strtoull(min, nullptr,
+                                                             10));
+  if (get("HMPT_DISABLE") != nullptr) config.enabled = false;
+  return config;
+}
+
+PreloadStatsTable& preload_table() {
+  static PreloadStatsTable table;
+  return table;
+}
+
+void preload_dump(const PreloadConfig& config) {
+  const std::string report = preload_table().report();
+  if (config.profile_path.empty()) {
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    return;
+  }
+  if (std::FILE* f = std::fopen(config.profile_path.c_str(), "w")) {
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace hmpt::shim

@@ -1,0 +1,73 @@
+// preload_core.h — the testable heart of the LD_PRELOAD shim.
+//
+// The paper intercepts unmodified binaries by overriding the memory
+// management calls with a shim library (Fig. 6). The interposition layer
+// itself (preload.cpp, built as libhmpt_preload.so) must stay minimal and
+// async-signal-cautious; everything with logic lives here so unit tests
+// can cover it: a lock-free-ish per-site statistics table keyed by return
+// address, environment-driven configuration, and the profile report the
+// driver script consumes from the next run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hmpt::shim {
+
+/// Aggregated statistics of one interception site (keyed by the caller's
+/// return address — one frame of the stack trace; cheap enough for the
+/// malloc hot path).
+struct PreloadSiteStats {
+  std::atomic<std::uintptr_t> site{0};
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> live_bytes{0};
+  std::atomic<std::uint64_t> peak_live_bytes{0};
+};
+
+/// Fixed-capacity open-addressing table: no allocation from inside the
+/// allocator hooks (re-entrancy!), wait-free lookup, per-slot CAS claim.
+class PreloadStatsTable {
+ public:
+  static constexpr std::size_t kSlots = 4096;
+
+  /// Record an allocation of `size` bytes from `site`; returns false when
+  /// the table is full (the event is dropped, never blocks).
+  bool on_alloc(std::uintptr_t site, std::size_t size);
+  /// Record a free of `size` bytes attributed to `site`.
+  void on_free(std::uintptr_t site, std::size_t size);
+
+  std::size_t num_sites() const;
+  std::uint64_t total_allocs() const;
+
+  /// Render the profile: one line per site, sorted by cumulative bytes:
+  ///   site <hex> allocs <n> frees <n> bytes <n> peak <n>
+  std::string report() const;
+
+  /// Testing hook: wipe all slots.
+  void reset();
+
+ private:
+  PreloadSiteStats* find_or_claim(std::uintptr_t site);
+  PreloadSiteStats slots_[kSlots];
+};
+
+/// Configuration read from the environment by the preload layer.
+struct PreloadConfig {
+  std::string profile_path;   ///< HMPT_PROFILE_OUT; empty = stderr
+  std::size_t min_size = 0;   ///< HMPT_MIN_SIZE: ignore smaller allocs
+  bool enabled = true;        ///< HMPT_DISABLE kills all tracking
+};
+PreloadConfig read_preload_config(
+    const char* (*getenv_fn)(const char*) = nullptr);
+
+/// The process-wide table the interposition layer feeds.
+PreloadStatsTable& preload_table();
+
+/// Write the report to the configured destination (called at exit).
+void preload_dump(const PreloadConfig& config);
+
+}  // namespace hmpt::shim

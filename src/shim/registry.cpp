@@ -1,0 +1,144 @@
+#include "shim/registry.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace hmpt::shim {
+
+std::uint64_t AllocationRegistry::on_alloc(int site, std::uintptr_t address,
+                                           std::size_t size, int node,
+                                           topo::PoolKind kind,
+                                           bool spilled) {
+  HMPT_REQUIRE(site >= 0, "allocation without a call site");
+  HMPT_REQUIRE(size > 0, "zero-size allocation record");
+  std::lock_guard<std::mutex> lock(mutex_);
+  HMPT_REQUIRE(live_.find(address) == live_.end(),
+               "address already live in registry");
+  AllocationRecord rec;
+  rec.id = next_id_++;
+  rec.site = site;
+  rec.address = address;
+  rec.size = size;
+  rec.node = node;
+  rec.kind = kind;
+  rec.spilled = spilled;
+  rec.alloc_time = ++logical_clock_;
+  live_.emplace(address, records_.size());
+  records_.push_back(rec);
+  return rec.id;
+}
+
+void AllocationRegistry::on_free(std::uintptr_t address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(address);
+  HMPT_REQUIRE(it != live_.end(), "free of unknown or dead address");
+  records_[it->second].free_time = ++logical_clock_;
+  live_.erase(it);
+}
+
+std::optional<AllocationRecord> AllocationRegistry::find_live(
+    std::uintptr_t address) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Exact-start fast path.
+  auto it = live_.find(address);
+  if (it != live_.end()) return records_[it->second];
+  // Interior addresses: linear over live records (samplers resolve interior
+  // addresses through the PageMap in the hot path; this is a convenience).
+  for (const auto& [start, idx] : live_) {
+    const auto& rec = records_[idx];
+    if (address >= rec.address && address < rec.address + rec.size)
+      return rec;
+  }
+  return std::nullopt;
+}
+
+std::vector<SiteUsage> AllocationRegistry::site_usage(
+    const CallSiteRegistry& sites) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int, SiteUsage> by_site;
+  // Track running live bytes per site to compute peaks in logical-time
+  // order; records_ is already ordered by alloc_time.
+  std::map<int, std::vector<const AllocationRecord*>> site_records;
+  for (const auto& rec : records_)
+    site_records[rec.site].push_back(&rec);
+
+  for (const auto& [site, recs] : site_records) {
+    SiteUsage usage;
+    usage.site = site;
+    usage.label = sites.site(site).label;
+    // Sweep alloc/free events in logical-clock order for the peak.
+    std::vector<std::pair<std::uint64_t, long long>> events;
+    for (const auto* rec : recs) {
+      usage.num_allocations++;
+      usage.total_bytes += rec->size;
+      if (rec->live()) {
+        usage.live_allocations++;
+        usage.live_bytes += rec->size;
+      }
+      events.emplace_back(rec->alloc_time,
+                          static_cast<long long>(rec->size));
+      if (rec->free_time)
+        events.emplace_back(*rec->free_time,
+                            -static_cast<long long>(rec->size));
+    }
+    std::sort(events.begin(), events.end());
+    long long running = 0, peak = 0;
+    for (const auto& [t, delta] : events) {
+      running += delta;
+      peak = std::max(peak, running);
+    }
+    usage.peak_live_bytes = static_cast<std::size_t>(peak);
+    by_site.emplace(site, usage);
+  }
+
+  std::vector<SiteUsage> out;
+  out.reserve(by_site.size());
+  for (auto& [site, usage] : by_site) out.push_back(std::move(usage));
+  return out;
+}
+
+std::vector<AllocationRecord> AllocationRegistry::all_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t AllocationRegistry::live_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_.size();
+}
+
+std::size_t AllocationRegistry::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [addr, idx] : live_) total += records_[idx].size;
+  return total;
+}
+
+std::uint64_t AllocationRegistry::clock() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return logical_clock_;
+}
+
+void AllocationRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  live_.clear();
+  next_id_ = 1;
+  logical_clock_ = 0;
+}
+
+void AllocationRegistry::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AllocationRecord> kept;
+  kept.reserve(live_.size());
+  for (auto& rec : records_)
+    if (rec.live()) kept.push_back(rec);
+  records_ = std::move(kept);
+  live_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    live_.emplace(records_[i].address, i);
+}
+
+}  // namespace hmpt::shim

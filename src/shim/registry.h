@@ -1,0 +1,83 @@
+// registry.h — lifetime tracking of intercepted allocations.
+//
+// Records every allocation the shim sees: size, call site, placement, and
+// logical alloc/free timestamps. Aggregates per call site — the paper's
+// unit of control, since allocations sharing a stack trace alias to one
+// logical allocation and always share a pool (Sec. III-A).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "shim/call_site.h"
+#include "topo/machine.h"
+
+namespace hmpt::shim {
+
+/// One intercepted allocation.
+struct AllocationRecord {
+  std::uint64_t id = 0;
+  int site = -1;
+  std::uintptr_t address = 0;
+  std::size_t size = 0;
+  int node = -1;
+  topo::PoolKind kind = topo::PoolKind::DDR;
+  bool spilled = false;
+  std::uint64_t alloc_time = 0;           ///< logical clock
+  std::optional<std::uint64_t> free_time;  ///< unset while live
+  bool live() const { return !free_time.has_value(); }
+};
+
+/// Per-site aggregate (the paper's "allocation" after aliasing).
+struct SiteUsage {
+  int site = -1;
+  std::string label;
+  std::size_t num_allocations = 0;
+  std::size_t live_allocations = 0;
+  std::size_t total_bytes = 0;  ///< cumulative bytes allocated at the site
+  std::size_t live_bytes = 0;
+  std::size_t peak_live_bytes = 0;
+};
+
+class AllocationRegistry {
+ public:
+  /// Record a new allocation; returns its record id.
+  std::uint64_t on_alloc(int site, std::uintptr_t address, std::size_t size,
+                         int node, topo::PoolKind kind, bool spilled);
+
+  /// Record a free; throws if the address is unknown or already freed.
+  void on_free(std::uintptr_t address);
+
+  /// Allocation containing `address` (live allocations only).
+  std::optional<AllocationRecord> find_live(std::uintptr_t address) const;
+
+  /// Aggregates per call site, labels resolved through `sites`.
+  std::vector<SiteUsage> site_usage(const CallSiteRegistry& sites) const;
+
+  /// All records (live and freed), ordered by allocation time.
+  std::vector<AllocationRecord> all_records() const;
+
+  std::size_t live_count() const;
+  std::size_t live_bytes() const;
+  std::uint64_t clock() const;
+
+  /// Drop freed records (long-running apps would otherwise accumulate).
+  void compact();
+
+  /// Forget everything, including live records; used by the shim between
+  /// tuning repetitions (the allocator still owns the live memory).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<AllocationRecord> records_;
+  // live address -> index into records_
+  std::unordered_map<std::uintptr_t, std::size_t> live_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t logical_clock_ = 0;
+};
+
+}  // namespace hmpt::shim

@@ -1,0 +1,39 @@
+#include "shim/shim_allocator.h"
+
+#include "common/error.h"
+
+namespace hmpt::shim {
+
+ShimAllocator::ShimAllocator(pools::PoolAllocator& pool, PlacementPlan plan)
+    : pool_(&pool), plan_(std::move(plan)) {}
+
+void* ShimAllocator::allocate_at(StackHash hash, std::size_t size,
+                                 std::size_t alignment,
+                                 const std::string& label) {
+  const int site = sites_.intern(hash, label);
+  const topo::PoolKind kind = plan_.kind_for(hash);
+  const auto result = pool_->allocate(size, kind, alignment);
+  if (result.ptr == nullptr) return nullptr;  // ReturnNull policy
+  registry_.on_alloc(site, reinterpret_cast<std::uintptr_t>(result.ptr),
+                     size, result.node, result.kind, result.spilled);
+  return result.ptr;
+}
+
+void* ShimAllocator::allocate_named(const std::string& label,
+                                    std::size_t size,
+                                    std::size_t alignment) {
+  HMPT_REQUIRE(!label.empty(), "named allocation needs a label");
+  return allocate_at(hash_label(label), size, alignment, label);
+}
+
+void ShimAllocator::deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  registry_.on_free(reinterpret_cast<std::uintptr_t>(ptr));
+  pool_->deallocate(ptr);
+}
+
+void ShimAllocator::set_plan(PlacementPlan plan) { plan_ = std::move(plan); }
+
+void ShimAllocator::reset_tracking() { registry_.reset(); }
+
+}  // namespace hmpt::shim

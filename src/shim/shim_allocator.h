@@ -1,0 +1,72 @@
+// shim_allocator.h — the interception front door.
+//
+// Plays the role of the paper's SHIM library (Fig. 6): application
+// allocation calls enter here; the shim captures the call site, consults
+// the active PlacementPlan to pick a pool, forwards to the PoolAllocator,
+// and records the allocation in the AllocationRegistry. HMPT_SHIM_ALLOC
+// captures the stack automatically; workloads that want stable, readable
+// site identities use the named variants instead (the analogue of
+// resolving stack traces against symbols offline).
+#pragma once
+
+#include <cstddef>
+
+#include "pools/pool_allocator.h"
+#include "shim/call_site.h"
+#include "shim/plan.h"
+#include "shim/registry.h"
+
+namespace hmpt::shim {
+
+class ShimAllocator {
+ public:
+  explicit ShimAllocator(pools::PoolAllocator& pool,
+                         PlacementPlan plan = PlacementPlan{});
+
+  /// Allocate with an explicit call-site hash (macro path).
+  void* allocate_at(StackHash hash, std::size_t size,
+                    std::size_t alignment = 16,
+                    const std::string& label = {});
+
+  /// Allocate at a named site (workload-tagged path).
+  void* allocate_named(const std::string& label, std::size_t size,
+                       std::size_t alignment = 16);
+
+  /// Typed named allocation helper.
+  template <typename T>
+  T* allocate_array(const std::string& label, std::size_t count) {
+    return static_cast<T*>(
+        allocate_named(label, count * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(void* ptr);
+
+  /// Swap in a new plan; affects subsequent allocations only (live
+  /// allocations are not migrated — the paper replays the application).
+  void set_plan(PlacementPlan plan);
+  const PlacementPlan& plan() const { return plan_; }
+
+  pools::PoolAllocator& pool() { return *pool_; }
+  CallSiteRegistry& sites() { return sites_; }
+  const CallSiteRegistry& sites() const { return sites_; }
+  AllocationRegistry& registry() { return registry_; }
+  const AllocationRegistry& registry() const { return registry_; }
+
+  /// Reset registries between tuning repetitions (keeps the plan).
+  void reset_tracking();
+
+ private:
+  pools::PoolAllocator* pool_;
+  PlacementPlan plan_;
+  CallSiteRegistry sites_;
+  AllocationRegistry registry_;
+};
+
+}  // namespace hmpt::shim
+
+/// Allocation with automatic call-site capture: every textual occurrence of
+/// this macro is (at least) one distinct site, and repeated execution of the
+/// same occurrence aliases to the same site — matching the paper's
+/// stack-trace identification and its loop-iteration aliasing caveat.
+#define HMPT_SHIM_ALLOC(allocator, size) \
+  (allocator).allocate_at(::hmpt::shim::capture_stack_hash(0), (size))

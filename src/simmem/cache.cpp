@@ -1,0 +1,74 @@
+#include "simmem/cache.h"
+
+#include "common/error.h"
+
+namespace hmpt::sim {
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevel> levels)
+    : levels_(std::move(levels)) {
+  HMPT_REQUIRE(!levels_.empty(), "cache hierarchy needs >= 1 level");
+  double prev = 0.0;
+  for (const auto& level : levels_) {
+    HMPT_REQUIRE(level.capacity_bytes > prev,
+                 "cache level capacities must be strictly increasing");
+    HMPT_REQUIRE(level.latency > 0, "cache latency must be positive");
+    prev = level.capacity_bytes;
+  }
+}
+
+std::vector<double> CacheHierarchy::hit_fractions(double window_bytes) const {
+  HMPT_REQUIRE(window_bytes > 0, "window must be positive");
+  std::vector<double> fractions(levels_.size(), 0.0);
+  double covered = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const double cap = levels_[i].capacity_bytes;
+    if (window_bytes <= covered) break;
+    const double served =
+        std::min(window_bytes, cap) - std::min(window_bytes, covered);
+    fractions[i] = served > 0 ? served / window_bytes : 0.0;
+    covered = std::max(covered, cap);
+  }
+  return fractions;
+}
+
+double CacheHierarchy::memory_fraction(double window_bytes) const {
+  const double llc = last_level_capacity();
+  if (window_bytes <= llc) return 0.0;
+  return (window_bytes - llc) / window_bytes;
+}
+
+double CacheHierarchy::effective_latency(double window_bytes,
+                                         double memory_latency) const {
+  HMPT_REQUIRE(memory_latency > 0, "memory latency must be positive");
+  const auto fractions = hit_fractions(window_bytes);
+  double latency = memory_fraction(window_bytes) * memory_latency;
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    latency += fractions[i] * levels_[i].latency;
+  return latency;
+}
+
+double CacheHierarchy::total_capacity() const {
+  return last_level_capacity();
+}
+
+double CacheHierarchy::last_level_capacity() const {
+  return levels_.back().capacity_bytes;
+}
+
+CacheHierarchy spr_single_core_hierarchy() {
+  return CacheHierarchy({
+      {"L1", 48.0 * KiB, 1.9 * ns},
+      {"L2", 2.0 * MiB, 10.0 * ns},
+      {"L3", 28.125 * MiB, 33.0 * ns},
+  });
+}
+
+CacheHierarchy spr_socket_hierarchy() {
+  return CacheHierarchy({
+      {"L1", 48.0 * 48 * KiB, 1.9 * ns},
+      {"L2", 48 * 2.0 * MiB, 10.0 * ns},
+      {"L3", 112.5 * MiB, 33.0 * ns},
+  });
+}
+
+}  // namespace hmpt::sim

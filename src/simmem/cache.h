@@ -1,0 +1,60 @@
+// cache.h — on-chip cache hierarchy model for latency-window sweeps.
+//
+// Reproduces Fig. 3: single-core pointer-chase latency as a function of the
+// chase window size, with plateaus at L1/L2/L3 and the DDR/HBM memory
+// latencies. The hit-fraction model assumes a uniformly random chase over
+// the window with inclusive, LRU-like caches: level i serves the bytes of
+// the window that fit in it and were not already served by a faster level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hmpt::sim {
+
+/// One cache level's static parameters.
+struct CacheLevel {
+  std::string name;
+  double capacity_bytes = 0.0;
+  double latency = 0.0;  // load-to-use, seconds
+};
+
+/// Inclusive cache hierarchy shared latency model.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(std::vector<CacheLevel> levels);
+
+  const std::vector<CacheLevel>& levels() const { return levels_; }
+
+  /// Fraction of random accesses into a `window_bytes`-sized working set
+  /// served by level `i` (levels ordered fastest-first); the remainder
+  /// goes to memory.
+  std::vector<double> hit_fractions(double window_bytes) const;
+
+  /// Expected chase-load latency over the window, blending cache levels
+  /// with the given memory latency (Fig. 3 curve generator).
+  double effective_latency(double window_bytes, double memory_latency) const;
+
+  /// Fraction of accesses that miss all cache levels.
+  double memory_fraction(double window_bytes) const;
+
+  /// Total last-level capacity (used by the tuner's "ignore allocations
+  /// smaller than L2/L3" filter, Sec. III-A).
+  double total_capacity() const;
+  double last_level_capacity() const;
+
+ private:
+  std::vector<CacheLevel> levels_;
+};
+
+/// Per-core view of the Sapphire Rapids cache hierarchy used for the
+/// single-core latency sweep of Fig. 3: 48 kB L1D (~1.9 ns at 2.1 GHz),
+/// 2 MB private L2 (~10 ns) and a 28.125 MB SNC4-local L3 slice (~33 ns).
+CacheHierarchy spr_single_core_hierarchy();
+
+/// Socket-level hierarchy (aggregated L3) used for allocation filtering.
+CacheHierarchy spr_socket_hierarchy();
+
+}  // namespace hmpt::sim

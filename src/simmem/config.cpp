@@ -1,0 +1,40 @@
+#include "simmem/config.h"
+
+namespace hmpt::sim {
+
+MemSystemConfig default_spr_hbm_calibration() {
+  MemSystemConfig cfg;
+  auto& ddr = cfg.of(topo::PoolKind::DDR);
+  ddr.sat_bandwidth_per_tile = 50.0 * GB;
+  ddr.rand_bandwidth_per_tile = 47.5 * GB;
+  ddr.idle_latency = 107.0 * ns;
+
+  auto& hbm = cfg.of(topo::PoolKind::HBM);
+  hbm.sat_bandwidth_per_tile = 175.0 * GB;
+  hbm.rand_bandwidth_per_tile = 87.5 * GB;
+  hbm.idle_latency = 128.0 * ns;  // ~20 % above DDR (Fig. 3)
+  return cfg;
+}
+
+MemSystemConfig knl_like_calibration() {
+  MemSystemConfig cfg;
+  auto& ddr = cfg.of(topo::PoolKind::DDR);
+  ddr.sat_bandwidth_per_tile = 22.5 * GB;   // ~90 GB/s per socket
+  ddr.rand_bandwidth_per_tile = 20.0 * GB;
+  ddr.idle_latency = 125.0 * ns;
+
+  auto& mcdram = cfg.of(topo::PoolKind::HBM);
+  mcdram.sat_bandwidth_per_tile = 112.5 * GB;  // ~450 GB/s per socket
+  mcdram.rand_bandwidth_per_tile = 55.0 * GB;
+  mcdram.idle_latency = 156.0 * ns;  // ~25 % above DDR4
+
+  // KNL's Silvermont-derived cores sustain less memory parallelism than
+  // Sapphire Rapids' (but all 64 of them together still saturate MCDRAM).
+  cfg.mlp_stream = 20.0;
+  cfg.mlp_random = 4.0;
+  cfg.vector_flops_per_core = 44.8e9;  // 2 x AVX-512 FMA at 1.4 GHz
+  cfg.scalar_flops_per_core = 2.8e9;
+  return cfg;
+}
+
+}  // namespace hmpt::sim

@@ -1,0 +1,93 @@
+// config.h — calibration constants of the simulated memory system.
+//
+// The paper measures a dual Intel Xeon Max 9468 (Sapphire Rapids + HBM).
+// Since that hardware is not available here, hmpt::sim provides an
+// analytical model whose constants are calibrated against the numbers the
+// paper reports (Sec. I-A):
+//   * HBM: 409.6 GB/s peak per tile, ~700 GB/s achieved per socket,
+//     ~20 % higher idle latency than DDR;
+//   * DDR: 76.8 GB/s peak per tile, ~200 GB/s achieved per socket;
+//   * HBM->DDR copy achieves only ~65 % of the expected bandwidth (Fig. 5a);
+//   * pointer-chase parallelism is one outstanding miss per core, while
+//     streaming prefetch sustains tens of outstanding lines (Figs. 3-4).
+// All downstream figure shapes derive from these mechanisms.
+#pragma once
+
+#include "common/units.h"
+#include "topo/machine.h"
+
+namespace hmpt::sim {
+
+/// Per-pool-kind calibration of the memory subsystem model.
+struct PoolCalibration {
+  /// Achieved (not theoretical) saturation bandwidth per tile for streaming
+  /// access (bytes/s). Socket-level saturation is tiles_per_socket times
+  /// this when traffic is spread over all tile-local nodes.
+  double sat_bandwidth_per_tile = 0.0;
+  /// Achieved saturation bandwidth per tile for random 64 B-granule access.
+  double rand_bandwidth_per_tile = 0.0;
+  /// Idle (unloaded) memory latency for a demand load miss (seconds).
+  double idle_latency = 0.0;
+};
+
+/// Whole memory-system calibration.
+struct MemSystemConfig {
+  PoolCalibration pool[topo::kNumPoolKinds];
+
+  /// Outstanding cache lines a single core sustains with hardware
+  /// prefetching on streaming access. Sets the per-core bandwidth ceiling
+  /// bw_core = mlp_stream * 64 B / latency.
+  double mlp_stream = 30.0;
+  /// Outstanding demand misses per core on data-dependent random access
+  /// (independent random reads, e.g. gather / indirect sum).
+  double mlp_random = 8.0;
+  /// Pointer chasing has exactly one outstanding access per chain.
+  double mlp_chase = 1.0;
+
+  /// Smooth-min exponent blending the linear per-core ramp into the pool
+  /// saturation plateau (p-norm; higher = crisper knee, Fig. 2 shape).
+  double saturation_sharpness = 8.0;
+
+  /// Cross-pool write-coupling penalty: effective write bandwidth into a
+  /// pool is multiplied by this factor when the same phase reads from a
+  /// different pool with higher saturated bandwidth. Calibrated so that an
+  /// HBM->DDR STREAM copy achieves ~65 % of its expected bandwidth
+  /// (Fig. 5a) while DDR->HBM is unpenalized.
+  double cross_pool_write_penalty = 0.65;
+
+  /// Cost multiplier for write-allocate (RFO) stores: each written byte
+  /// additionally consumes this many read bytes from the target pool.
+  /// STREAM-style kernels use non-temporal stores and bypass this.
+  double write_allocate_read_factor = 1.0;
+
+  /// Double-precision FMA peak per core at base clock (flops/s) for the
+  /// compute-bound floor and the roofline (Fig. 8): 2.1 GHz * 8 lanes *
+  /// 2 FMA ports * 2 flops = 67.2 GFLOP/s vectorized, 4.2 * 2 scalar.
+  double vector_flops_per_core = 67.2e9;
+  double scalar_flops_per_core = 8.4e9;
+
+  /// Fraction of peak flops a real (non-hand-tuned) kernel achieves.
+  double compute_efficiency = 0.85;
+
+  const PoolCalibration& of(topo::PoolKind kind) const {
+    return pool[static_cast<int>(kind)];
+  }
+  PoolCalibration& of(topo::PoolKind kind) {
+    return pool[static_cast<int>(kind)];
+  }
+};
+
+/// Calibration for the paper's Sapphire Rapids + HBM platform.
+///   DDR: 50 GB/s per tile (200 GB/s per socket) streaming, 107 ns idle;
+///   HBM: 175 GB/s per tile (700 GB/s per socket) streaming, 128 ns idle
+///   (+20 % vs DDR, Fig. 3); random-access plateaus of ~190 / ~350 GB/s per
+///   socket reproduce the Fig. 4 crossover.
+MemSystemConfig default_spr_hbm_calibration();
+
+/// Calibration for the KNL-like preset (topo::knl_like_flat_snc4):
+/// MCDRAM ~450 GB/s achieved per socket with a ~25 % latency penalty over
+/// DDR4 (~90 GB/s) — the published Knights Landing characteristics the
+/// related-work tools (ADAMANT, Laghari et al.) tuned against.
+MemSystemConfig knl_like_calibration();
+
+}  // namespace hmpt::sim

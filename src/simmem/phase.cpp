@@ -1,0 +1,70 @@
+#include "simmem/phase.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hmpt::sim {
+
+const char* to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::Sequential:
+      return "sequential";
+    case AccessPattern::Random:
+      return "random";
+    case AccessPattern::PointerChase:
+      return "chase";
+  }
+  return "?";
+}
+
+double PhaseTrace::total_bytes() const {
+  double total = 0.0;
+  for (const auto& phase : phases)
+    for (const auto& s : phase.streams) total += s.bytes_read + s.bytes_written;
+  return total;
+}
+
+double PhaseTrace::total_bytes_of_group(int group) const {
+  double total = 0.0;
+  for (const auto& phase : phases)
+    for (const auto& s : phase.streams)
+      if (s.group == group) total += s.bytes_read + s.bytes_written;
+  return total;
+}
+
+double PhaseTrace::total_flops() const {
+  double total = 0.0;
+  for (const auto& phase : phases) total += phase.flops;
+  return total;
+}
+
+int PhaseTrace::num_groups() const {
+  int max_group = -1;
+  for (const auto& phase : phases)
+    for (const auto& s : phase.streams) max_group = std::max(max_group, s.group);
+  return max_group + 1;
+}
+
+double PhaseTrace::access_fraction(int group) const {
+  const double total = total_bytes();
+  if (total <= 0.0) return 0.0;
+  return total_bytes_of_group(group) / total;
+}
+
+void PhaseTrace::append(const PhaseTrace& other) {
+  phases.insert(phases.end(), other.phases.begin(), other.phases.end());
+}
+
+void PhaseTrace::scale(double factor) {
+  HMPT_REQUIRE(factor > 0, "trace scale factor must be positive");
+  for (auto& phase : phases) {
+    phase.flops *= factor;
+    for (auto& s : phase.streams) {
+      s.bytes_read *= factor;
+      s.bytes_written *= factor;
+    }
+  }
+}
+
+}  // namespace hmpt::sim

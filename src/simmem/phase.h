@@ -1,0 +1,70 @@
+// phase.h — intermediate representation of a workload's memory behaviour.
+//
+// Every workload (an executable mini-kernel running through the shim, or a
+// paper-scale analytical descriptor) lowers to a PhaseTrace: an ordered list
+// of kernel phases, each accessing a set of allocation groups with known
+// byte volumes and access patterns. The StreamBottleneckSolver turns a
+// PhaseTrace plus a placement (group -> pool) into a runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hmpt::sim {
+
+/// Memory access pattern of one stream within a phase.
+enum class AccessPattern : std::uint8_t {
+  Sequential,    ///< unit-stride/prefetchable (STREAM-like)
+  Random,        ///< independent random 64 B accesses (gather, histogram)
+  PointerChase,  ///< dependent loads, one outstanding access per thread
+};
+
+const char* to_string(AccessPattern pattern);
+
+/// Traffic of one allocation group inside one kernel phase.
+struct StreamAccess {
+  /// Allocation-group id the traffic goes to (index into the placement).
+  int group = -1;
+  /// Bytes read from / written to the group during one execution of the
+  /// phase (already multiplied by any per-phase iteration counts).
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  AccessPattern pattern = AccessPattern::Sequential;
+  /// Writes use non-temporal stores (no read-for-ownership traffic).
+  bool nontemporal_writes = true;
+  /// Working-set size for latency blending of PointerChase streams; when
+  /// zero the chase is assumed cache-resident-free (pure memory latency).
+  double working_set_bytes = 0.0;
+};
+
+/// One kernel phase: streams execute concurrently; phases run serially.
+struct KernelPhase {
+  std::string name;
+  std::vector<StreamAccess> streams;
+  /// Floating-point work of the phase (flops); forms the compute floor.
+  double flops = 0.0;
+  /// Whether the compute uses vector FMA pipes (roofline ceiling choice).
+  bool vectorized = true;
+};
+
+/// A full run of the workload.
+struct PhaseTrace {
+  std::vector<KernelPhase> phases;
+
+  double total_bytes() const;
+  double total_bytes_of_group(int group) const;
+  double total_flops() const;
+  /// Highest group id referenced (+1), i.e. the placement arity required.
+  int num_groups() const;
+  /// Fraction of all accessed bytes belonging to `group` (the model-side
+  /// analogue of the paper's IBS access-density metric).
+  double access_fraction(int group) const;
+
+  /// Concatenate another trace after this one.
+  void append(const PhaseTrace& other);
+  /// Scale all byte/flop volumes (e.g. to adjust iteration counts).
+  void scale(double factor);
+};
+
+}  // namespace hmpt::sim

@@ -1,0 +1,59 @@
+// pool_model.h — per-pool bandwidth/latency curves of the simulated system.
+//
+// Encodes the three throughput regimes the paper's platform analysis
+// distinguishes (Sec. I-A, Figs. 2-4):
+//   * streaming: prefetch-driven, per-core ceiling mlp_stream*64/latency,
+//     saturating at the pool's achieved bandwidth;
+//   * random: demand misses with limited MLP, saturating at a lower plateau;
+//   * pointer chase: exactly one outstanding access per thread, latency
+//     bound at any core count.
+#pragma once
+
+#include "simmem/config.h"
+#include "topo/machine.h"
+
+namespace hmpt::sim {
+
+/// Bandwidth/latency oracle over one machine + calibration.
+class PoolPerfModel {
+ public:
+  PoolPerfModel(const topo::Machine& machine, MemSystemConfig config);
+
+  const MemSystemConfig& config() const { return config_; }
+  const topo::Machine& machine() const { return *machine_; }
+
+  /// Idle load-to-use latency of `kind` memory (seconds).
+  double idle_latency(topo::PoolKind kind) const;
+
+  /// Aggregate achieved streaming bandwidth when `threads` cores (spread
+  /// uniformly over `tiles` tiles) access `kind` memory interleaved over
+  /// the tile-local nodes. Smooth-min of the linear per-core ramp and the
+  /// pool saturation plateau (Fig. 2 shape).
+  double stream_bandwidth(topo::PoolKind kind, int threads, int tiles) const;
+
+  /// Aggregate achieved bandwidth for independent random 64 B accesses
+  /// (Fig. 4 "random indirect sum" regime).
+  double random_bandwidth(topo::PoolKind kind, int threads, int tiles) const;
+
+  /// Aggregate traversal throughput of dependent pointer chases: one
+  /// outstanding access per thread, never saturates in practice.
+  double chase_bandwidth(topo::PoolKind kind, int threads,
+                         double effective_latency) const;
+  double chase_bandwidth(topo::PoolKind kind, int threads) const;
+
+  /// Compute throughput of `threads` cores (flops/s).
+  double compute_rate(int threads, bool vectorized) const;
+
+  /// Per-core streaming bandwidth ceiling for `kind`.
+  double per_core_stream_bandwidth(topo::PoolKind kind) const;
+  /// Per-core random-access bandwidth ceiling for `kind`.
+  double per_core_random_bandwidth(topo::PoolKind kind) const;
+
+ private:
+  double smooth_min(double linear, double saturation) const;
+
+  const topo::Machine* machine_;
+  MemSystemConfig config_;
+};
+
+}  // namespace hmpt::sim

@@ -1,0 +1,55 @@
+#include "simmem/roofline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace hmpt::sim {
+
+RooflineModel::RooflineModel(std::vector<RooflineCeiling> ceilings)
+    : ceilings_(std::move(ceilings)) {
+  HMPT_REQUIRE(!ceilings_.empty(), "roofline needs ceilings");
+  bool has_bw = false, has_compute = false;
+  for (const auto& c : ceilings_) {
+    HMPT_REQUIRE(c.value > 0, "ceiling must be positive");
+    (c.is_bandwidth ? has_bw : has_compute) = true;
+  }
+  HMPT_REQUIRE(has_bw && has_compute,
+               "roofline needs at least one bandwidth and one compute roof");
+}
+
+double RooflineModel::bandwidth_of(const std::string& roof) const {
+  for (const auto& c : ceilings_)
+    if (c.is_bandwidth && c.name == roof) return c.value;
+  raise("unknown bandwidth roof: " + roof);
+}
+
+double RooflineModel::peak_compute() const {
+  double peak = 0.0;
+  for (const auto& c : ceilings_)
+    if (!c.is_bandwidth) peak = std::max(peak, c.value);
+  return peak;
+}
+
+double RooflineModel::attainable(double ai, const std::string& bw_roof) const {
+  HMPT_REQUIRE(ai > 0, "arithmetic intensity must be positive");
+  return std::min(peak_compute(), ai * bandwidth_of(bw_roof));
+}
+
+double RooflineModel::ridge_point(const std::string& bw_roof) const {
+  return peak_compute() / bandwidth_of(bw_roof);
+}
+
+RooflineModel spr_hbm_roofline() {
+  return RooflineModel({
+      {"L1", 12902.4 * GB, true},
+      {"L2", 6451.2 * GB, true},
+      {"HBM", 700.0 * GB, true},
+      {"DDR", 200.0 * GB, true},
+      {"DP Vector FMA", 3225.6e9, false},
+      {"DP Scalar FMA", 403.2e9, false},
+  });
+}
+
+}  // namespace hmpt::sim

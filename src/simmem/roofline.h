@@ -1,0 +1,53 @@
+// roofline.h — roofline model of the simulated platform (Fig. 8).
+//
+// Performance ceilings: min(compute peak, AI * bandwidth ceiling), with one
+// bandwidth roof per memory level (L1, L2, DDR, HBM) and the paper's DP
+// vector/scalar FMA peaks for a single Xeon Max 9468 at 2.1 GHz base clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hmpt::sim {
+
+/// One bandwidth roof (bytes/s) or compute roof (flops/s).
+struct RooflineCeiling {
+  std::string name;
+  double value = 0.0;  // GB/s roofs store bytes/s; flat roofs store flops/s
+  bool is_bandwidth = false;
+};
+
+/// A measured/estimated application point on the roofline.
+struct RooflinePoint {
+  std::string name;
+  double arithmetic_intensity = 0.0;  // flops per DRAM byte
+  double performance = 0.0;           // flops/s
+};
+
+class RooflineModel {
+ public:
+  RooflineModel(std::vector<RooflineCeiling> ceilings);
+
+  const std::vector<RooflineCeiling>& ceilings() const { return ceilings_; }
+
+  /// Attainable performance at arithmetic intensity `ai` when data lives in
+  /// the memory level whose bandwidth roof is named `bw_roof`.
+  double attainable(double ai, const std::string& bw_roof) const;
+
+  /// The AI at which the `bw_roof` bandwidth roof meets the highest
+  /// compute roof (machine balance / ridge point).
+  double ridge_point(const std::string& bw_roof) const;
+
+  double bandwidth_of(const std::string& roof) const;
+  double peak_compute() const;
+
+ private:
+  std::vector<RooflineCeiling> ceilings_;
+};
+
+/// Fig. 8 ceilings for one Xeon Max 9468 at 2.1 GHz:
+/// L1 12902.4 GB/s, L2 6451.2 GB/s, HBM 700 GB/s, DDR 200 GB/s;
+/// DP vector FMA 3225.6 GFLOP/s, DP scalar FMA 403.2 GFLOP/s.
+RooflineModel spr_hbm_roofline();
+
+}  // namespace hmpt::sim

@@ -1,0 +1,75 @@
+#include "simmem/simulator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::sim {
+
+MachineSimulator::MachineSimulator(topo::Machine machine,
+                                   MemSystemConfig config, NoiseModel noise)
+    : machine_(std::move(machine)),
+      cache_(spr_single_core_hierarchy()),
+      pool_model_(machine_, config),
+      solver_(pool_model_, cache_),
+      noise_(noise),
+      rng_(noise.seed) {}
+
+MachineSimulator MachineSimulator::paper_platform() {
+  return MachineSimulator(topo::xeon_max_9468_duo_flat_snc4(),
+                          default_spr_hbm_calibration());
+}
+
+MachineSimulator MachineSimulator::paper_platform_single() {
+  return MachineSimulator(topo::xeon_max_9468_single_flat_snc4(),
+                          default_spr_hbm_calibration());
+}
+
+double MachineSimulator::time_trace(const PhaseTrace& trace,
+                                    const Placement& placement,
+                                    const ExecutionContext& ctx) const {
+  return solver_.time_trace(trace, placement, ctx);
+}
+
+double MachineSimulator::measure_trace(const PhaseTrace& trace,
+                                       const Placement& placement,
+                                       const ExecutionContext& ctx) {
+  const double t = time_trace(trace, placement, ctx);
+  if (noise_.relative_sigma <= 0.0) return t;
+  // Log-normal multiplicative noise keeps measured times positive and
+  // roughly symmetric in relative terms.
+  const double z = rng_.next_gaussian(0.0, noise_.relative_sigma);
+  return t * std::exp(z);
+}
+
+double MachineSimulator::phase_bandwidth(const KernelPhase& phase,
+                                         const Placement& placement,
+                                         const ExecutionContext& ctx) const {
+  return solver_.phase_bandwidth(phase, placement.fn(), ctx);
+}
+
+double MachineSimulator::chase_latency(double window_bytes,
+                                       topo::PoolKind kind) const {
+  return cache_.effective_latency(window_bytes,
+                                  pool_model_.idle_latency(kind));
+}
+
+double MachineSimulator::random_access_bandwidth(topo::PoolKind kind,
+                                                 int threads,
+                                                 int tiles) const {
+  return pool_model_.random_bandwidth(kind, threads, tiles);
+}
+
+ExecutionContext MachineSimulator::full_machine() const {
+  return {machine_.num_cores(), machine_.num_tiles()};
+}
+
+ExecutionContext MachineSimulator::socket_context(int threads_per_tile) const {
+  HMPT_REQUIRE(threads_per_tile >= 1 &&
+                   threads_per_tile <= machine_.cores_per_tile(),
+               "threads per tile out of range");
+  const int tiles = machine_.tiles_per_socket();
+  return {threads_per_tile * tiles, tiles};
+}
+
+}  // namespace hmpt::sim

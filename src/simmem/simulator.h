@@ -1,0 +1,81 @@
+// simulator.h — convenience front-end bundling machine, calibration, cache
+// hierarchy, pool model and solver into a single timing oracle.
+//
+// This is the "platform" the rest of hmpt runs against: the ExperimentRunner
+// asks it for workload runtimes under a placement; the platform-analysis
+// benches (Figs. 2-5) ask it for STREAM bandwidths, chase latencies and
+// random-access throughput; optional measurement noise emulates run-to-run
+// variance of a real machine so the n-repetition averaging in the tuner is
+// exercised meaningfully.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "simmem/cache.h"
+#include "simmem/config.h"
+#include "simmem/phase.h"
+#include "simmem/pool_model.h"
+#include "simmem/roofline.h"
+#include "simmem/solver.h"
+#include "topo/machine.h"
+
+namespace hmpt::sim {
+
+/// Multiplicative log-normal-ish measurement noise applied per run.
+struct NoiseModel {
+  double relative_sigma = 0.0;  ///< 0 disables noise
+  std::uint64_t seed = 42;
+};
+
+class MachineSimulator {
+ public:
+  /// Builds the simulator for `machine` with `config` calibration; the
+  /// cache hierarchy defaults to the SPR single-core one (Fig. 3).
+  MachineSimulator(topo::Machine machine, MemSystemConfig config,
+                   NoiseModel noise = {});
+
+  static MachineSimulator paper_platform();         // dual socket
+  static MachineSimulator paper_platform_single();  // one socket (Figs. 2-5)
+
+  const topo::Machine& machine() const { return machine_; }
+  const PoolPerfModel& pool_model() const { return pool_model_; }
+  const CacheHierarchy& cache() const { return cache_; }
+  const StreamBottleneckSolver& solver() const { return solver_; }
+  const MemSystemConfig& config() const { return pool_model_.config(); }
+
+  /// Deterministic (noise-free) runtime of a trace under a placement.
+  double time_trace(const PhaseTrace& trace, const Placement& placement,
+                    const ExecutionContext& ctx) const;
+
+  /// One "measured" run: deterministic time perturbed by the noise model.
+  /// Successive calls model successive repetitions of the experiment.
+  double measure_trace(const PhaseTrace& trace, const Placement& placement,
+                       const ExecutionContext& ctx);
+
+  /// Achieved STREAM-style bandwidth of a single phase (Figs. 2, 5).
+  double phase_bandwidth(const KernelPhase& phase, const Placement& placement,
+                         const ExecutionContext& ctx) const;
+
+  /// Single-core pointer-chase latency for a working-set window (Fig. 3).
+  double chase_latency(double window_bytes, topo::PoolKind kind) const;
+
+  /// Aggregate random-access throughput (Fig. 4 numerator/denominator).
+  double random_access_bandwidth(topo::PoolKind kind, int threads,
+                                 int tiles) const;
+
+  /// Default execution context: all cores of the machine.
+  ExecutionContext full_machine() const;
+  /// Context restricted to one socket with `threads_per_tile` threads/tile.
+  ExecutionContext socket_context(int threads_per_tile) const;
+
+ private:
+  topo::Machine machine_;
+  CacheHierarchy cache_;
+  PoolPerfModel pool_model_;
+  StreamBottleneckSolver solver_;
+  NoiseModel noise_;
+  Rng rng_;
+};
+
+}  // namespace hmpt::sim

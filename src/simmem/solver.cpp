@@ -1,0 +1,141 @@
+#include "simmem/solver.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hmpt::sim {
+
+Placement Placement::uniform(int num_groups, topo::PoolKind kind) {
+  HMPT_REQUIRE(num_groups >= 0, "negative group count");
+  return Placement(std::vector<topo::PoolKind>(
+      static_cast<std::size_t>(num_groups), kind));
+}
+
+topo::PoolKind Placement::of(int group) const {
+  HMPT_REQUIRE(group >= 0 && group < size(), "placement group out of range");
+  return pools_[static_cast<std::size_t>(group)];
+}
+
+void Placement::set(int group, topo::PoolKind kind) {
+  HMPT_REQUIRE(group >= 0 && group < size(), "placement group out of range");
+  pools_[static_cast<std::size_t>(group)] = kind;
+}
+
+StreamBottleneckSolver::StreamBottleneckSolver(const PoolPerfModel& model,
+                                               const CacheHierarchy& cache)
+    : model_(&model), cache_(&cache) {}
+
+PhaseTiming StreamBottleneckSolver::time_phase(
+    const KernelPhase& phase, const PlacementFn& placement,
+    const ExecutionContext& ctx) const {
+  HMPT_REQUIRE(ctx.threads >= 1, "phase needs >= 1 thread");
+  const MemSystemConfig& cfg = model_->config();
+
+  // Pass 1: which pools does the phase read from? The cross-pool write
+  // coupling penalises writes into a pool while reading from a faster one
+  // (Fig. 5a's HBM->DDR anomaly).
+  bool reads_from[topo::kNumPoolKinds] = {false, false};
+  for (const auto& s : phase.streams) {
+    if (s.bytes_read > 0.0)
+      reads_from[static_cast<int>(placement(s.group))] = true;
+  }
+  auto write_penalized = [&](topo::PoolKind target) {
+    const double target_sat = cfg.of(target).sat_bandwidth_per_tile;
+    for (int k = 0; k < topo::kNumPoolKinds; ++k) {
+      if (!reads_from[k] || k == static_cast<int>(target)) continue;
+      if (cfg.pool[k].sat_bandwidth_per_tile > target_sat) return true;
+    }
+    return false;
+  };
+
+  // Pass 2: accumulate demand per pool and pattern.
+  double seq_bytes[topo::kNumPoolKinds] = {0.0, 0.0};
+  double rand_bytes[topo::kNumPoolKinds] = {0.0, 0.0};
+  double chase_time[topo::kNumPoolKinds] = {0.0, 0.0};
+
+  for (const auto& s : phase.streams) {
+    HMPT_REQUIRE(s.bytes_read >= 0.0 && s.bytes_written >= 0.0,
+                 "negative stream bytes");
+    const topo::PoolKind pool = placement(s.group);
+    const int k = static_cast<int>(pool);
+
+    double write_bytes = s.bytes_written;
+    if (!s.nontemporal_writes)
+      write_bytes += s.bytes_written * cfg.write_allocate_read_factor;
+    if (s.bytes_written > 0.0 && write_penalized(pool))
+      write_bytes /= cfg.cross_pool_write_penalty;
+
+    switch (s.pattern) {
+      case AccessPattern::Sequential:
+        seq_bytes[k] += s.bytes_read + write_bytes;
+        break;
+      case AccessPattern::Random:
+        rand_bytes[k] += s.bytes_read + write_bytes;
+        break;
+      case AccessPattern::PointerChase: {
+        const double mem_lat = model_->idle_latency(pool);
+        const double eff_lat =
+            s.working_set_bytes > 0.0
+                ? cache_->effective_latency(s.working_set_bytes, mem_lat)
+                : mem_lat;
+        const double bw =
+            model_->chase_bandwidth(pool, ctx.threads, eff_lat);
+        chase_time[k] += (s.bytes_read + write_bytes) / bw;
+        break;
+      }
+    }
+  }
+
+  PhaseTiming timing;
+  for (int k = 0; k < topo::kNumPoolKinds; ++k) {
+    const auto kind = static_cast<topo::PoolKind>(k);
+    double t = chase_time[k];
+    if (seq_bytes[k] > 0.0)
+      t += seq_bytes[k] / model_->stream_bandwidth(kind, ctx.threads, ctx.tiles);
+    if (rand_bytes[k] > 0.0)
+      t += rand_bytes[k] / model_->random_bandwidth(kind, ctx.threads, ctx.tiles);
+    timing.pool_time[k] = t;
+  }
+  timing.compute_time =
+      phase.flops > 0.0
+          ? phase.flops / model_->compute_rate(ctx.threads, phase.vectorized)
+          : 0.0;
+
+  timing.total = timing.compute_time;
+  timing.bottleneck = -1;
+  for (int k = 0; k < topo::kNumPoolKinds; ++k) {
+    if (timing.pool_time[k] > timing.total) {
+      timing.total = timing.pool_time[k];
+      timing.bottleneck = k;
+    }
+  }
+  return timing;
+}
+
+double StreamBottleneckSolver::time_trace(const PhaseTrace& trace,
+                                          const PlacementFn& placement,
+                                          const ExecutionContext& ctx) const {
+  double total = 0.0;
+  for (const auto& phase : trace.phases)
+    total += time_phase(phase, placement, ctx).total;
+  return total;
+}
+
+double StreamBottleneckSolver::time_trace(const PhaseTrace& trace,
+                                          const Placement& placement,
+                                          const ExecutionContext& ctx) const {
+  return time_trace(trace, placement.fn(), ctx);
+}
+
+double StreamBottleneckSolver::phase_bandwidth(
+    const KernelPhase& phase, const PlacementFn& placement,
+    const ExecutionContext& ctx) const {
+  double bytes = 0.0;
+  for (const auto& s : phase.streams) bytes += s.bytes_read + s.bytes_written;
+  const PhaseTiming timing = time_phase(phase, placement, ctx);
+  HMPT_REQUIRE(timing.total > 0.0, "phase has zero duration");
+  return bytes / timing.total;
+}
+
+}  // namespace hmpt::sim

@@ -1,0 +1,91 @@
+// solver.h — multi-stream bottleneck timing of kernel phases.
+//
+// Given a phase's concurrent streams, their placements and a thread count,
+// the solver computes the phase's execution time as the maximum over
+//   * per-pool transfer time (sequential + random + chase demand share the
+//     pool's respective bandwidth curves; writes may be inflated by
+//     write-allocate and by the cross-pool write-coupling penalty that
+//     reproduces the HBM->DDR ~65 % copy anomaly of Fig. 5a), and
+//   * the compute floor flops / compute_rate.
+// Phases are serial; a trace's runtime is the sum over phases.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simmem/cache.h"
+#include "simmem/phase.h"
+#include "simmem/pool_model.h"
+
+namespace hmpt::sim {
+
+/// Maps an allocation-group id to the pool it is placed in.
+using PlacementFn = std::function<topo::PoolKind(int group)>;
+
+/// Placement stored as a dense vector indexed by group id.
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::vector<topo::PoolKind> pools)
+      : pools_(std::move(pools)) {}
+  /// All groups in a single pool.
+  static Placement uniform(int num_groups, topo::PoolKind kind);
+
+  topo::PoolKind of(int group) const;
+  void set(int group, topo::PoolKind kind);
+  int size() const { return static_cast<int>(pools_.size()); }
+  const std::vector<topo::PoolKind>& pools() const { return pools_; }
+
+  PlacementFn fn() const {
+    return [this](int group) { return of(group); };
+  }
+
+ private:
+  std::vector<topo::PoolKind> pools_;
+};
+
+/// Per-phase timing breakdown, useful for reports and tests.
+struct PhaseTiming {
+  double total = 0.0;
+  double pool_time[topo::kNumPoolKinds] = {0.0, 0.0};
+  double compute_time = 0.0;
+  /// Which component won the max (index into pool kinds, or -1 = compute).
+  int bottleneck = -1;
+};
+
+/// Execution context: how many threads over how many tiles run the phase.
+struct ExecutionContext {
+  int threads = 48;
+  int tiles = 4;
+};
+
+/// The solver: stateless over (machine, calibration, cache hierarchy).
+class StreamBottleneckSolver {
+ public:
+  StreamBottleneckSolver(const PoolPerfModel& model,
+                         const CacheHierarchy& cache);
+
+  /// Time one phase under `placement` with `ctx` threads/tiles.
+  PhaseTiming time_phase(const KernelPhase& phase, const PlacementFn& placement,
+                         const ExecutionContext& ctx) const;
+
+  /// Sum of phase times over a full trace.
+  double time_trace(const PhaseTrace& trace, const PlacementFn& placement,
+                    const ExecutionContext& ctx) const;
+  double time_trace(const PhaseTrace& trace, const Placement& placement,
+                    const ExecutionContext& ctx) const;
+
+  /// Phase-level achieved bandwidth (total bytes / phase time); this is the
+  /// quantity STREAM reports.
+  double phase_bandwidth(const KernelPhase& phase, const PlacementFn& placement,
+                         const ExecutionContext& ctx) const;
+
+  const PoolPerfModel& model() const { return *model_; }
+  const CacheHierarchy& cache() const { return *cache_; }
+
+ private:
+  const PoolPerfModel* model_;
+  const CacheHierarchy* cache_;
+};
+
+}  // namespace hmpt::sim

@@ -1,0 +1,231 @@
+#include "topo/machine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hmpt::topo {
+
+const char* to_string(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::DDR:
+      return "DDR";
+    case PoolKind::HBM:
+      return "HBM";
+  }
+  return "?";
+}
+
+PoolKind pool_kind_from_string(const std::string& name) {
+  if (name == "DDR" || name == "ddr") return PoolKind::DDR;
+  if (name == "HBM" || name == "hbm") return PoolKind::HBM;
+  raise("unknown pool kind: " + name);
+}
+
+Machine::Machine(std::string name, std::vector<NumaNode> nodes,
+                 std::vector<Tile> tiles, int num_sockets)
+    : name_(std::move(name)),
+      nodes_(std::move(nodes)),
+      tiles_(std::move(tiles)),
+      num_sockets_(num_sockets) {
+  HMPT_REQUIRE(num_sockets_ >= 1, "machine needs at least one socket");
+  HMPT_REQUIRE(!nodes_.empty(), "machine needs at least one NUMA node");
+  HMPT_REQUIRE(!tiles_.empty(), "machine needs at least one tile");
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i)
+    HMPT_REQUIRE(nodes_[static_cast<std::size_t>(i)].id == i,
+                 "node ids must be dense and ordered");
+  for (int i = 0; i < static_cast<int>(tiles_.size()); ++i) {
+    const Tile& t = tiles_[static_cast<std::size_t>(i)];
+    HMPT_REQUIRE(t.id == i, "tile ids must be dense and ordered");
+    HMPT_REQUIRE(t.ddr_node >= 0 && t.ddr_node < num_nodes(),
+                 "tile DDR node out of range");
+    HMPT_REQUIRE(t.hbm_node >= 0 && t.hbm_node < num_nodes(),
+                 "tile HBM node out of range");
+  }
+}
+
+int Machine::num_cores() const {
+  int total = 0;
+  for (const auto& t : tiles_) total += t.num_cores;
+  return total;
+}
+
+int Machine::cores_per_tile() const {
+  return tiles_.front().num_cores;
+}
+
+const NumaNode& Machine::node(int id) const {
+  HMPT_REQUIRE(id >= 0 && id < num_nodes(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Tile& Machine::tile(int id) const {
+  HMPT_REQUIRE(id >= 0 && id < num_tiles(), "tile id out of range");
+  return tiles_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Machine::nodes_of_kind(PoolKind kind, int socket) const {
+  std::vector<int> out;
+  for (const auto& n : nodes_) {
+    if (n.pool.kind != kind) continue;
+    if (socket >= 0 && n.socket != socket) continue;
+    out.push_back(n.id);
+  }
+  return out;
+}
+
+double Machine::capacity_of_kind(PoolKind kind, int socket) const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.pool.kind != kind) continue;
+    if (socket >= 0 && n.socket != socket) continue;
+    total += n.pool.capacity_bytes;
+  }
+  return total;
+}
+
+double Machine::peak_bandwidth_of_kind(PoolKind kind, int socket) const {
+  double total = 0.0;
+  for (const auto& n : nodes_) {
+    if (n.pool.kind != kind) continue;
+    if (socket >= 0 && n.socket != socket) continue;
+    total += n.pool.peak_bandwidth;
+  }
+  return total;
+}
+
+int Machine::distance(int node_a, int node_b) const {
+  const NumaNode& a = node(node_a);
+  const NumaNode& b = node(node_b);
+  // SLIT-style: local 10; same tile (DDR<->HBM pair) 12; same socket 14;
+  // cross-socket 21 (plus 2 for reaching a remote HBM device node).
+  if (node_a == node_b) return 10;
+  if (a.socket == b.socket) {
+    if (a.tile == b.tile) return 12;
+    return 14;
+  }
+  return b.pool.kind == PoolKind::HBM ? 23 : 21;
+}
+
+std::string Machine::describe() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_sockets_ << " socket(s), " << num_tiles()
+     << " tile(s), " << num_cores() << " core(s), " << num_nodes()
+     << " NUMA node(s)\n";
+  for (const auto& n : nodes_) {
+    os << "  node " << n.id << " socket " << n.socket << " tile " << n.tile
+       << " " << to_string(n.pool.kind) << " "
+       << format_bytes(n.pool.capacity_bytes) << " @ "
+       << format_bandwidth(n.pool.peak_bandwidth) << " peak, " << n.num_cores
+       << " cores\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+Machine build_xeon_max(int num_sockets, const char* name) {
+  constexpr int kTilesPerSocket = 4;
+  constexpr int kCoresPerTile = 12;
+  // Per Fig. 1 and Sec. I-A: per tile 16 GB HBM2e @ 409.6 GB/s peak and
+  // dual-channel DDR5 (2 x 16 GB shown in Fig. 1) @ 76.8 GB/s peak.
+  constexpr double kDdrCapacity = 32.0 * GiB;
+  constexpr double kDdrPeak = 76.8 * GB;
+  constexpr double kHbmCapacity = 16.0 * GiB;
+  constexpr double kHbmPeak = 409.6 * GB;
+
+  const int tiles_total = num_sockets * kTilesPerSocket;
+  std::vector<NumaNode> nodes;
+  std::vector<Tile> tiles;
+  // Flat SNC4: DDR nodes 0..T-1 carry the cores; HBM nodes T..2T-1 are
+  // memory-only device nodes (exactly the paper's node numbering in Fig. 1).
+  for (int t = 0; t < tiles_total; ++t) {
+    NumaNode ddr;
+    ddr.id = t;
+    ddr.socket = t / kTilesPerSocket;
+    ddr.tile = t;
+    ddr.pool = {PoolKind::DDR, kDdrCapacity, kDdrPeak};
+    ddr.num_cores = kCoresPerTile;
+    nodes.push_back(ddr);
+  }
+  for (int t = 0; t < tiles_total; ++t) {
+    NumaNode hbm;
+    hbm.id = tiles_total + t;
+    hbm.socket = t / kTilesPerSocket;
+    hbm.tile = t;
+    hbm.pool = {PoolKind::HBM, kHbmCapacity, kHbmPeak};
+    hbm.num_cores = 0;
+    nodes.push_back(hbm);
+  }
+  for (int t = 0; t < tiles_total; ++t) {
+    Tile tile;
+    tile.id = t;
+    tile.socket = t / kTilesPerSocket;
+    tile.num_cores = kCoresPerTile;
+    tile.first_core = t * kCoresPerTile;
+    tile.ddr_node = t;
+    tile.hbm_node = tiles_total + t;
+    tiles.push_back(tile);
+  }
+  return Machine(name, std::move(nodes), std::move(tiles), num_sockets);
+}
+
+}  // namespace
+
+Machine xeon_max_9468_duo_flat_snc4() {
+  return build_xeon_max(2, "2x Intel Xeon Max 9468 (flat SNC4)");
+}
+
+Machine xeon_max_9468_single_flat_snc4() {
+  return build_xeon_max(1, "1x Intel Xeon Max 9468 (flat SNC4)");
+}
+
+Machine knl_like_flat_snc4() {
+  constexpr int kQuadrants = 4;
+  constexpr int kCoresPerQuadrant = 16;
+  std::vector<NumaNode> nodes;
+  std::vector<Tile> tiles;
+  for (int q = 0; q < kQuadrants; ++q) {
+    NumaNode ddr;
+    ddr.id = q;
+    ddr.socket = 0;
+    ddr.tile = q;
+    ddr.pool = {PoolKind::DDR, 24.0 * GiB, 25.6 * GB};
+    ddr.num_cores = kCoresPerQuadrant;
+    nodes.push_back(ddr);
+  }
+  for (int q = 0; q < kQuadrants; ++q) {
+    NumaNode mcdram;
+    mcdram.id = kQuadrants + q;
+    mcdram.socket = 0;
+    mcdram.tile = q;
+    mcdram.pool = {PoolKind::HBM, 4.0 * GiB, 115.2 * GB};
+    mcdram.num_cores = 0;
+    nodes.push_back(mcdram);
+  }
+  for (int q = 0; q < kQuadrants; ++q)
+    tiles.push_back({q, 0, kCoresPerQuadrant, q * kCoresPerQuadrant, q,
+                     kQuadrants + q});
+  return Machine("KNL-like (flat SNC4)", std::move(nodes), std::move(tiles),
+                 1);
+}
+
+Machine two_pool_testbed(double ddr_capacity, double hbm_capacity) {
+  std::vector<NumaNode> nodes(2);
+  nodes[0].id = 0;
+  nodes[0].socket = 0;
+  nodes[0].tile = 0;
+  nodes[0].pool = {PoolKind::DDR, ddr_capacity, 76.8 * GB};
+  nodes[0].num_cores = 12;
+  nodes[1].id = 1;
+  nodes[1].socket = 0;
+  nodes[1].tile = 0;
+  nodes[1].pool = {PoolKind::HBM, hbm_capacity, 409.6 * GB};
+  nodes[1].num_cores = 0;
+  std::vector<Tile> tiles(1);
+  tiles[0] = {0, 0, 12, 0, 0, 1};
+  return Machine("two-pool testbed", std::move(nodes), std::move(tiles), 1);
+}
+
+}  // namespace hmpt::topo

@@ -1,0 +1,116 @@
+// machine.h — simulated NUMA topology of heterogeneous-memory platforms.
+//
+// Models the structure in Fig. 1 of the paper: a dual Intel Xeon Max 9468 in
+// flat SNC4 mode exposes 16 NUMA nodes — per tile one DDR node (32 GB,
+// dual-channel DDR5) and one HBM node (16 GB HBM2e). The tuner and the
+// memory-system model consume this as pure data: pool kinds, capacities,
+// peak bandwidths, and core counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hmpt::topo {
+
+/// Kind of a physical memory pool. The paper's platform has two.
+enum class PoolKind : std::uint8_t { DDR = 0, HBM = 1 };
+
+inline constexpr int kNumPoolKinds = 2;
+
+const char* to_string(PoolKind kind);
+PoolKind pool_kind_from_string(const std::string& name);
+
+/// Static description of one memory pool attached to a NUMA node.
+struct MemoryPoolDesc {
+  PoolKind kind = PoolKind::DDR;
+  double capacity_bytes = 0.0;
+  /// Theoretical peak bandwidth of this node's memory (bytes/s).
+  double peak_bandwidth = 0.0;
+};
+
+/// One NUMA node: a memory pool, optionally with CPU cores attached.
+struct NumaNode {
+  int id = -1;
+  int socket = -1;
+  int tile = -1;  // tile this node's memory hangs off
+  MemoryPoolDesc pool;
+  int num_cores = 0;  // 0 for memory-only nodes (HBM nodes in flat mode)
+};
+
+/// One CPU tile (chiplet): cores plus its local DDR and HBM NUMA nodes.
+struct Tile {
+  int id = -1;
+  int socket = -1;
+  int num_cores = 0;
+  int first_core = 0;
+  int ddr_node = -1;
+  int hbm_node = -1;
+};
+
+/// Whole-machine topology.
+class Machine {
+ public:
+  Machine(std::string name, std::vector<NumaNode> nodes,
+          std::vector<Tile> tiles, int num_sockets);
+
+  const std::string& name() const { return name_; }
+  int num_sockets() const { return num_sockets_; }
+  int num_tiles() const { return static_cast<int>(tiles_.size()); }
+  int tiles_per_socket() const { return num_tiles() / num_sockets_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_cores() const;
+  int cores_per_tile() const;
+
+  const std::vector<NumaNode>& nodes() const { return nodes_; }
+  const std::vector<Tile>& tiles() const { return tiles_; }
+  const NumaNode& node(int id) const;
+  const Tile& tile(int id) const;
+
+  /// All node ids whose pool is of `kind` (optionally restricted to socket).
+  std::vector<int> nodes_of_kind(PoolKind kind, int socket = -1) const;
+
+  /// Total capacity of all pools of `kind` (optionally per socket).
+  double capacity_of_kind(PoolKind kind, int socket = -1) const;
+
+  /// Sum of theoretical peak bandwidth over pools of `kind`
+  /// (optionally per socket).
+  double peak_bandwidth_of_kind(PoolKind kind, int socket = -1) const;
+
+  /// SLIT-style relative distance between two nodes (10 = local).
+  int distance(int node_a, int node_b) const;
+
+  /// Human-readable topology dump (one line per node).
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  std::vector<NumaNode> nodes_;
+  std::vector<Tile> tiles_;
+  int num_sockets_;
+};
+
+/// The paper's platform: dual Intel Xeon Max 9468, flat SNC4 mode (Fig. 1).
+/// 2 sockets x 4 tiles x 12 cores; per tile 32 GB DDR5 (76.8 GB/s peak) and
+/// 16 GB HBM2e (409.6 GB/s peak). Nodes 0-7 are DDR (with cores), 8-15 HBM.
+Machine xeon_max_9468_duo_flat_snc4();
+
+/// Single-socket variant (4 tiles, nodes 0-3 DDR / 4-7 HBM) used by the
+/// single-CPU experiments (Figs. 2-5, 8).
+Machine xeon_max_9468_single_flat_snc4();
+
+/// A hypothetical flat machine with one DDR and one HBM node, convenient in
+/// unit tests and the quickstart example.
+Machine two_pool_testbed(double ddr_capacity = 64.0 * GiB,
+                         double hbm_capacity = 16.0 * GiB);
+
+/// A Knights-Landing-like platform in SNC4 flat mode: the generation the
+/// related work (Laghari et al., ADAMANT) targeted. 4 quadrants x 16 cores
+/// with 4 GB MCDRAM (exposed as the HBM kind, ~115 GB/s peak each) and
+/// 24 GB DDR4 (~25.6 GB/s peak each). Demonstrates that the tuner is not
+/// tied to the Sapphire Rapids presets.
+Machine knl_like_flat_snc4();
+
+}  // namespace hmpt::topo

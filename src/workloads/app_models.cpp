@@ -1,0 +1,408 @@
+#include "workloads/app_models.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "workloads/kwave.h"
+
+namespace hmpt::workloads {
+
+namespace {
+
+/// Synthetic application: groups + a pre-built trace.
+class SyntheticAppModel final : public Workload {
+ public:
+  SyntheticAppModel(std::string name, std::vector<GroupInfo> groups,
+                    sim::PhaseTrace trace)
+      : name_(std::move(name)),
+        groups_(std::move(groups)),
+        trace_(std::move(trace)) {}
+
+  std::string name() const override { return name_; }
+  std::vector<GroupInfo> groups() const override { return groups_; }
+  sim::PhaseTrace trace() const override { return trace_; }
+
+ private:
+  std::string name_;
+  std::vector<GroupInfo> groups_;
+  sim::PhaseTrace trace_;
+};
+
+/// Execution context of the paper's runs: the whole dual-socket machine.
+sim::ExecutionContext paper_context(const sim::MachineSimulator& sim) {
+  return sim.full_machine();
+}
+
+}  // namespace
+
+WorkloadPtr make_synthetic_app(std::string name, double total_bytes,
+                               std::vector<GroupSpec> groups,
+                               std::vector<PhaseSpec> phases, double runtime,
+                               const sim::MachineSimulator& sim,
+                               const sim::ExecutionContext& ctx) {
+  HMPT_REQUIRE(total_bytes > 0, "app needs a positive footprint");
+  HMPT_REQUIRE(runtime > 0, "app needs a positive runtime");
+  double frac_sum = 0.0;
+  for (const auto& g : groups) frac_sum += g.footprint_fraction;
+  HMPT_REQUIRE(std::fabs(frac_sum - 1.0) < 1e-6,
+               "group footprint fractions must sum to 1");
+
+  std::vector<GroupInfo> infos;
+  infos.reserve(groups.size());
+  for (const auto& g : groups)
+    infos.push_back({g.label, g.footprint_fraction * total_bytes});
+
+  const auto& model = sim.pool_model();
+  const double bw_ddr =
+      model.stream_bandwidth(topo::PoolKind::DDR, ctx.threads, ctx.tiles);
+  const double compute_rate = model.compute_rate(ctx.threads, true);
+
+  sim::PhaseTrace trace;
+  for (const auto& ps : phases) {
+    sim::KernelPhase phase;
+    phase.name = ps.name;
+    phase.vectorized = true;
+    phase.flops = ps.compute_time * runtime * compute_rate;
+    for (const auto& ss : ps.streams) {
+      HMPT_REQUIRE(ss.group >= 0 &&
+                       ss.group < static_cast<int>(groups.size()),
+                   "stream group out of range");
+      const double window =
+          infos[static_cast<std::size_t>(ss.group)].bytes;
+      if (ss.seq_time > 0.0) {
+        sim::StreamAccess s;
+        s.group = ss.group;
+        // Modelled as reads: with non-temporal stores reads and writes cost
+        // the same pool bandwidth, and keeping synthetic streams read-only
+        // avoids re-triggering the cross-pool write coupling the closed-form
+        // calibration deliberately excludes (STREAM/k-Wave exercise it).
+        s.bytes_read = ss.seq_time * runtime * bw_ddr;
+        s.pattern = sim::AccessPattern::Sequential;
+        phase.streams.push_back(s);
+      }
+      if (ss.chase_time > 0.0) {
+        const double eff_lat = sim.cache().effective_latency(
+            window, model.idle_latency(topo::PoolKind::DDR));
+        const double chase_bw = model.chase_bandwidth(
+            topo::PoolKind::DDR, ctx.threads, eff_lat);
+        sim::StreamAccess s;
+        s.group = ss.group;
+        s.bytes_read = ss.chase_time * runtime * chase_bw;
+        s.pattern = sim::AccessPattern::PointerChase;
+        s.working_set_bytes = window;
+        phase.streams.push_back(s);
+      }
+    }
+    trace.phases.push_back(std::move(phase));
+  }
+  return std::make_shared<SyntheticAppModel>(std::move(name),
+                                             std::move(infos),
+                                             std::move(trace));
+}
+
+namespace {
+
+/// Additive layout shared by BT/LU/SP/UA/IS: one phase per group (its
+/// solo traffic) plus one placement-independent compute phase. With this
+/// structure runtimes compose additively over groups, so the calibration
+/// below can be solved per group in closed form against Table II.
+AppInfo make_additive_app(const sim::MachineSimulator& sim, std::string name,
+                          std::string variant, double memory_bytes,
+                          int filtered_allocations, PaperResult paper,
+                          std::vector<GroupSpec> groups,
+                          std::vector<double> seq_time,
+                          std::vector<double> chase_time, double runtime) {
+  HMPT_REQUIRE(groups.size() == seq_time.size() &&
+                   groups.size() == chase_time.size(),
+               "per-group spec arity mismatch");
+  double budget = 0.0;
+  std::vector<PhaseSpec> phases;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    PhaseSpec ps;
+    ps.name = groups[i].label + "::sweep";
+    ps.streams.push_back({static_cast<int>(i), seq_time[i], chase_time[i]});
+    budget += seq_time[i] + chase_time[i];
+    if (seq_time[i] + chase_time[i] > 0.0) phases.push_back(std::move(ps));
+  }
+  HMPT_REQUIRE(budget < 1.0, "memory time fractions exceed the runtime");
+  PhaseSpec compute;
+  compute.name = "compute";
+  compute.compute_time = 1.0 - budget;
+  phases.push_back(std::move(compute));
+
+  AppInfo info;
+  info.name = std::move(name);
+  info.variant = std::move(variant);
+  info.memory_bytes = memory_bytes;
+  info.filtered_allocations = filtered_allocations;
+  info.paper = paper;
+  info.context = paper_context(sim);
+  info.workload =
+      make_synthetic_app(info.name, memory_bytes, std::move(groups),
+                         std::move(phases), runtime, sim, info.context);
+  return info;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- MG
+// Calibration (see DESIGN.md §5). Three allocations of similar size; u and
+// r are co-streamed in the main V-cycle phase (shared-phase concurrency is
+// what makes s({0})+s({1})-1 < s({0,1}), the superlinearity visible in
+// Fig. 7a), with small solo phases and a compute floor. Solved for
+// s({0})=1.66, s({1})=1.60, s({0,1})=2.27 (= max, at 69.6 % usage),
+// s(all)=2.26 with rho = bw_HBM/bw_DDR = 3.253, chase penalty 1.195.
+AppInfo make_mg_model(const sim::MachineSimulator& sim) {
+  AppInfo info;
+  info.name = "NPB: Multi-Grid";
+  info.variant = "mg.D";
+  info.memory_bytes = 26.46 * GB;
+  info.filtered_allocations = 3;
+  info.paper = {2.27, 2.26, 0.696};
+  info.context = paper_context(sim);
+
+  std::vector<GroupSpec> groups = {
+      {"mg::u", 0.348}, {"mg::r", 0.348}, {"mg::v", 0.304}};
+  std::vector<PhaseSpec> phases;
+  // Shared V-cycle phase: u & r streamed concurrently; v is the rarely
+  // touched right-hand side (latency-bound reads, slightly DDR-preferring,
+  // which is why adding it to HBM drops 2.27 -> 2.26).
+  phases.push_back({"mg::vcycle",
+                    {{0, 0.35464, 0.0},
+                     {1, 0.34390, 0.0},
+                     {2, 0.0, 0.00163}},
+                    0.0});
+  phases.push_back({"mg::interp", {{0, 0.062, 0.0}}, 0.0});
+  phases.push_back({"mg::rprj3", {{1, 0.0449, 0.0}}, 0.0});
+  phases.push_back({"mg::compute", {}, 0.19293});
+  info.workload = make_synthetic_app(info.name, info.memory_bytes,
+                                     std::move(groups), std::move(phases),
+                                     40.0, sim, info.context);
+  return info;
+}
+
+// ---------------------------------------------------------------------- BT
+// Block tri-diagonal solver: compute-dominated (c = 0.772), so speedups are
+// shallow. Three moderately hot groups carry the gain; group 7 has a small
+// pointer-chase component making all-HBM (1.14) worse than max (1.15).
+AppInfo make_bt_model(const sim::MachineSimulator& sim) {
+  return make_additive_app(
+      sim, "NPB: Block Tri-diag.", "bt.D", 10.68 * GB, 9,
+      {1.15, 1.14, 0.550},
+      {{"bt::u", 0.25},
+       {"bt::rhs", 0.18},
+       {"bt::lhs", 0.12},
+       {"bt::fjac", 0.11},
+       {"bt::njac", 0.10},
+       {"bt::qs", 0.09},
+       {"bt::square", 0.08},
+       {"bt::rest", 0.07}},
+      {0.088, 0.056, 0.036, 0.0021, 0.0021, 0.0021, 0.0021, 0.0},
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0389}, 60.0);
+}
+
+// ---------------------------------------------------------------------- LU
+// Lower-upper Gauss-Seidel: one allocation (~25 % of the footprint) carries
+// most of the traffic — the paper highlights that most of the speedup comes
+// from moving it alone.
+AppInfo make_lu_model(const sim::MachineSimulator& sim) {
+  return make_additive_app(
+      sim, "NPB: Lower-Upper GS.", "lu.D", 8.65 * GB, 7,
+      {1.27, 1.27, 0.588},
+      {{"lu::u", 0.25},
+       {"lu::rsd", 0.17},
+       {"lu::frct", 0.168},
+       {"lu::flux", 0.12},
+       {"lu::a", 0.11},
+       {"lu::b", 0.10},
+       {"lu::rest", 0.082}},
+      {0.20, 0.047, 0.042, 0.0045, 0.0045, 0.0045, 0.0046},
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}, 60.0);
+}
+
+// ---------------------------------------------------------------------- SP
+// Scalar penta-diagonal solver: four hot streamed groups; groups 6-7 are
+// latency-bound line-solve metadata that actively prefer DDR — placing
+// them in HBM costs 1.79 -> 1.70, the largest such gap in Table II.
+AppInfo make_sp_model(const sim::MachineSimulator& sim) {
+  return make_additive_app(
+      sim, "NPB: Scalar Penta-diag.", "sp.D", 11.19 * GB, 10,
+      {1.79, 1.70, 0.688},
+      {{"sp::u", 0.20},
+       {"sp::rhs", 0.17},
+       {"sp::lhs", 0.16},
+       {"sp::rho_i", 0.158},
+       {"sp::us", 0.10},
+       {"sp::vs", 0.09},
+       {"sp::ws", 0.07},
+       {"sp::rest", 0.052}},
+      {0.17, 0.16, 0.14, 0.135, 0.02, 0.0124, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.10, 0.051}, 60.0);
+}
+
+// ---------------------------------------------------------------------- UA
+// Unstructured adaptive mesh: 56 small allocations folded into 8 groups
+// (top-7 + rest). Low arithmetic intensity but half the runtime is pointer
+// arithmetic/compute, capping the gain at 1.49.
+AppInfo make_ua_model(const sim::MachineSimulator& sim) {
+  return make_additive_app(
+      sim, "NPB: Unst. Adapt. Mesh", "ua.D", 7.25 * GB, 56,
+      {1.49, 1.49, 0.688},
+      {{"ua::mesh", 0.22},
+       {"ua::sol", 0.18},
+       {"ua::res", 0.15},
+       {"ua::adj", 0.138},
+       {"ua::g4", 0.11},
+       {"ua::g5", 0.09},
+       {"ua::g6", 0.07},
+       {"ua::rest", 0.042}},
+      {0.17, 0.13, 0.10, 0.048, 0.007, 0.007, 0.007, 0.006},
+      {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}, 60.0);
+}
+
+// ---------------------------------------------------------------------- IS
+// Integer sort with blocking disabled (is.C x4): despite the nominally
+// random access, the enlarged unblocked working set streams buckets at
+// near-sequential rates (the paper notes the surprisingly high 2.21x);
+// the small rank array keeps a chase component that prefers DDR.
+AppInfo make_is_model(const sim::MachineSimulator& sim) {
+  return make_additive_app(
+      sim, "NPB: Integer Sort (NB)", "is.C*", 20.0 * GB, 4,
+      {2.21, 2.18, 0.600},
+      {{"is::key_array", 0.40},
+       {"is::key_buff1", 0.25},
+       {"is::key_buff2", 0.20},
+       {"is::rank", 0.15}},
+      {0.45, 0.031, 0.31, 0.0},
+      {0.0, 0.0, 0.0, 0.0318}, 60.0);
+}
+
+// ------------------------------------------------------------------ k-Wave
+// Pseudospectral ultrasound solver at 512^3. Structure follows the real
+// code: pack -> forward FFT -> k-space scaling/inverse FFTs -> unpack per
+// field, so the complex FFT temporaries only pay off fully once the real
+// vector fields they exchange data with also move (pack/unpack phases stay
+// DDR-bound otherwise) — that is what pushes the 90 %-speedup usage to
+// 76.8 % even though the FFT arrays dominate traffic. FFT passes carry a
+// compute floor of beta = 0.885 of their DDR memory time (strided
+// butterflies run far below stream bandwidth), calibrating the overall
+// speedup to 1.32.
+AppInfo make_kwave_model(const sim::MachineSimulator& sim) {
+  AppInfo info;
+  info.name = "k-Wave Solver 512^3 Grid";
+  info.variant = "kwave-512";
+  info.filtered_allocations = 34;
+  info.paper = {1.32, 1.32, 0.768};
+  info.context = paper_context(sim);
+
+  const std::size_t n = 512;
+  const double cells = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double R = cells * sizeof(double);   // one real field
+  const double C = 2.0 * R;                  // one complex field
+  auto groups_info = kwave_groups(n);
+  info.memory_bytes = 0.0;
+  for (const auto& g : groups_info) info.memory_bytes += g.bytes;
+
+  std::vector<GroupSpec> groups;
+  for (const auto& g : groups_info)
+    groups.push_back({g.label, g.bytes / info.memory_bytes});
+
+  constexpr int kP = 0, kRho = 1, kU = 2, kTmp = 3;
+  constexpr double kBeta = 0.90;  // FFT compute floor vs DDR memory time
+
+  const auto& model = sim.pool_model();
+  const auto ctx = info.context;
+  const double bw_ddr =
+      model.stream_bandwidth(topo::PoolKind::DDR, ctx.threads, ctx.tiles);
+  const double compute_rate = model.compute_rate(ctx.threads, true);
+
+  auto seq = [&](int group, double read_bytes, double write_bytes) {
+    sim::StreamAccess s;
+    s.group = group;
+    s.bytes_read = read_bytes;
+    s.bytes_written = write_bytes;
+    s.pattern = sim::AccessPattern::Sequential;
+    return s;
+  };
+  auto fft_phase = [&](const std::string& name, double bytes) {
+    sim::KernelPhase phase;
+    phase.name = name;
+    phase.streams.push_back(seq(kTmp, bytes / 2.0, bytes / 2.0));
+    phase.flops = kBeta * (bytes / bw_ddr) * compute_rate;
+    phase.vectorized = true;
+    return phase;
+  };
+
+  sim::PhaseTrace trace;
+  const int steps = 10;
+  for (int step = 0; step < steps; ++step) {
+    sim::KernelPhase pack_p;
+    pack_p.name = "kwave::pack_p";
+    pack_p.streams.push_back(seq(kP, R, 0.0));
+    pack_p.streams.push_back(seq(kTmp, 0.0, C));
+    trace.phases.push_back(pack_p);
+
+    trace.phases.push_back(fft_phase("kwave::fft_p", 6.0 * C));
+    trace.phases.push_back(fft_phase("kwave::grad_ffts", 20.0 * C));
+
+    // The gradient unpack touches every velocity component twice (update
+    // read + write) plus ghost/staggered-grid copies — the vector field is
+    // the heavy real-space partner of the FFT temporaries, which is what
+    // pushes the 90 %-speedup footprint up to fft_tmp + u_vec.
+    sim::KernelPhase unpack_grad;
+    unpack_grad.name = "kwave::unpack_grad";
+    unpack_grad.streams.push_back(seq(kTmp, 3.0 * C, 0.0));
+    unpack_grad.streams.push_back(seq(kU, 6.0 * R, 3.0 * R));
+    trace.phases.push_back(unpack_grad);
+
+    sim::KernelPhase pack_u;
+    pack_u.name = "kwave::pack_u";
+    pack_u.streams.push_back(seq(kU, 4.5 * R, 0.0));
+    pack_u.streams.push_back(seq(kTmp, 0.0, 3.0 * C));
+    trace.phases.push_back(pack_u);
+
+    trace.phases.push_back(fft_phase("kwave::div_ffts", 27.0 * C));
+
+    sim::KernelPhase unpack_rho;
+    unpack_rho.name = "kwave::unpack_rho";
+    unpack_rho.streams.push_back(seq(kTmp, C, 0.0));
+    unpack_rho.streams.push_back(seq(kRho, 0.75 * R, 0.75 * R));
+    trace.phases.push_back(unpack_rho);
+
+    sim::KernelPhase eos;
+    eos.name = "kwave::eos";
+    eos.streams.push_back(seq(kRho, 0.75 * R, 0.0));
+    eos.streams.push_back(seq(kP, 0.0, 0.75 * R));
+    trace.phases.push_back(eos);
+  }
+
+  info.workload = std::make_shared<SyntheticAppModel>(
+      info.name, std::move(groups_info), std::move(trace));
+  (void)groups;
+  return info;
+}
+
+std::vector<AppInfo> paper_benchmark_suite(const sim::MachineSimulator& sim) {
+  std::vector<AppInfo> suite;
+  suite.push_back(make_mg_model(sim));
+  suite.push_back(make_bt_model(sim));
+  suite.push_back(make_lu_model(sim));
+  suite.push_back(make_sp_model(sim));
+  suite.push_back(make_ua_model(sim));
+  suite.push_back(make_is_model(sim));
+  suite.push_back(make_kwave_model(sim));
+  return suite;
+}
+
+double arithmetic_intensity(const Workload& workload) {
+  const auto trace = workload.trace();
+  const double bytes = trace.total_bytes();
+  const double flops = trace.total_flops();
+  HMPT_REQUIRE(bytes > 0, "workload moves no bytes");
+  return flops / bytes;
+}
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,94 @@
+#include "workloads/fft.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::workloads {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(Complex* data, std::size_t n, bool inverse) {
+  HMPT_REQUIRE(is_pow2(n), "FFT length must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+void fft_inplace(std::vector<Complex>& data, bool inverse) {
+  fft_inplace(data.data(), data.size(), inverse);
+}
+
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse, std::vector<Complex>& scratch) {
+  HMPT_REQUIRE(stride >= 1, "stride must be >= 1");
+  if (stride == 1) {
+    fft_inplace(data, n, inverse);
+    return;
+  }
+  scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = data[i * stride];
+  fft_inplace(scratch.data(), n, inverse);
+  for (std::size_t i = 0; i < n; ++i) data[i * stride] = scratch[i];
+}
+
+void fft3d_inplace(Complex* data, std::size_t nx, std::size_t ny,
+                   std::size_t nz, bool inverse) {
+  HMPT_REQUIRE(is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+               "3-D FFT dims must be powers of two");
+  std::vector<Complex> scratch;
+  // z axis (contiguous rows).
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t y = 0; y < ny; ++y)
+      fft_inplace(data + (x * ny + y) * nz, nz, inverse);
+  // y axis (stride nz).
+  for (std::size_t x = 0; x < nx; ++x)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft_strided(data + x * ny * nz + z, ny, nz, inverse, scratch);
+  // x axis (stride ny*nz).
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t z = 0; z < nz; ++z)
+      fft_strided(data + y * nz + z, nx, ny * nz, inverse, scratch);
+}
+
+double fft_flops(std::size_t n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+}
+
+double fft3d_flops(std::size_t nx, std::size_t ny, std::size_t nz) {
+  const double per_x = fft_flops(nx) * static_cast<double>(ny * nz);
+  const double per_y = fft_flops(ny) * static_cast<double>(nx * nz);
+  const double per_z = fft_flops(nz) * static_cast<double>(nx * ny);
+  return per_x + per_y + per_z;
+}
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,39 @@
+// fft.h — self-contained complex FFT used by the mini k-Wave solver.
+//
+// The k-Wave application in the paper is a pseudospectral ultrasound solver
+// dominated by 3-D FFTs over complex arrays (Sec. IV-B). No external FFT
+// library is assumed offline, so this module implements an iterative
+// radix-2 Cooley-Tukey transform with bit-reversal permutation plus 3-D
+// axis-wise application. Sizes must be powers of two.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hmpt::workloads {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (and at least 1).
+bool is_pow2(std::size_t n);
+
+/// In-place 1-D FFT of length data.size() (power of two).
+/// `inverse` applies the conjugate transform and 1/N normalisation.
+void fft_inplace(std::vector<Complex>& data, bool inverse);
+void fft_inplace(Complex* data, std::size_t n, bool inverse);
+
+/// Strided in-place transform: elements data[offset + i*stride].
+void fft_strided(Complex* data, std::size_t n, std::size_t stride,
+                 bool inverse, std::vector<Complex>& scratch);
+
+/// In-place 3-D FFT over an nx*ny*nz row-major volume (z fastest).
+void fft3d_inplace(Complex* data, std::size_t nx, std::size_t ny,
+                   std::size_t nz, bool inverse);
+
+/// Flops of one 1-D FFT of length n (the usual 5 n log2 n count).
+double fft_flops(std::size_t n);
+/// Flops of a full 3-D transform.
+double fft3d_flops(std::size_t nx, std::size_t ny, std::size_t nz);
+
+}  // namespace hmpt::workloads

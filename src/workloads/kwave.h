@@ -1,0 +1,52 @@
+// kwave.h — miniature pseudospectral ultrasound solver (k-Wave analogue).
+//
+// The paper's final case study is k-Wave, a pseudospectral solver for
+// nonlinear sound propagation dominated by 3-D FFTs over complex arrays,
+// with the remaining arrays organised as vector fields over three spatial
+// dimensions (Sec. IV-B). This mini solver integrates the first-order
+// linear acoustic equations in k-space on a power-of-two grid:
+//   du/dt = -grad(p)/rho0,   drho/dt = -rho0 div(u),   p = c^2 rho
+// with spectral derivatives (ik multiplication in Fourier space). All field
+// arrays are allocated through the shim with the same logical grouping the
+// paper uses (vector fields as single groups, FFT temporaries separate).
+#pragma once
+
+#include <memory>
+
+#include "simmem/phase.h"
+#include "workloads/fft.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+struct KWaveConfig {
+  std::size_t n = 16;        ///< grid edge (power of two); n^3 cells
+  int steps = 4;             ///< time steps
+  double c0 = 1500.0;        ///< sound speed [m/s]
+  double rho0 = 1000.0;      ///< ambient density [kg/m^3]
+  double dx = 1e-4;          ///< grid spacing [m]
+  double cfl = 0.3;          ///< CFL number fixing dt
+};
+
+/// Outcome of an executable mini k-Wave run.
+struct MiniKWaveResult {
+  double max_pressure = 0.0;     ///< max |p| after the run (finite check)
+  double mass_drift = 0.0;       ///< |mean(rho)| drift from 0 (conservation)
+  bool finite = true;            ///< no NaN/Inf anywhere
+  sim::PhaseTrace trace;         ///< traffic of the run (mini scale)
+};
+
+/// Run the mini solver through the shim; groups are named
+/// kwave::{p,rho,u_vec,fft_tmp,kspace}.
+MiniKWaveResult run_mini_kwave(shim::ShimAllocator& shim,
+                               const KWaveConfig& config,
+                               sample::IbsSampler* sampler = nullptr);
+
+/// Build the phase trace of `steps` time steps at grid size n^3 (without
+/// executing); used by the paper-scale k-Wave app model (512^3).
+sim::PhaseTrace kwave_trace(std::size_t n, int steps);
+
+/// Group inventory matching kwave_trace()'s ids.
+std::vector<GroupInfo> kwave_groups(std::size_t n);
+
+}  // namespace hmpt::workloads

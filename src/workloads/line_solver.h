@@ -1,0 +1,61 @@
+// line_solver.h — executable line-solver miniatures of BT/SP/LU.
+//
+// NPB's BT, SP and LU are implicit CFD solvers whose core is sweeping
+// banded linear systems along grid lines (block tri-diagonal, scalar
+// penta-diagonal, lower-upper relaxation respectively). This module
+// implements the shared algorithmic substrate for real execution through
+// the shim: batched Thomas-algorithm solves for tri- and penta-diagonal
+// systems over the lines of a 3-D grid, verified against residuals.
+#pragma once
+
+#include <cstddef>
+
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+/// Bandwidth of the per-line system.
+enum class LineSystem {
+  Tridiagonal,   ///< BT/LU-style (scalarised blocks)
+  Pentadiagonal, ///< SP-style
+};
+
+struct MiniLineSolverConfig {
+  std::size_t n = 24;  ///< grid edge; n^2 lines of n unknowns per sweep
+  int sweeps = 2;      ///< alternating-direction sweeps (x then y then z)
+  LineSystem system = LineSystem::Tridiagonal;
+  std::uint64_t seed = 21;
+};
+
+struct MiniLineSolverResult {
+  /// Max residual |A x - b| over all verified lines (machine-eps scale
+  /// when the solver is correct; the systems are diagonally dominant).
+  double max_residual = 0.0;
+  bool converged = false;  ///< residual below 1e-8
+  sim::PhaseTrace trace;
+};
+
+/// Run the mini solver through the shim. Allocation groups are named
+/// <prefix>::{u,rhs,lhs} — matching the three heaviest allocations of the
+/// corresponding NPB codes.
+MiniLineSolverResult run_mini_line_solver(shim::ShimAllocator& shim,
+                                          const MiniLineSolverConfig& config,
+                                          const std::string& prefix,
+                                          sample::IbsSampler* sampler =
+                                              nullptr);
+
+/// Solve one tridiagonal system in place (Thomas algorithm).
+/// Arrays: sub/diag/super diagonals (sub[0], super[n-1] unused), rhs is
+/// overwritten with the solution. Requires diagonal dominance.
+void solve_tridiagonal(const double* sub, const double* diag,
+                       const double* super, double* rhs, double* scratch,
+                       std::size_t n);
+
+/// Solve one pentadiagonal system in place (banded LU without pivoting,
+/// valid for diagonally dominant systems). Bands b2,b1,d,a1,a2 are
+/// overwritten; rhs receives the solution.
+void solve_pentadiagonal(double* b2, double* b1, double* d, double* a1,
+                         double* a2, double* rhs, std::size_t n);
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,338 @@
+#include "workloads/npb_kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "workloads/fft.h"  // is_pow2
+
+namespace hmpt::workloads {
+
+namespace {
+
+/// Total cells of all multigrid levels from edge n down to 4.
+std::size_t mg_total_cells(std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t e = n; e >= 4; e /= 2) total += e * e * e;
+  return total;
+}
+
+sim::StreamAccess seq_rw(int group, double r, double w) {
+  sim::StreamAccess s;
+  s.group = group;
+  s.bytes_read = r;
+  s.bytes_written = w;
+  s.pattern = sim::AccessPattern::Sequential;
+  return s;
+}
+
+}  // namespace
+
+MiniMgResult run_mini_mg(shim::ShimAllocator& shim, const MiniMgConfig& config,
+                         sample::IbsSampler* sampler) {
+  const std::size_t n = config.n;
+  HMPT_REQUIRE(is_pow2(n) && n >= 8, "MG grid must be a power of two >= 8");
+  const std::size_t cells = n * n * n;
+  const std::size_t all_cells = mg_total_cells(n);
+
+  // Like NPB MG: u and r hold every level in one allocation each; v is the
+  // finest-level right-hand side only. These are the paper's three
+  // significant allocations of mg.D (Fig. 7a).
+  TrackedArray<double> u(shim, "mg::u", all_cells);
+  TrackedArray<double> r(shim, "mg::r", all_cells);
+  TrackedArray<double> v(shim, "mg::v", cells);
+
+  const pools::PageMap map = shim.pool().page_map_snapshot();
+  if (sampler != nullptr) {
+    u.attach_sampler(sampler, &map);
+    r.attach_sampler(sampler, &map);
+    v.attach_sampler(sampler, &map);
+  }
+
+  // Zero-mean random RHS (periodic Poisson needs a zero-mean source).
+  Rng rng(11);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double x = rng.next_double() - 0.5;
+    v.store(i, x);
+    mean += x;
+  }
+  mean /= static_cast<double>(cells);
+  for (std::size_t i = 0; i < cells; ++i) v.store(i, v.load(i) - mean);
+  for (std::size_t i = 0; i < all_cells; ++i) {
+    u.store(i, 0.0);
+    r.store(i, 0.0);
+  }
+
+  // Byte-level traffic of the run, accumulated as the kernels execute.
+  sim::PhaseTrace trace;
+
+  const auto idx = [](std::size_t e, std::size_t x, std::size_t y,
+                      std::size_t z) { return (x * e + y) * e + z; };
+  const auto wrap = [](std::size_t i, std::size_t e, long long d) {
+    return (i + e + static_cast<std::size_t>(
+                        static_cast<long long>(e) + d)) %
+           e;
+  };
+
+  // residual: r = v_or_rcoarse - A u  (A = -laplace, 7-point, h = 1).
+  auto residual = [&](std::size_t e, std::size_t off, bool finest) {
+    for (std::size_t x = 0; x < e; ++x)
+      for (std::size_t y = 0; y < e; ++y)
+        for (std::size_t z = 0; z < e; ++z) {
+          const double uc = u.load(off + idx(e, x, y, z));
+          const double lap =
+              u.load(off + idx(e, wrap(x, e, -1), y, z)) +
+              u.load(off + idx(e, wrap(x, e, +1), y, z)) +
+              u.load(off + idx(e, x, wrap(y, e, -1), z)) +
+              u.load(off + idx(e, x, wrap(y, e, +1), z)) +
+              u.load(off + idx(e, x, y, wrap(z, e, -1))) +
+              u.load(off + idx(e, x, y, wrap(z, e, +1))) - 6.0 * uc;
+          const double rhs =
+              finest ? v.load(idx(e, x, y, z)) : r.load(off + idx(e, x, y, z));
+          // Store the residual in place of the level's rhs copy: the
+          // smoother below consumes it immediately.
+          r.store(off + idx(e, x, y, z), rhs + lap);
+        }
+    const double bytes = static_cast<double>(e * e * e) * sizeof(double);
+    sim::KernelPhase phase;
+    phase.name = "mg::resid";
+    phase.streams.push_back(seq_rw(0, 7.0 * bytes, 0.0));  // u stencil
+    phase.streams.push_back(finest ? seq_rw(2, bytes, 0.0)
+                                   : seq_rw(1, bytes, 0.0));
+    phase.streams.push_back(seq_rw(1, 0.0, bytes));
+    phase.flops = 8.0 * static_cast<double>(e * e * e);
+    trace.phases.push_back(phase);
+  };
+
+  // weighted-Jacobi smoothing: u += omega/6 * r, then recompute r.
+  auto smooth = [&](std::size_t e, std::size_t off) {
+    constexpr double kOmega = 0.8;
+    for (std::size_t i = 0; i < e * e * e; ++i)
+      u.store(off + i, u.load(off + i) + kOmega / 6.0 * r.load(off + i));
+    const double bytes = static_cast<double>(e * e * e) * sizeof(double);
+    sim::KernelPhase phase;
+    phase.name = "mg::psinv";
+    phase.streams.push_back(seq_rw(0, bytes, bytes));
+    phase.streams.push_back(seq_rw(1, bytes, 0.0));
+    phase.flops = 2.0 * static_cast<double>(e * e * e);
+    trace.phases.push_back(phase);
+  };
+
+  // full-weighting restriction of r to the next level (stored in r there).
+  auto restrict_r = [&](std::size_t e, std::size_t off, std::size_t off_c) {
+    const std::size_t ec = e / 2;
+    for (std::size_t x = 0; x < ec; ++x)
+      for (std::size_t y = 0; y < ec; ++y)
+        for (std::size_t z = 0; z < ec; ++z) {
+          double acc = 0.0;
+          for (int dx = 0; dx < 2; ++dx)
+            for (int dy = 0; dy < 2; ++dy)
+              for (int dz = 0; dz < 2; ++dz)
+                acc += r.load(off + idx(e, 2 * x + static_cast<std::size_t>(dx),
+                                        2 * y + static_cast<std::size_t>(dy),
+                                        2 * z + static_cast<std::size_t>(dz)));
+          r.store(off_c + idx(ec, x, y, z), acc / 8.0);
+        }
+    const double bytes_f = static_cast<double>(e * e * e) * sizeof(double);
+    const double bytes_c = bytes_f / 8.0;
+    sim::KernelPhase phase;
+    phase.name = "mg::rprj3";
+    phase.streams.push_back(seq_rw(1, bytes_f, bytes_c));
+    phase.flops = static_cast<double>(e * e * e);
+    trace.phases.push_back(phase);
+  };
+
+  // trilinear-ish prolongation: u_fine += injected coarse correction.
+  auto prolong = [&](std::size_t e_c, std::size_t off_c, std::size_t off_f) {
+    const std::size_t ef = e_c * 2;
+    for (std::size_t x = 0; x < ef; ++x)
+      for (std::size_t y = 0; y < ef; ++y)
+        for (std::size_t z = 0; z < ef; ++z) {
+          const double corr = u.load(off_c + idx(e_c, x / 2, y / 2, z / 2));
+          u.store(off_f + idx(ef, x, y, z),
+                  u.load(off_f + idx(ef, x, y, z)) + corr);
+        }
+    const double bytes_f = static_cast<double>(ef * ef * ef) * sizeof(double);
+    sim::KernelPhase phase;
+    phase.name = "mg::interp";
+    phase.streams.push_back(seq_rw(0, bytes_f / 8.0 + bytes_f, bytes_f));
+    phase.flops = static_cast<double>(ef * ef * ef);
+    trace.phases.push_back(phase);
+  };
+
+  auto norm_r = [&](std::size_t e, std::size_t off) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < e * e * e; ++i) {
+      const double x = r.data()[off + i];
+      acc += x * x;
+    }
+    return std::sqrt(acc / static_cast<double>(e * e * e));
+  };
+
+  // Level offsets into u/r.
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> edges;
+  {
+    std::size_t off = 0;
+    for (std::size_t e = n; e >= 4; e /= 2) {
+      offsets.push_back(off);
+      edges.push_back(e);
+      off += e * e * e;
+    }
+  }
+  const int levels = static_cast<int>(edges.size());
+
+  residual(n, 0, true);
+  MiniMgResult result;
+  result.initial_residual = norm_r(n, 0);
+
+  for (int cycle = 0; cycle < config.v_cycles; ++cycle) {
+    // Downstroke: smooth + restrict.
+    for (int l = 0; l < levels - 1; ++l) {
+      residual(edges[static_cast<std::size_t>(l)],
+               offsets[static_cast<std::size_t>(l)], l == 0);
+      for (int s = 0; s < config.pre_smooth; ++s)
+        smooth(edges[static_cast<std::size_t>(l)],
+               offsets[static_cast<std::size_t>(l)]);
+      residual(edges[static_cast<std::size_t>(l)],
+               offsets[static_cast<std::size_t>(l)], l == 0);
+      restrict_r(edges[static_cast<std::size_t>(l)],
+                 offsets[static_cast<std::size_t>(l)],
+                 offsets[static_cast<std::size_t>(l) + 1]);
+      // Zero the coarse-level initial guess.
+      const std::size_t ec = edges[static_cast<std::size_t>(l) + 1];
+      for (std::size_t i = 0; i < ec * ec * ec; ++i)
+        u.store(offsets[static_cast<std::size_t>(l) + 1] + i, 0.0);
+    }
+    // Coarsest level: a few smoothing sweeps.
+    for (int s = 0; s < 4; ++s)
+      smooth(edges.back(), offsets.back());
+    // Upstroke: prolong + smooth.
+    for (int l = levels - 2; l >= 0; --l) {
+      prolong(edges[static_cast<std::size_t>(l) + 1],
+              offsets[static_cast<std::size_t>(l) + 1],
+              offsets[static_cast<std::size_t>(l)]);
+      residual(edges[static_cast<std::size_t>(l)],
+               offsets[static_cast<std::size_t>(l)], l == 0);
+      for (int s = 0; s < config.post_smooth; ++s)
+        smooth(edges[static_cast<std::size_t>(l)],
+               offsets[static_cast<std::size_t>(l)]);
+    }
+  }
+  residual(n, 0, true);
+  result.final_residual = norm_r(n, 0);
+  result.converging = result.final_residual < result.initial_residual;
+  result.trace = std::move(trace);
+  return result;
+}
+
+MiniIsResult run_mini_is(shim::ShimAllocator& shim, const MiniIsConfig& config,
+                         sample::IbsSampler* sampler) {
+  HMPT_REQUIRE(config.num_keys >= 2, "IS needs >= 2 keys");
+  HMPT_REQUIRE(config.max_key >= 2, "IS needs >= 2 key values");
+
+  TrackedArray<std::uint32_t> keys(shim, "is::keys", config.num_keys);
+  TrackedArray<std::uint32_t> sorted(shim, "is::sorted", config.num_keys);
+  TrackedArray<std::uint32_t> histogram(shim, "is::histogram",
+                                        config.max_key);
+  TrackedArray<std::uint32_t> rank(shim, "is::rank", config.max_key);
+
+  const pools::PageMap map = shim.pool().page_map_snapshot();
+  if (sampler != nullptr) {
+    keys.attach_sampler(sampler, &map);
+    sorted.attach_sampler(sampler, &map);
+    histogram.attach_sampler(sampler, &map);
+    rank.attach_sampler(sampler, &map);
+  }
+
+  Rng rng(config.seed);
+  for (std::size_t i = 0; i < config.num_keys; ++i)
+    keys.store(i, static_cast<std::uint32_t>(rng.next_below(config.max_key)));
+
+  sim::PhaseTrace trace;
+  MiniIsResult result;
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // Histogram pass: sequential key reads, random histogram updates
+    // (blocking disabled, as in the paper's modified is.C*).
+    for (std::size_t k = 0; k < config.max_key; ++k) histogram.store(k, 0);
+    for (std::size_t i = 0; i < config.num_keys; ++i) {
+      const std::uint32_t key = keys.load(i);
+      histogram.store(key, histogram.load(key) + 1);
+    }
+    {
+      sim::KernelPhase phase;
+      phase.name = "is::count";
+      const double kb = static_cast<double>(config.num_keys) *
+                        sizeof(std::uint32_t);
+      phase.streams.push_back(seq_rw(0, kb, 0.0));
+      sim::StreamAccess hist;
+      hist.group = 2;
+      hist.bytes_read = kb;
+      hist.bytes_written = kb;
+      hist.pattern = sim::AccessPattern::Random;
+      phase.streams.push_back(hist);
+      trace.phases.push_back(phase);
+    }
+
+    // Exclusive prefix sum into rank.
+    std::uint32_t running = 0;
+    for (std::size_t k = 0; k < config.max_key; ++k) {
+      rank.store(k, running);
+      running += histogram.load(k);
+    }
+    {
+      sim::KernelPhase phase;
+      phase.name = "is::rank";
+      const double hb = static_cast<double>(config.max_key) *
+                        sizeof(std::uint32_t);
+      phase.streams.push_back(seq_rw(2, hb, 0.0));
+      phase.streams.push_back(seq_rw(3, 0.0, hb));
+      trace.phases.push_back(phase);
+    }
+
+    // Permutation pass: sequential key reads, random writes into sorted.
+    for (std::size_t i = 0; i < config.num_keys; ++i) {
+      const std::uint32_t key = keys.load(i);
+      const std::uint32_t pos = rank.load(key);
+      rank.store(key, pos + 1);
+      sorted.store(pos, key);
+    }
+    {
+      sim::KernelPhase phase;
+      phase.name = "is::permute";
+      const double kb = static_cast<double>(config.num_keys) *
+                        sizeof(std::uint32_t);
+      phase.streams.push_back(seq_rw(0, kb, 0.0));
+      sim::StreamAccess scatter;
+      scatter.group = 1;
+      scatter.bytes_written = kb;
+      scatter.pattern = sim::AccessPattern::Random;
+      phase.streams.push_back(scatter);
+      sim::StreamAccess ranks;
+      ranks.group = 3;
+      ranks.bytes_read = kb;
+      ranks.bytes_written = kb;
+      ranks.pattern = sim::AccessPattern::Random;
+      phase.streams.push_back(ranks);
+      trace.phases.push_back(phase);
+    }
+  }
+
+  // Verify sortedness and the permutation property.
+  for (std::size_t i = 1; i < config.num_keys; ++i)
+    if (sorted.data()[i - 1] > sorted.data()[i]) result.sorted = false;
+  std::vector<std::size_t> check_in(config.max_key, 0),
+      check_out(config.max_key, 0);
+  for (std::size_t i = 0; i < config.num_keys; ++i) {
+    ++check_in[keys.data()[i]];
+    ++check_out[sorted.data()[i]];
+  }
+  result.permutation_ok = check_in == check_out;
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace hmpt::workloads

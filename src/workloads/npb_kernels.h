@@ -1,0 +1,61 @@
+// npb_kernels.h — executable miniatures of NPB kernels.
+//
+// The paper evaluates unmodified NPB 3.4 OMP binaries; here two
+// representative kernels are implemented for real so the full pipeline
+// (shim interception -> IBS sampling -> grouping -> placement sweep) can be
+// exercised end-to-end in tests and examples:
+//   * MultiGrid: a V-cycle for the 3-D Poisson equation with the same three
+//     dominant allocations as mg.D (solution u, residual r, rhs v);
+//   * IntegerSort: a counting/bucket sort matching is.C's four significant
+//     arrays (keys, sorted keys, histogram, bucket pointers) with blocking
+//     disabled, i.e. one global histogram pass like the paper's is.C*.
+// Paper-scale traffic descriptors for all seven applications live in
+// app_models.h.
+#pragma once
+
+#include <cstdint>
+
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+// ---------------------------------------------------------------- MultiGrid
+struct MiniMgConfig {
+  std::size_t n = 32;  ///< finest grid edge (power of two), n^3 cells
+  int v_cycles = 2;
+  int pre_smooth = 1;
+  int post_smooth = 1;
+};
+
+struct MiniMgResult {
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  bool converging = false;  ///< final < initial
+  sim::PhaseTrace trace;
+};
+
+/// Solve -laplace(u) = v on a periodic n^3 grid with V-cycles; groups are
+/// named mg::{u,r,v}.
+MiniMgResult run_mini_mg(shim::ShimAllocator& shim, const MiniMgConfig& config,
+                         sample::IbsSampler* sampler = nullptr);
+
+// -------------------------------------------------------------- IntegerSort
+struct MiniIsConfig {
+  std::size_t num_keys = 1u << 16;
+  std::uint32_t max_key = 1u << 11;
+  int iterations = 2;
+  std::uint64_t seed = 3;
+};
+
+struct MiniIsResult {
+  bool sorted = true;
+  bool permutation_ok = true;  ///< output is a permutation of the input
+  sim::PhaseTrace trace;
+};
+
+/// Counting sort with groups is::{keys,sorted,histogram,rank}.
+MiniIsResult run_mini_is(shim::ShimAllocator& shim, const MiniIsConfig& config,
+                         sample::IbsSampler* sampler = nullptr);
+
+}  // namespace hmpt::workloads

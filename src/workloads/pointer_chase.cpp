@@ -1,0 +1,80 @@
+#include "workloads/pointer_chase.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace hmpt::workloads {
+
+sim::KernelPhase make_chase_phase(double window_bytes, double accesses) {
+  HMPT_REQUIRE(window_bytes > 0 && accesses > 0, "bad chase parameters");
+  sim::KernelPhase phase;
+  phase.name = "pointer-chase";
+  phase.vectorized = false;
+  sim::StreamAccess s;
+  s.group = 0;
+  s.bytes_read = accesses * kCacheLine;  // each hop touches one line
+  s.pattern = sim::AccessPattern::PointerChase;
+  s.working_set_bytes = window_bytes;
+  phase.streams.push_back(s);
+  return phase;
+}
+
+PointerChaseWorkload::PointerChaseWorkload(double window_bytes,
+                                           double accesses)
+    : window_bytes_(window_bytes), accesses_(accesses) {
+  HMPT_REQUIRE(window_bytes_ > 0 && accesses_ > 0, "bad chase parameters");
+}
+
+std::vector<GroupInfo> PointerChaseWorkload::groups() const {
+  return {{"chase::ring", window_bytes_}};
+}
+
+sim::PhaseTrace PointerChaseWorkload::trace() const {
+  sim::PhaseTrace trace;
+  trace.phases.push_back(make_chase_phase(window_bytes_, accesses_));
+  return trace;
+}
+
+MiniChaseResult run_mini_chase(shim::ShimAllocator& shim,
+                               std::size_t elements, std::size_t steps,
+                               std::uint64_t seed,
+                               sample::IbsSampler* sampler) {
+  HMPT_REQUIRE(elements >= 2, "chase needs >= 2 elements");
+  TrackedArray<std::uint64_t> ring(shim, "chase::ring", elements);
+  const pools::PageMap map = shim.pool().page_map_snapshot();
+  if (sampler != nullptr) ring.attach_sampler(sampler, &map);
+
+  // Sattolo's algorithm: a single cycle covering all slots, so the chase
+  // has maximal period and no short-cycle cache artefacts.
+  std::vector<std::uint64_t> perm(elements);
+  for (std::size_t i = 0; i < elements; ++i) perm[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = elements - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::size_t i = 0; i < elements; ++i) ring.store(i, perm[i]);
+
+  // Verify the permutation forms one full cycle.
+  std::size_t cursor = 0, visited = 0;
+  do {
+    cursor = static_cast<std::size_t>(ring.data()[cursor]);
+    ++visited;
+  } while (cursor != 0 && visited <= elements);
+  const bool full_cycle = (visited == elements && cursor == 0);
+
+  std::uint64_t idx = 0;
+  for (std::size_t s = 0; s < steps; ++s)
+    idx = ring.load(static_cast<std::size_t>(idx));
+
+  MiniChaseResult result;
+  result.final_index = idx;
+  result.full_cycle = full_cycle;
+  result.trace.phases.push_back(make_chase_phase(
+      static_cast<double>(elements * sizeof(std::uint64_t)),
+      static_cast<double>(steps)));
+  return result;
+}
+
+}  // namespace hmpt::workloads

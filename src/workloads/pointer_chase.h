@@ -1,0 +1,47 @@
+// pointer_chase.h — dependent-load latency benchmark (Figs. 3-4).
+//
+// A random cyclic permutation is chased one element at a time, exposing raw
+// load-to-use latency: one outstanding access per thread, so the ~20 %
+// HBM latency penalty is fully visible at any core count (Sec. I-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+/// Phase builder: chase `accesses` dependent loads over a `window_bytes`
+/// working set in group 0.
+sim::KernelPhase make_chase_phase(double window_bytes, double accesses);
+
+/// Pointer chase as a tunable single-group workload.
+class PointerChaseWorkload final : public Workload {
+ public:
+  PointerChaseWorkload(double window_bytes, double accesses);
+  std::string name() const override { return "PointerChase"; }
+  std::vector<GroupInfo> groups() const override;
+  sim::PhaseTrace trace() const override;
+
+ private:
+  double window_bytes_;
+  double accesses_;
+};
+
+/// Executable mini chase: builds a Sattolo cycle over `elements` u64 slots
+/// allocated through the shim, chases it `steps` times, and returns the
+/// final cursor (forcing the dependency chain) plus the visit count check.
+struct MiniChaseResult {
+  std::uint64_t final_index = 0;
+  bool full_cycle = false;  ///< permutation visited every slot
+  sim::PhaseTrace trace;
+};
+MiniChaseResult run_mini_chase(shim::ShimAllocator& shim,
+                               std::size_t elements, std::size_t steps,
+                               std::uint64_t seed = 1,
+                               sample::IbsSampler* sampler = nullptr);
+
+}  // namespace hmpt::workloads

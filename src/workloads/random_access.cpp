@@ -1,0 +1,83 @@
+#include "workloads/random_access.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hmpt::workloads {
+
+sim::KernelPhase make_random_sum_phase(double data_bytes, double accesses) {
+  HMPT_REQUIRE(data_bytes > 0 && accesses > 0, "bad random-sum parameters");
+  sim::KernelPhase phase;
+  phase.name = "random-indirect-sum";
+  phase.vectorized = false;
+  phase.flops = accesses;  // one add per gathered element
+
+  sim::StreamAccess data;
+  data.group = 0;
+  data.bytes_read = accesses * kCacheLine;  // one line per gather
+  data.pattern = sim::AccessPattern::Random;
+  phase.streams.push_back(data);
+
+  sim::StreamAccess index;
+  index.group = 1;
+  index.bytes_read = accesses * sizeof(std::uint64_t);
+  index.pattern = sim::AccessPattern::Sequential;
+  phase.streams.push_back(index);
+  return phase;
+}
+
+RandomSumWorkload::RandomSumWorkload(double data_bytes, double accesses)
+    : data_bytes_(data_bytes), accesses_(accesses) {
+  HMPT_REQUIRE(data_bytes_ > 0 && accesses_ > 0, "bad parameters");
+}
+
+std::vector<GroupInfo> RandomSumWorkload::groups() const {
+  return {{"randsum::data", data_bytes_},
+          {"randsum::index", accesses_ * sizeof(std::uint64_t)}};
+}
+
+sim::PhaseTrace RandomSumWorkload::trace() const {
+  sim::PhaseTrace trace;
+  trace.phases.push_back(make_random_sum_phase(data_bytes_, accesses_));
+  return trace;
+}
+
+MiniRandomSumResult run_mini_random_sum(shim::ShimAllocator& shim,
+                                        std::size_t elements,
+                                        std::size_t accesses,
+                                        std::uint64_t seed,
+                                        sample::IbsSampler* sampler) {
+  HMPT_REQUIRE(elements >= 1, "need >= 1 element");
+  TrackedArray<double> data(shim, "randsum::data", elements);
+  TrackedArray<std::uint64_t> index(shim, "randsum::index", accesses);
+
+  const pools::PageMap map = shim.pool().page_map_snapshot();
+  if (sampler != nullptr) {
+    data.attach_sampler(sampler, &map);
+    index.attach_sampler(sampler, &map);
+  }
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < elements; ++i)
+    data.store(i, static_cast<double>(i % 97) * 0.25);
+  for (std::size_t i = 0; i < accesses; ++i)
+    index.store(i, rng.next_below(elements));
+
+  double sum = 0.0;
+  for (std::size_t i = 0; i < accesses; ++i)
+    sum += data.load(static_cast<std::size_t>(index.load(i)));
+
+  double reference = 0.0;
+  for (std::size_t i = 0; i < accesses; ++i)
+    reference += data.data()[index.data()[i]];
+
+  MiniRandomSumResult result;
+  result.sum = sum;
+  result.reference = reference;
+  result.trace.phases.push_back(make_random_sum_phase(
+      static_cast<double>(elements * sizeof(double)),
+      static_cast<double>(accesses)));
+  return result;
+}
+
+}  // namespace hmpt::workloads

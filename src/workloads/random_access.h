@@ -1,0 +1,46 @@
+// random_access.h — random indirect summation (Fig. 4).
+//
+// Sums values at precomputed random indices: accesses are independent, so
+// out-of-order cores keep several misses in flight and HBM's bandwidth can
+// overcome its latency handicap at high thread counts — the crossover the
+// paper uses to argue when HBM pays off for irregular access.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+/// Phase builder: `accesses` independent random 64 B reads over group 0
+/// (the data array); the index array (group 1) is streamed sequentially.
+sim::KernelPhase make_random_sum_phase(double data_bytes, double accesses);
+
+class RandomSumWorkload final : public Workload {
+ public:
+  RandomSumWorkload(double data_bytes, double accesses);
+  std::string name() const override { return "RandomIndirectSum"; }
+  std::vector<GroupInfo> groups() const override;
+  sim::PhaseTrace trace() const override;
+
+ private:
+  double data_bytes_;
+  double accesses_;
+};
+
+/// Executable mini kernel; returns the checksum and the matching
+/// reference sum computed without instrumentation.
+struct MiniRandomSumResult {
+  double sum = 0.0;
+  double reference = 0.0;
+  sim::PhaseTrace trace;
+};
+MiniRandomSumResult run_mini_random_sum(shim::ShimAllocator& shim,
+                                        std::size_t elements,
+                                        std::size_t accesses,
+                                        std::uint64_t seed = 2,
+                                        sample::IbsSampler* sampler = nullptr);
+
+}  // namespace hmpt::workloads

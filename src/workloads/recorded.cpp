@@ -1,0 +1,34 @@
+#include "workloads/recorded.h"
+
+#include "common/error.h"
+
+namespace hmpt::workloads {
+
+RecordedWorkload::RecordedWorkload(std::string name,
+                                   std::vector<GroupInfo> groups,
+                                   sim::PhaseTrace trace)
+    : name_(std::move(name)),
+      groups_(std::move(groups)),
+      trace_(std::move(trace)) {
+  HMPT_REQUIRE(!groups_.empty(), "recorded workload needs groups");
+  HMPT_REQUIRE(trace_.num_groups() <= static_cast<int>(groups_.size()),
+               "trace references undeclared groups");
+}
+
+void RecordedWorkload::remap_groups(const std::vector<int>& remap,
+                                    std::vector<GroupInfo> new_groups) {
+  HMPT_REQUIRE(!new_groups.empty(), "remap needs target groups");
+  const int old_arity = trace_.num_groups();
+  HMPT_REQUIRE(static_cast<int>(remap.size()) >= old_arity,
+               "remap does not cover all trace groups");
+  for (int target : remap)
+    HMPT_REQUIRE(target >= 0 &&
+                     target < static_cast<int>(new_groups.size()),
+                 "remap target out of range");
+  for (auto& phase : trace_.phases)
+    for (auto& s : phase.streams)
+      s.group = remap[static_cast<std::size_t>(s.group)];
+  groups_ = std::move(new_groups);
+}
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,171 @@
+#include "workloads/stream.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hmpt::workloads {
+
+const char* to_string(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::Copy:
+      return "Copy";
+    case StreamKernel::Scale:
+      return "Scale";
+    case StreamKernel::Add:
+      return "Add";
+    case StreamKernel::Triad:
+      return "Triad";
+  }
+  return "?";
+}
+
+int stream_arity(StreamKernel kernel) {
+  return (kernel == StreamKernel::Add || kernel == StreamKernel::Triad) ? 3
+                                                                        : 2;
+}
+
+double stream_flops_per_elem(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::Copy:
+      return 0.0;
+    case StreamKernel::Scale:
+    case StreamKernel::Add:
+      return 1.0;
+    case StreamKernel::Triad:
+      return 2.0;
+  }
+  return 0.0;
+}
+
+sim::KernelPhase make_stream_phase(StreamKernel kernel, double array_bytes) {
+  HMPT_REQUIRE(array_bytes > 0, "array bytes must be positive");
+  sim::KernelPhase phase;
+  phase.name = to_string(kernel);
+  phase.vectorized = true;
+  phase.flops =
+      stream_flops_per_elem(kernel) * array_bytes / sizeof(double);
+
+  auto read = [&](int group) {
+    sim::StreamAccess s;
+    s.group = group;
+    s.bytes_read = array_bytes;
+    s.pattern = sim::AccessPattern::Sequential;
+    phase.streams.push_back(s);
+  };
+  auto write = [&](int group) {
+    sim::StreamAccess s;
+    s.group = group;
+    s.bytes_written = array_bytes;
+    s.pattern = sim::AccessPattern::Sequential;
+    s.nontemporal_writes = true;  // STREAM convention: no RFO traffic
+    phase.streams.push_back(s);
+  };
+
+  switch (kernel) {
+    case StreamKernel::Copy:   // c = a
+    case StreamKernel::Scale:  // c = q*a
+      read(0);
+      write(2);
+      break;
+    case StreamKernel::Add:    // c = a + b
+    case StreamKernel::Triad:  // c = a + q*b
+      read(0);
+      read(1);
+      write(2);
+      break;
+  }
+  return phase;
+}
+
+StreamWorkload::StreamWorkload(double array_bytes, int iterations,
+                               std::vector<StreamKernel> kernels)
+    : array_bytes_(array_bytes),
+      iterations_(iterations),
+      kernels_(std::move(kernels)) {
+  HMPT_REQUIRE(array_bytes_ > 0, "array bytes must be positive");
+  HMPT_REQUIRE(iterations_ >= 1, "iterations must be >= 1");
+  HMPT_REQUIRE(!kernels_.empty(), "need at least one kernel");
+}
+
+std::vector<GroupInfo> StreamWorkload::groups() const {
+  return {{"stream::a", array_bytes_},
+          {"stream::b", array_bytes_},
+          {"stream::c", array_bytes_}};
+}
+
+sim::PhaseTrace StreamWorkload::trace() const {
+  sim::PhaseTrace trace;
+  for (int it = 0; it < iterations_; ++it)
+    for (const auto kernel : kernels_)
+      trace.phases.push_back(make_stream_phase(kernel, array_bytes_));
+  return trace;
+}
+
+MiniStreamResult run_mini_stream(shim::ShimAllocator& shim,
+                                 std::size_t elements, int iterations,
+                                 sample::IbsSampler* sampler) {
+  HMPT_REQUIRE(elements >= 2, "mini STREAM needs >= 2 elements");
+  HMPT_REQUIRE(iterations >= 1, "mini STREAM needs >= 1 iteration");
+  constexpr double kScalar = 3.0;
+
+  TrackedArray<double> a(shim, "stream::a", elements);
+  TrackedArray<double> b(shim, "stream::b", elements);
+  TrackedArray<double> c(shim, "stream::c", elements);
+
+  const pools::PageMap map = shim.pool().page_map_snapshot();
+  if (sampler != nullptr) {
+    a.attach_sampler(sampler, &map);
+    b.attach_sampler(sampler, &map);
+    c.attach_sampler(sampler, &map);
+  }
+
+  for (std::size_t i = 0; i < elements; ++i) {
+    a.store(i, 1.0);
+    b.store(i, 2.0);
+    c.store(i, 0.0);
+  }
+
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < elements; ++i) c.store(i, a.load(i));
+    for (std::size_t i = 0; i < elements; ++i)
+      b.store(i, kScalar * c.load(i));
+    for (std::size_t i = 0; i < elements; ++i)
+      c.store(i, a.load(i) + b.load(i));
+    for (std::size_t i = 0; i < elements; ++i)
+      a.store(i, b.load(i) + kScalar * c.load(i));
+  }
+
+  // Reference recurrence of the official STREAM validation.
+  double ra = 1.0, rb = 2.0, rc = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    rc = ra;
+    rb = kScalar * rc;
+    rc = ra + rb;
+    ra = rb + kScalar * rc;
+  }
+  double residual = 0.0;
+  for (std::size_t i = 0; i < elements; i += std::max<std::size_t>(
+                                            1, elements / 64)) {
+    residual = std::max(residual, std::fabs(a.load(i) - ra));
+    residual = std::max(residual, std::fabs(b.load(i) - rb));
+    residual = std::max(residual, std::fabs(c.load(i) - rc));
+  }
+
+  MiniStreamResult result;
+  result.max_residual = residual;
+  const double bytes = static_cast<double>(elements * sizeof(double));
+  for (int it = 0; it < iterations; ++it) {
+    result.trace.phases.push_back(make_stream_phase(StreamKernel::Copy,
+                                                    bytes));
+    result.trace.phases.push_back(make_stream_phase(StreamKernel::Scale,
+                                                    bytes));
+    result.trace.phases.push_back(make_stream_phase(StreamKernel::Add,
+                                                    bytes));
+    result.trace.phases.push_back(make_stream_phase(StreamKernel::Triad,
+                                                    bytes));
+  }
+  return result;
+}
+
+}  // namespace hmpt::workloads

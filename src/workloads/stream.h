@@ -1,0 +1,61 @@
+// stream.h — the STREAM benchmark (Copy/Scale/Add/Triad).
+//
+// Used three ways, matching the paper's platform analysis:
+//   * phase builders at paper scale (16 GB per array) for the bandwidth
+//     sweeps of Fig. 2 and the per-array placement study of Fig. 5;
+//   * a Workload with one group per array so the tuner can sweep STREAM's
+//     placement space like any application;
+//   * an executable mini-kernel that really runs through the shim with
+//     verifiable results (tests, quickstart example).
+#pragma once
+
+#include <array>
+
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+enum class StreamKernel { Copy, Scale, Add, Triad };
+const char* to_string(StreamKernel kernel);
+/// Arrays touched by a kernel: Copy/Scale read a, write c; Add/Triad read
+/// a and b, write c.
+int stream_arity(StreamKernel kernel);
+/// Flops per element (Scale 1, Add 1, Triad 2, Copy 0).
+double stream_flops_per_elem(StreamKernel kernel);
+
+/// Phase for one kernel execution with per-array group ids {a=0,b=1,c=2}.
+/// `array_bytes` is the size of each work array.
+sim::KernelPhase make_stream_phase(StreamKernel kernel, double array_bytes);
+
+/// STREAM as a tunable workload: groups a/b/c of `array_bytes` each,
+/// `iterations` repetitions of the four (or selected) kernels.
+class StreamWorkload final : public Workload {
+ public:
+  StreamWorkload(double array_bytes, int iterations,
+                 std::vector<StreamKernel> kernels = {
+                     StreamKernel::Copy, StreamKernel::Scale,
+                     StreamKernel::Add, StreamKernel::Triad});
+
+  std::string name() const override { return "STREAM"; }
+  std::vector<GroupInfo> groups() const override;
+  sim::PhaseTrace trace() const override;
+
+ private:
+  double array_bytes_;
+  int iterations_;
+  std::vector<StreamKernel> kernels_;
+};
+
+/// Executable mini STREAM: allocates three arrays through the shim, runs
+/// the kernels for real, optionally feeding the sampler, and verifies the
+/// arithmetic. Returns the verification residual (0 when exact).
+struct MiniStreamResult {
+  double max_residual = 0.0;
+  sim::PhaseTrace trace;  ///< traffic of the run (mini scale)
+};
+MiniStreamResult run_mini_stream(shim::ShimAllocator& shim,
+                                 std::size_t elements, int iterations,
+                                 sample::IbsSampler* sampler = nullptr);
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,174 @@
+#include "workloads/unstructured.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hmpt::workloads {
+
+namespace {
+
+sim::StreamAccess stream_of(int group, double read_bytes,
+                            double write_bytes, sim::AccessPattern pattern) {
+  sim::StreamAccess s;
+  s.group = group;
+  s.bytes_read = read_bytes;
+  s.bytes_written = write_bytes;
+  s.pattern = pattern;
+  return s;
+}
+
+}  // namespace
+
+MiniUaResult run_mini_ua(shim::ShimAllocator& shim, const MiniUaConfig& config,
+                         sample::IbsSampler* sampler) {
+  HMPT_REQUIRE(config.base_vertices >= 16, "mesh too small");
+  HMPT_REQUIRE(config.levels >= 1 && config.levels <= 8,
+               "levels out of range");
+  Rng rng(config.seed);
+  MiniUaResult result;
+  sim::PhaseTrace trace;
+
+  // Per-level storage; TrackedArray is move-only, so keep them in vectors
+  // of one-element batches per level.
+  struct Level {
+    std::unique_ptr<TrackedArray<std::uint32_t>> xadj;
+    std::unique_ptr<TrackedArray<std::uint32_t>> adjncy;
+    std::unique_ptr<TrackedArray<double>> x;
+    std::unique_ptr<TrackedArray<double>> b;
+    std::unique_ptr<TrackedArray<double>> diag;
+    std::size_t vertices = 0;
+    std::size_t edges = 0;
+  };
+  std::vector<Level> levels;
+
+  const pools::PageMap* map = nullptr;
+  pools::PageMap map_storage;
+
+  for (int l = 0; l < config.levels; ++l) {
+    Level level;
+    level.vertices = config.base_vertices << l;  // refinement doubles
+    const std::size_t degree = static_cast<std::size_t>(config.avg_degree);
+    level.edges = level.vertices * degree;
+    const std::string prefix = "ua::L" + std::to_string(l) + "::";
+
+    level.xadj = std::make_unique<TrackedArray<std::uint32_t>>(
+        shim, prefix + "xadj", level.vertices + 1);
+    level.adjncy = std::make_unique<TrackedArray<std::uint32_t>>(
+        shim, prefix + "adjncy", level.edges);
+    level.x = std::make_unique<TrackedArray<double>>(shim, prefix + "x",
+                                                     level.vertices);
+    level.b = std::make_unique<TrackedArray<double>>(shim, prefix + "b",
+                                                     level.vertices);
+    level.diag = std::make_unique<TrackedArray<double>>(
+        shim, prefix + "diag", level.vertices);
+    // Small metadata arrays: UA is full of these (they make up most of
+    // the 56 filtered allocations and must be folded by the tuner).
+    auto* marker = shim.allocate_array<std::uint32_t>(
+        prefix + "refine_marker", 64);
+    auto* weights = shim.allocate_array<double>(prefix + "quad_weights",
+                                                16);
+    result.allocations_made += 7;
+
+    // Random mesh: each vertex gets `degree` random neighbours (CSR).
+    for (std::size_t v = 0; v <= level.vertices; ++v)
+      level.xadj->store(v, static_cast<std::uint32_t>(v * degree));
+    for (std::size_t e = 0; e < level.edges; ++e)
+      level.adjncy->store(
+          e, static_cast<std::uint32_t>(rng.next_below(level.vertices)));
+    for (std::size_t v = 0; v < level.vertices; ++v) {
+      level.x->store(v, 0.0);
+      level.b->store(v, rng.next_double() - 0.5);
+      // Strong diagonal keeps Jacobi convergent on the random graph.
+      level.diag->store(v, static_cast<double>(degree) + 2.0);
+    }
+    for (std::size_t i = 0; i < 64; ++i)
+      marker[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < 16; ++i) weights[i] = 1.0 / 16.0;
+    shim.deallocate(marker);
+    shim.deallocate(weights);
+
+    levels.push_back(std::move(level));
+  }
+
+  map_storage = shim.pool().page_map_snapshot();
+  map = &map_storage;
+  if (sampler != nullptr) {
+    for (auto& level : levels) {
+      level.xadj->attach_sampler(sampler, map);
+      level.adjncy->attach_sampler(sampler, map);
+      level.x->attach_sampler(sampler, map);
+      level.b->attach_sampler(sampler, map);
+      level.diag->attach_sampler(sampler, map);
+    }
+  }
+
+  // Jacobi relaxation on the random graph Laplacian-like system
+  //   diag(v) x_v + sum_nb (-1) x_nb = b_v.
+  const auto residual_norm = [&](Level& level) {
+    double acc = 0.0;
+    for (std::size_t v = 0; v < level.vertices; ++v) {
+      double ax = level.diag->data()[v] * level.x->data()[v];
+      const auto begin = level.xadj->data()[v];
+      const auto end = level.xadj->data()[v + 1];
+      for (auto e = begin; e < end; ++e)
+        ax -= level.x->data()[level.adjncy->data()[e]];
+      const double r = level.b->data()[v] - ax;
+      acc += r * r;
+    }
+    return std::sqrt(acc / static_cast<double>(level.vertices));
+  };
+
+  Level& finest = levels.back();
+  result.initial_residual = residual_norm(finest);
+
+  std::vector<double> x_new;
+  for (int l = 0; l < config.levels; ++l) {
+    Level& level = levels[static_cast<std::size_t>(l)];
+    x_new.assign(level.vertices, 0.0);
+    for (int sweep = 0; sweep < config.relax_sweeps; ++sweep) {
+      for (std::size_t v = 0; v < level.vertices; ++v) {
+        double acc = level.b->load(v);
+        const auto begin = level.xadj->load(v);
+        const auto end = level.xadj->load(v + 1);
+        for (auto e = begin; e < end; ++e)
+          acc += level.x->load(level.adjncy->load(e));  // random gather
+        x_new[v] = acc / level.diag->load(v);
+      }
+      for (std::size_t v = 0; v < level.vertices; ++v)
+        level.x->store(v, x_new[v]);
+
+      // Traffic of one sweep: CSR metadata streamed, solution gathered.
+      sim::KernelPhase phase;
+      phase.name = "ua::relax_L" + std::to_string(l);
+      const double vb = static_cast<double>(level.vertices);
+      phase.streams.push_back(stream_of(
+          5 * l + 0, vb * sizeof(std::uint32_t), 0.0,
+          sim::AccessPattern::Sequential));  // xadj
+      phase.streams.push_back(stream_of(
+          5 * l + 1,
+          static_cast<double>(level.edges) * sizeof(std::uint32_t), 0.0,
+          sim::AccessPattern::Sequential));  // adjncy
+      phase.streams.push_back(stream_of(
+          5 * l + 2, static_cast<double>(level.edges) * kCacheLine,
+          vb * sizeof(double), sim::AccessPattern::Random));  // x gathers
+      phase.streams.push_back(stream_of(5 * l + 3, vb * sizeof(double),
+                                        0.0,
+                                        sim::AccessPattern::Sequential));
+      phase.streams.push_back(stream_of(5 * l + 4, vb * sizeof(double),
+                                        0.0,
+                                        sim::AccessPattern::Sequential));
+      phase.flops = static_cast<double>(level.edges) + 2.0 * vb;
+      trace.phases.push_back(std::move(phase));
+    }
+  }
+
+  result.final_residual = residual_norm(finest);
+  result.converging = result.final_residual < result.initial_residual;
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,43 @@
+// unstructured.h — executable miniature of NPB UA (Unstructured Adaptive).
+//
+// UA's distinguishing property in Table I is its allocation profile: 56
+// filtered allocations, most of them small per-level/per-field arrays that
+// the tuner must filter and fold into the rest group (Sec. III-A). This
+// mini kernel reproduces that shape for real: a CSR adjacency graph over
+// an irregular mesh, Jacobi relaxation with indirect (gather) access, and
+// several refinement levels each allocating its own small field arrays —
+// yielding dozens of distinct call sites of very different sizes flowing
+// through the shim.
+#pragma once
+
+#include <cstdint>
+
+#include "simmem/phase.h"
+#include "workloads/workload.h"
+
+namespace hmpt::workloads {
+
+struct MiniUaConfig {
+  std::size_t base_vertices = 2048;  ///< coarsest-level mesh size
+  int levels = 4;                    ///< refinement levels (allocs scale!)
+  int relax_sweeps = 3;              ///< Jacobi sweeps per level
+  int avg_degree = 6;                ///< mesh connectivity
+  std::uint64_t seed = 31;
+};
+
+struct MiniUaResult {
+  /// Residual decrease of the relaxation on the finest level.
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  bool converging = false;
+  int allocations_made = 0;  ///< distinct shim call sites exercised
+  sim::PhaseTrace trace;
+};
+
+/// Run the mini UA solver through the shim. Call sites are named
+/// ua::L<level>::{xadj,adjncy,x,b,diag} plus small per-level metadata
+/// arrays — deliberately many small sites, as in the real ua.D.
+MiniUaResult run_mini_ua(shim::ShimAllocator& shim, const MiniUaConfig& config,
+                         sample::IbsSampler* sampler = nullptr);
+
+}  // namespace hmpt::workloads

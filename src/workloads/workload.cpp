@@ -1,0 +1,22 @@
+#include "workloads/workload.h"
+
+#include "common/error.h"
+
+namespace hmpt::workloads {
+
+double Workload::total_bytes() const {
+  double total = 0.0;
+  for (const auto& g : groups()) total += g.bytes;
+  return total;
+}
+
+double Workload::footprint_fraction(int group) const {
+  const auto gs = groups();
+  HMPT_REQUIRE(group >= 0 && group < static_cast<int>(gs.size()),
+               "group out of range");
+  const double total = total_bytes();
+  if (total <= 0.0) return 0.0;
+  return gs[static_cast<std::size_t>(group)].bytes / total;
+}
+
+}  // namespace hmpt::workloads

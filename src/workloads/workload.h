@@ -1,0 +1,118 @@
+// workload.h — common interface of tunable workloads.
+//
+// A workload exposes (a) its allocation groups (the unit the tuner places:
+// after filtering/aliasing, each group is one logical allocation or a set
+// treated as one, Sec. III-A) and (b) a PhaseTrace describing its memory
+// traffic at the configured scale. Analytical AppModels (paper-scale NPB /
+// k-Wave descriptors) implement trace() directly; executable mini-kernels
+// build it from their actual loop structure while also running for real
+// through the shim allocator, feeding the IBS sampler.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sample/sampler.h"
+#include "shim/shim_allocator.h"
+#include "simmem/phase.h"
+
+namespace hmpt::workloads {
+
+/// One tunable allocation group.
+struct GroupInfo {
+  std::string label;
+  double bytes = 0.0;  ///< resident size of the group
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::vector<GroupInfo> groups() const = 0;
+  /// Memory behaviour of one full run; stream group ids index groups().
+  virtual sim::PhaseTrace trace() const = 0;
+
+  int num_groups() const { return static_cast<int>(groups().size()); }
+  double total_bytes() const;
+  /// Fraction of resident bytes held by `group` (the "HBM usage" x-axis of
+  /// the summary views when the group is placed in HBM).
+  double footprint_fraction(int group) const;
+};
+
+/// Shared-ownership handle used across the tuner API.
+using WorkloadPtr = std::shared_ptr<const Workload>;
+
+/// A real buffer allocated through the shim, with optional access-event
+/// emission into an IBS sampler. Kernels instrument their inner loops with
+/// load()/store(); when no sampler is attached the accessors compile down
+/// to plain array accesses.
+template <typename T>
+class TrackedArray {
+ public:
+  TrackedArray(shim::ShimAllocator& shim, const std::string& label,
+               std::size_t count)
+      : shim_(&shim),
+        data_(shim.allocate_array<T>(label, count)),
+        count_(count),
+        label_(label) {
+    HMPT_REQUIRE(data_ != nullptr, "shim allocation failed: " + label);
+  }
+  ~TrackedArray() {
+    if (data_ != nullptr) shim_->deallocate(data_);
+  }
+  TrackedArray(const TrackedArray&) = delete;
+  TrackedArray& operator=(const TrackedArray&) = delete;
+  TrackedArray(TrackedArray&& other) noexcept
+      : shim_(other.shim_),
+        data_(other.data_),
+        count_(other.count_),
+        label_(std::move(other.label_)),
+        sampler_(other.sampler_),
+        map_(other.map_) {
+    other.data_ = nullptr;
+  }
+
+  /// Attach an IBS sampler; all subsequent accesses are candidate samples.
+  void attach_sampler(sample::IbsSampler* sampler,
+                      const pools::PageMap* map) {
+    sampler_ = sampler;
+    map_ = map;
+  }
+
+  T load(std::size_t i) const {
+    HMPT_ASSERT(i < count_);
+    if (sampler_ != nullptr)
+      sampler_->feed({address_of(i), false, 0.0}, *map_);
+    return data_[i];
+  }
+  void store(std::size_t i, T value) {
+    HMPT_ASSERT(i < count_);
+    if (sampler_ != nullptr)
+      sampler_->feed({address_of(i), true, 0.0}, *map_);
+    data_[i] = value;
+  }
+
+  /// Raw access for verification code (no sampling).
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return count_; }
+  double bytes() const { return static_cast<double>(count_ * sizeof(T)); }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::uintptr_t address_of(std::size_t i) const {
+    return reinterpret_cast<std::uintptr_t>(data_ + i);
+  }
+
+  shim::ShimAllocator* shim_;
+  T* data_;
+  std::size_t count_;
+  std::string label_;
+  sample::IbsSampler* sampler_ = nullptr;
+  const pools::PageMap* map_ = nullptr;
+};
+
+}  // namespace hmpt::workloads

@@ -1,0 +1,100 @@
+// End-to-end tests of the hmpt_analyze command-line tool: write a profile,
+// run the binary, check the analysis output and the emitted plan. The
+// binary path comes from CMake via HMPT_ANALYZE_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "simmem/simulator.h"
+#include "shim/plan.h"
+#include "workloads/app_models.h"
+#include "workloads/trace_io.h"
+
+namespace {
+
+#ifndef HMPT_ANALYZE_PATH
+#define HMPT_ANALYZE_PATH ""
+#endif
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto simulator = hmpt::sim::MachineSimulator::paper_platform();
+    const auto app = hmpt::workloads::make_mg_model(simulator);
+    hmpt::workloads::save_workload(profile_, *app.workload);
+  }
+  void TearDown() override {
+    std::remove(profile_.c_str());
+    std::remove(out_.c_str());
+    std::remove(plan_.c_str());
+  }
+
+  int run(const std::string& args) {
+    const std::string cmd = std::string(HMPT_ANALYZE_PATH) + " " + args +
+                            " > " + out_ + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  const std::string profile_ = "/tmp/hmpt_cli_test.profile";
+  const std::string out_ = "/tmp/hmpt_cli_test.out";
+  const std::string plan_ = "/tmp/hmpt_cli_test.plan";
+};
+
+TEST_F(CliTest, AnalysesAProfile) {
+  ASSERT_EQ(run(profile_), 0) << slurp(out_);
+  const std::string out = slurp(out_);
+  EXPECT_NE(out.find("maximum speedup: 2.27x"), std::string::npos) << out;
+  EXPECT_NE(out.find("90 % of max"), std::string::npos);
+  EXPECT_NE(out.find("recommended placement"), std::string::npos);
+}
+
+TEST_F(CliTest, WritesAUsablePlan) {
+  ASSERT_EQ(run(profile_ + " --plan-out " + plan_), 0) << slurp(out_);
+  const std::string plan_text = slurp(plan_);
+  ASSERT_FALSE(plan_text.empty());
+  const auto plan = hmpt::shim::PlacementPlan::parse(plan_text);
+  // MG's optimum: the two hot allocations in HBM, the rhs in DDR.
+  EXPECT_EQ(plan.kind_for_named("mg::u"), hmpt::topo::PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("mg::r"), hmpt::topo::PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("mg::v"), hmpt::topo::PoolKind::DDR);
+}
+
+TEST_F(CliTest, BudgetOptionConstrainsThePlan) {
+  ASSERT_EQ(run(profile_ + " --budget-gb 10"), 0) << slurp(out_);
+  const std::string out = slurp(out_);
+  // 10 GB fits only one of MG's ~9.2 GB groups; the report prints the
+  // bytes actually used by the chosen placement.
+  EXPECT_NE(out.find("recommended placement (budget 9.21 GB HBM): [0]"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("[0] at 1.66x"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, KnlPlatformSelectable) {
+  ASSERT_EQ(run(profile_ + " --platform knl"), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("KNL-like"), std::string::npos);
+}
+
+TEST_F(CliTest, CsvFlagEmitsCsv) {
+  ASSERT_EQ(run(profile_ + " --csv"), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("hbm_footprint,speedup,"), std::string::npos);
+}
+
+TEST_F(CliTest, BadUsageFailsCleanly) {
+  EXPECT_NE(run(""), 0);
+  EXPECT_NE(run("--frobnicate"), 0);
+  EXPECT_NE(run("/nonexistent/profile.txt"), 0);
+  EXPECT_EQ(run("--help"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,251 @@
+// Tests for hmpt::common — units, stats, tables, charts, rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/chart.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace hmpt {
+namespace {
+
+// ------------------------------------------------------------------- units
+TEST(Units, ByteConstantsAreConsistent) {
+  EXPECT_DOUBLE_EQ(KiB * 1024.0, MiB);
+  EXPECT_DOUBLE_EQ(MiB * 1024.0, GiB);
+  EXPECT_DOUBLE_EQ(GiB * 1024.0, TiB);
+  EXPECT_DOUBLE_EQ(GB, 1e9);
+}
+
+TEST(Units, FormatBytesPicksSensibleSuffix) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(26.46 * GB), "26.5 GB");
+  EXPECT_EQ(format_bytes(2.0 * 1e12), "2 TB");
+}
+
+TEST(Units, FormatBandwidthAndTime) {
+  EXPECT_EQ(format_bandwidth(700.0 * GB), "700.0 GB/s");
+  EXPECT_EQ(format_time(107e-9), "107 ns");
+  EXPECT_EQ(format_time(1.5e-3), "1.5 ms");
+}
+
+TEST(Units, FormatPercent) {
+  EXPECT_EQ(format_percent(0.696), "69.6 %");
+  EXPECT_EQ(format_percent(0.5, 0), "50 %");
+}
+
+// ------------------------------------------------------------------- stats
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Summary, PercentileOfEmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.percentile(50), Error);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Rng rng(5);
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.next_gaussian(1.0, 0.1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.next_gaussian(1.0, 0.1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5}, y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, SizeMismatchThrows) {
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {1.0}), Error);
+}
+
+TEST(Means, HarmonicAndGeometric) {
+  EXPECT_NEAR(harmonic_mean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_THROW(harmonic_mean({1.0, -1.0}), Error);
+  EXPECT_THROW(geometric_mean({}), Error);
+}
+
+// ------------------------------------------------------------------- table
+TEST(TableTest, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TableTest, RowValuesFormatting) {
+  Table t({"x", "y"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  EXPECT_EQ(t.row(0)[0], "1.23");
+  EXPECT_EQ(t.row(0)[1], "2.00");
+  EXPECT_THROW(t.row(1), Error);
+}
+
+// ------------------------------------------------------------------- chart
+TEST(ChartTest, RendersAllSeriesGlyphs) {
+  ChartSeries a{"rising", 'r', {0, 1, 2}, {0, 1, 2}};
+  ChartSeries b{"falling", 'f', {0, 1, 2}, {2, 1, 0}};
+  ChartOptions options;
+  options.title = "test chart";
+  const std::string out = render_xy_chart({a, b}, options);
+  EXPECT_NE(out.find('r'), std::string::npos);
+  EXPECT_NE(out.find('f'), std::string::npos);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+}
+
+TEST(ChartTest, HlinesDrawReferenceLines) {
+  ChartSeries a{"pts", '*', {0.0, 1.0}, {1.0, 2.0}};
+  ChartOptions options;
+  options.hlines = {1.5};
+  const std::string out = render_xy_chart({a}, options);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(ChartTest, MismatchedSeriesThrows) {
+  ChartSeries bad{"bad", '*', {0.0, 1.0}, {1.0}};
+  EXPECT_THROW(render_xy_chart({bad}, {}), Error);
+}
+
+TEST(ChartTest, DegenerateRangeStillRenders) {
+  ChartSeries point{"p", '*', {1.0}, {1.0}};
+  const std::string out = render_xy_chart({point}, {});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(BarChartTest, SecondaryBarsShown) {
+  std::vector<BarItem> items = {{"[0]", 1.6, 1.55}, {"[1]", 1.4, {}}};
+  const std::string out = render_bar_chart(items, "bars", 30, 1.0);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('~'), std::string::npos);
+  EXPECT_NE(out.find("(est)"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- rng
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_gaussian(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_exponential(0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+// ------------------------------------------------------------------- error
+TEST(ErrorTest, RequireThrowsWithContext) {
+  try {
+    HMPT_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hmpt

@@ -1,0 +1,293 @@
+// Tests for hmpt::pools — interval page map, free-list arena, multi-pool
+// allocator with capacity enforcement and spill policy.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "pools/arena.h"
+#include "pools/page_map.h"
+#include "pools/pool_allocator.h"
+
+namespace hmpt::pools {
+namespace {
+
+using topo::PoolKind;
+
+// ---------------------------------------------------------------- PageMap
+TEST(PageMapTest, LookupHitsInteriorAddresses) {
+  PageMap map;
+  map.insert(0x1000, 0x100, 3, 42);
+  const auto hit = map.lookup(0x1080);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, 3);
+  EXPECT_EQ(hit->tag, 42u);
+  EXPECT_EQ(hit->size(), 0x100u);
+}
+
+TEST(PageMapTest, LookupMissesOutsideRanges) {
+  PageMap map;
+  map.insert(0x1000, 0x100, 0, 1);
+  EXPECT_FALSE(map.lookup(0xfff).has_value());
+  EXPECT_FALSE(map.lookup(0x1100).has_value());  // end is exclusive
+  EXPECT_TRUE(map.lookup(0x10ff).has_value());
+}
+
+TEST(PageMapTest, OverlapsRejected) {
+  PageMap map;
+  map.insert(0x1000, 0x100, 0, 1);
+  EXPECT_THROW(map.insert(0x1080, 0x10, 0, 2), Error);   // inside
+  EXPECT_THROW(map.insert(0xf80, 0x100, 0, 3), Error);   // straddles start
+  EXPECT_THROW(map.insert(0x10ff, 0x10, 0, 4), Error);   // straddles end
+  map.insert(0x1100, 0x10, 0, 5);                        // adjacent is fine
+  map.insert(0xff0, 0x10, 0, 6);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(PageMapTest, EraseReturnsInfoAndFreesRange) {
+  PageMap map;
+  map.insert(0x2000, 0x200, 1, 7);
+  const auto info = map.erase(0x2000);
+  EXPECT_EQ(info.tag, 7u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_THROW(map.erase(0x2000), Error);
+  map.insert(0x2000, 0x200, 1, 8);  // reusable after erase
+}
+
+TEST(PageMapTest, BytesOnNodeAndSetNode) {
+  PageMap map;
+  map.insert(0x1000, 100, 0, 1);
+  map.insert(0x2000, 200, 1, 2);
+  map.insert(0x3000, 300, 1, 3);
+  EXPECT_EQ(map.bytes_on_node(0), 100u);
+  EXPECT_EQ(map.bytes_on_node(1), 500u);
+  EXPECT_EQ(map.bytes_on_node(), 600u);
+  map.set_node(0x2000, 0);
+  EXPECT_EQ(map.bytes_on_node(0), 300u);
+  EXPECT_THROW(map.set_node(0x9999, 0), Error);
+}
+
+TEST(PageMapTest, ZeroSizeRangeRejected) {
+  PageMap map;
+  EXPECT_THROW(map.insert(0x1000, 0, 0, 1), Error);
+}
+
+// ------------------------------------------------------------------ Arena
+TEST(ArenaTest, AllocateWritesAreUsable) {
+  PoolArena arena(1u << 20);
+  void* p = arena.allocate(4096);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 4096);
+  EXPECT_TRUE(arena.owns(p));
+  EXPECT_EQ(arena.allocation_size(p), 4096u);
+  arena.deallocate(p);
+  EXPECT_FALSE(arena.owns(p));
+}
+
+TEST(ArenaTest, CapacityIsEnforced) {
+  PoolArena arena(10'000);
+  void* a = arena.allocate(6000);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(arena.allocate(6000), nullptr);  // over capacity
+  EXPECT_EQ(arena.stats().failed_allocs, 1u);
+  arena.deallocate(a);
+  EXPECT_NE(arena.allocate(6000), nullptr);  // fits again
+}
+
+TEST(ArenaTest, StatsTrackPeakAndCounts) {
+  PoolArena arena(1u << 20);
+  void* a = arena.allocate(1000);
+  void* b = arena.allocate(2000);
+  EXPECT_EQ(arena.stats().allocated, 3000u);
+  EXPECT_EQ(arena.stats().num_allocs, 2u);
+  arena.deallocate(a);
+  EXPECT_EQ(arena.stats().allocated, 2000u);
+  EXPECT_EQ(arena.stats().peak_allocated, 3000u);
+  EXPECT_EQ(arena.stats().total_allocs, 2u);
+  arena.deallocate(b);
+  EXPECT_EQ(arena.stats().num_allocs, 0u);
+}
+
+TEST(ArenaTest, AlignmentHonored) {
+  PoolArena arena(1u << 22);
+  for (std::size_t align : {16u, 64u, 256u, 4096u}) {
+    void* p = arena.allocate(100, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+    arena.deallocate(p);
+  }
+  EXPECT_THROW(arena.allocate(16, 3), Error);  // non-power-of-two
+}
+
+TEST(ArenaTest, CoalescingBoundsFragmentation) {
+  PoolArena arena(1u << 22, 1u << 22);  // single slab
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(arena.allocate(1024));
+  // Free every other block, then the rest: everything must coalesce back.
+  for (std::size_t i = 0; i < blocks.size(); i += 2)
+    arena.deallocate(blocks[i]);
+  for (std::size_t i = 1; i < blocks.size(); i += 2)
+    arena.deallocate(blocks[i]);
+  EXPECT_EQ(arena.stats().allocated, 0u);
+  EXPECT_EQ(arena.free_list_size(), 1u);
+}
+
+TEST(ArenaTest, ReuseAfterFreeKeepsHostReservationFlat) {
+  PoolArena arena(1u << 24, 1u << 20);
+  void* first = arena.allocate(1u << 18);
+  arena.deallocate(first);
+  const std::size_t reserved = arena.stats().host_reserved;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(1u << 18);
+    arena.deallocate(p);
+  }
+  EXPECT_EQ(arena.stats().host_reserved, reserved);
+}
+
+TEST(ArenaTest, LargeAllocationGetsDedicatedSlab) {
+  PoolArena arena(1u << 26, 1u << 16);  // 64 kB slabs
+  void* big = arena.allocate(1u << 22);  // 4 MB
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 1, 1u << 22);
+  arena.deallocate(big);
+}
+
+TEST(ArenaTest, InvalidOperationsThrow) {
+  PoolArena arena(1u << 20);
+  EXPECT_THROW(arena.allocate(0), Error);
+  EXPECT_THROW(arena.deallocate(nullptr), Error);
+  int on_stack = 0;
+  EXPECT_THROW(arena.deallocate(&on_stack), Error);
+  void* p = arena.allocate(64);
+  arena.deallocate(p);
+  EXPECT_THROW(arena.deallocate(p), Error);  // double free detected
+}
+
+// ---------------------------------------------------------- PoolAllocator
+class PoolAllocatorTest : public ::testing::Test {
+ protected:
+  topo::Machine machine_ = topo::xeon_max_9468_single_flat_snc4();
+  PoolAllocator alloc_{machine_, OomPolicy::Spill};
+};
+
+TEST_F(PoolAllocatorTest, AllocationLandsInRequestedKind) {
+  const auto a = alloc_.allocate(4096, PoolKind::HBM);
+  ASSERT_NE(a.ptr, nullptr);
+  EXPECT_EQ(a.kind, PoolKind::HBM);
+  EXPECT_FALSE(a.spilled);
+  EXPECT_EQ(alloc_.kind_of(a.ptr), PoolKind::HBM);
+  EXPECT_EQ(alloc_.size_of(a.ptr), 4096u);
+  alloc_.deallocate(a.ptr);
+}
+
+TEST_F(PoolAllocatorTest, RoundRobinInterleavesNodes) {
+  std::vector<int> nodes;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 8; ++i) {
+    const auto a = alloc_.allocate(1024, PoolKind::HBM);
+    nodes.push_back(a.node);
+    ptrs.push_back(a.ptr);
+  }
+  // 4 HBM nodes on one socket: each must be used twice.
+  std::map<int, int> counts;
+  for (int n : nodes) ++counts[n];
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) EXPECT_EQ(count, 2);
+  for (void* p : ptrs) alloc_.deallocate(p);
+}
+
+TEST_F(PoolAllocatorTest, SpillFallsBackToDdr) {
+  // HBM per socket: 4 x 16 GiB simulated; exhaust one node's worth many
+  // times over with big blocks (use a small testbed for speed).
+  auto machine = topo::two_pool_testbed(1.0 * GiB, 16.0 * MiB);
+  PoolAllocator alloc(machine, OomPolicy::Spill);
+  const auto a = alloc.allocate(12u << 20, PoolKind::HBM);
+  EXPECT_FALSE(a.spilled);
+  const auto b = alloc.allocate(12u << 20, PoolKind::HBM);  // HBM full
+  ASSERT_NE(b.ptr, nullptr);
+  EXPECT_TRUE(b.spilled);
+  EXPECT_EQ(b.kind, PoolKind::DDR);
+  alloc.deallocate(a.ptr);
+  alloc.deallocate(b.ptr);
+}
+
+TEST_F(PoolAllocatorTest, ThrowAndNullPolicies) {
+  auto machine = topo::two_pool_testbed(64.0 * MiB, 16.0 * MiB);
+  PoolAllocator strict(machine, OomPolicy::Throw);
+  const auto a = strict.allocate(12u << 20, PoolKind::HBM);
+  EXPECT_THROW(strict.allocate(12u << 20, PoolKind::HBM), Error);
+  strict.deallocate(a.ptr);
+
+  PoolAllocator lenient(machine, OomPolicy::ReturnNull);
+  const auto b = lenient.allocate(12u << 20, PoolKind::HBM);
+  const auto c = lenient.allocate(12u << 20, PoolKind::HBM);
+  EXPECT_EQ(c.ptr, nullptr);
+  lenient.deallocate(b.ptr);
+}
+
+TEST_F(PoolAllocatorTest, ExplicitNodePlacement) {
+  const auto a = alloc_.allocate_on_node(2048, 6);
+  ASSERT_NE(a.ptr, nullptr);
+  EXPECT_EQ(a.node, 6);
+  EXPECT_EQ(alloc_.node_of(a.ptr), 6);
+  alloc_.deallocate(a.ptr);
+  EXPECT_THROW(alloc_.allocate_on_node(1, 99), Error);
+}
+
+TEST_F(PoolAllocatorTest, AccountingPerKind) {
+  const auto a = alloc_.allocate(1000, PoolKind::HBM);
+  const auto b = alloc_.allocate(2000, PoolKind::DDR);
+  EXPECT_EQ(alloc_.bytes_in_kind(PoolKind::HBM), 1000u);
+  EXPECT_EQ(alloc_.bytes_in_kind(PoolKind::DDR), 2000u);
+  EXPECT_EQ(alloc_.live_allocations(), 2u);
+  alloc_.deallocate(a.ptr);
+  alloc_.deallocate(b.ptr);
+  EXPECT_EQ(alloc_.live_allocations(), 0u);
+}
+
+TEST_F(PoolAllocatorTest, PageMapSnapshotResolvesPointers) {
+  const auto a = alloc_.allocate(4096, PoolKind::DDR);
+  const auto map = alloc_.page_map_snapshot();
+  const auto hit =
+      map.lookup(reinterpret_cast<std::uintptr_t>(a.ptr) + 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, a.node);
+  alloc_.deallocate(a.ptr);
+}
+
+TEST_F(PoolAllocatorTest, ConcurrentAllocFreeIsSafe) {
+  constexpr int kThreads = 4, kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto kind = (t + i) % 2 == 0 ? PoolKind::DDR : PoolKind::HBM;
+        const auto a = alloc_.allocate(64 + static_cast<std::size_t>(i % 7) *
+                                                128,
+                                       kind);
+        ASSERT_NE(a.ptr, nullptr);
+        std::memset(a.ptr, t, 64);
+        alloc_.deallocate(a.ptr);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(alloc_.live_allocations(), 0u);
+}
+
+TEST_F(PoolAllocatorTest, StlAdapterWorksWithVector) {
+  PoolStlAllocator<double> adapter(alloc_, PoolKind::HBM);
+  std::vector<double, PoolStlAllocator<double>> v(adapter);
+  v.resize(1000, 1.5);
+  EXPECT_DOUBLE_EQ(v[999], 1.5);
+  EXPECT_GT(alloc_.bytes_in_kind(PoolKind::HBM), 0u);
+  v = std::vector<double, PoolStlAllocator<double>>(adapter);  // free all
+  EXPECT_EQ(alloc_.live_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace hmpt::pools

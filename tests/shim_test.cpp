@@ -1,0 +1,267 @@
+// Tests for hmpt::shim — call-site capture, allocation registry, placement
+// plans, and the interception front door.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "shim/call_site.h"
+#include "shim/plan.h"
+#include "shim/registry.h"
+#include "shim/shim_allocator.h"
+
+namespace hmpt::shim {
+namespace {
+
+using topo::PoolKind;
+
+// -------------------------------------------------------------- call sites
+TEST(CallSiteTest, SameFramesSameHash) {
+  const std::vector<std::uintptr_t> frames = {0x1000, 0x2000, 0x3000};
+  EXPECT_EQ(hash_frames(frames), hash_frames(frames));
+  auto reordered = frames;
+  std::swap(reordered[0], reordered[1]);
+  EXPECT_NE(hash_frames(frames), hash_frames(reordered));
+}
+
+TEST(CallSiteTest, CaptureIsStableAtOneTextualSite) {
+  // Repeated execution of the *same* call site (one source line, as in a
+  // loop) must produce the same hash — the paper's aliasing behaviour.
+  StackHash hashes[3];
+  for (auto& h : hashes) h = capture_stack_hash(0);  // single textual site
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[1], hashes[2]);
+}
+
+__attribute__((noinline)) StackHash capture_from_helper() {
+  return capture_stack_hash(0);
+}
+
+TEST(CallSiteTest, DifferentCallPathsDiffer) {
+  // A hash captured through an extra frame differs from a direct one.
+  EXPECT_NE(capture_from_helper(), capture_stack_hash(0));
+}
+
+TEST(CallSiteRegistryTest, InternIsIdempotent) {
+  CallSiteRegistry reg;
+  const int a = reg.intern(0xabc, "alpha");
+  const int b = reg.intern(0xabc, "ignored-second-label");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.num_sites(), 1);
+  EXPECT_EQ(reg.site(a).label, "alpha");
+  EXPECT_EQ(reg.site(a).hash, 0xabcu);
+}
+
+TEST(CallSiteRegistryTest, NamedSitesShareHashesWithPlans) {
+  CallSiteRegistry reg;
+  const int id = reg.intern_named("field::u");
+  EXPECT_EQ(reg.site(id).hash, hash_label("field::u"));
+  EXPECT_EQ(reg.find_by_label("field::u"), id);
+  EXPECT_EQ(reg.find_by_label("missing"), -1);
+}
+
+TEST(CallSiteRegistryTest, OutOfRangeSiteThrows) {
+  CallSiteRegistry reg;
+  EXPECT_THROW(reg.site(0), Error);
+}
+
+// ---------------------------------------------------------------- registry
+TEST(RegistryTest, LifetimeTracking) {
+  AllocationRegistry reg;
+  const auto id = reg.on_alloc(0, 0x1000, 256, 1, PoolKind::HBM, false);
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(reg.live_count(), 1u);
+  EXPECT_EQ(reg.live_bytes(), 256u);
+  const auto rec = reg.find_live(0x1000);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(rec->live());
+  reg.on_free(0x1000);
+  EXPECT_EQ(reg.live_count(), 0u);
+  EXPECT_FALSE(reg.find_live(0x1000).has_value());
+  const auto records = reg.all_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].live());
+  EXPECT_GT(*records[0].free_time, records[0].alloc_time);
+}
+
+TEST(RegistryTest, InteriorAddressResolves) {
+  AllocationRegistry reg;
+  reg.on_alloc(0, 0x1000, 256, 0, PoolKind::DDR, false);
+  const auto rec = reg.find_live(0x10ff);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->address, 0x1000u);
+  EXPECT_FALSE(reg.find_live(0x1100).has_value());
+}
+
+TEST(RegistryTest, DoubleEventsThrow) {
+  AllocationRegistry reg;
+  reg.on_alloc(0, 0x1000, 64, 0, PoolKind::DDR, false);
+  EXPECT_THROW(reg.on_alloc(1, 0x1000, 64, 0, PoolKind::DDR, false), Error);
+  reg.on_free(0x1000);
+  EXPECT_THROW(reg.on_free(0x1000), Error);
+  EXPECT_THROW(reg.on_free(0x2000), Error);
+}
+
+TEST(RegistryTest, SiteUsageAggregatesAndPeaks) {
+  CallSiteRegistry sites;
+  const int s0 = sites.intern_named("a");
+  const int s1 = sites.intern_named("b");
+  AllocationRegistry reg;
+  // Site a: two overlapping allocations (peak 300), one freed.
+  reg.on_alloc(s0, 0x1000, 100, 0, PoolKind::DDR, false);
+  reg.on_alloc(s0, 0x2000, 200, 0, PoolKind::DDR, false);
+  reg.on_free(0x1000);
+  // Site b: sequential allocations (peak 50).
+  reg.on_alloc(s1, 0x3000, 50, 1, PoolKind::HBM, false);
+  reg.on_free(0x3000);
+  reg.on_alloc(s1, 0x4000, 50, 1, PoolKind::HBM, false);
+
+  const auto usage = reg.site_usage(sites);
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].label, "a");
+  EXPECT_EQ(usage[0].num_allocations, 2u);
+  EXPECT_EQ(usage[0].live_bytes, 200u);
+  EXPECT_EQ(usage[0].peak_live_bytes, 300u);
+  EXPECT_EQ(usage[1].num_allocations, 2u);
+  EXPECT_EQ(usage[1].peak_live_bytes, 50u);  // never overlapped
+}
+
+TEST(RegistryTest, CompactDropsFreedOnly) {
+  AllocationRegistry reg;
+  reg.on_alloc(0, 0x1000, 64, 0, PoolKind::DDR, false);
+  reg.on_alloc(0, 0x2000, 64, 0, PoolKind::DDR, false);
+  reg.on_free(0x1000);
+  reg.compact();
+  EXPECT_EQ(reg.all_records().size(), 1u);
+  EXPECT_EQ(reg.live_count(), 1u);
+  EXPECT_TRUE(reg.find_live(0x2000).has_value());
+}
+
+// -------------------------------------------------------------------- plan
+TEST(PlanTest, DefaultAndPinnedKinds) {
+  PlacementPlan plan(PoolKind::DDR);
+  plan.set_named_site("hot", PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("hot"), PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("cold"), PoolKind::DDR);
+  EXPECT_EQ(plan.num_pinned_sites(), 1u);
+  plan.clear();
+  EXPECT_EQ(plan.kind_for_named("hot"), PoolKind::DDR);
+}
+
+TEST(PlanTest, SerializationRoundTrips) {
+  PlacementPlan plan(PoolKind::HBM);
+  plan.set_named_site("mg::u", PoolKind::HBM);
+  plan.set_named_site("mg::v", PoolKind::DDR);
+  plan.set_site(0xdeadbeef, PoolKind::DDR);
+  const auto text = plan.serialize();
+  const auto parsed = PlacementPlan::parse(text);
+  EXPECT_EQ(parsed.default_kind(), PoolKind::HBM);
+  EXPECT_EQ(parsed.kind_for_named("mg::u"), PoolKind::HBM);
+  EXPECT_EQ(parsed.kind_for_named("mg::v"), PoolKind::DDR);
+  EXPECT_EQ(parsed.kind_for(0xdeadbeef), PoolKind::DDR);
+  EXPECT_EQ(parsed.num_pinned_sites(), 3u);
+}
+
+TEST(PlanTest, ParseHandlesCommentsAndBlanks) {
+  const auto plan = PlacementPlan::parse(
+      "# a comment\n\ndefault HBM\nnamed x DDR # trailing\n");
+  EXPECT_EQ(plan.default_kind(), PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("x"), PoolKind::DDR);
+}
+
+TEST(PlanTest, ParseRejectsGarbage) {
+  EXPECT_THROW(PlacementPlan::parse("frobnicate x HBM\n"), Error);
+  EXPECT_THROW(PlacementPlan::parse("default\n"), Error);
+  EXPECT_THROW(PlacementPlan::parse("named onlylabel\n"), Error);
+  EXPECT_THROW(PlacementPlan::parse("default MRAM\n"), Error);
+}
+
+// ---------------------------------------------------------- ShimAllocator
+class ShimTest : public ::testing::Test {
+ protected:
+  topo::Machine machine_ = topo::xeon_max_9468_single_flat_snc4();
+  pools::PoolAllocator pool_{machine_};
+  ShimAllocator shim_{pool_};
+};
+
+TEST_F(ShimTest, NamedAllocationFollowsPlan) {
+  PlacementPlan plan(PoolKind::DDR);
+  plan.set_named_site("hot", PoolKind::HBM);
+  shim_.set_plan(plan);
+  void* hot = shim_.allocate_named("hot", 4096);
+  void* cold = shim_.allocate_named("cold", 4096);
+  EXPECT_EQ(pool_.kind_of(hot), PoolKind::HBM);
+  EXPECT_EQ(pool_.kind_of(cold), PoolKind::DDR);
+  shim_.deallocate(hot);
+  shim_.deallocate(cold);
+}
+
+TEST_F(ShimTest, PlanSwapAffectsOnlyNewAllocations) {
+  void* before = shim_.allocate_named("x", 1024);
+  PlacementPlan plan(PoolKind::DDR);
+  plan.set_named_site("x", PoolKind::HBM);
+  shim_.set_plan(plan);
+  void* after = shim_.allocate_named("x", 1024);
+  EXPECT_EQ(pool_.kind_of(before), PoolKind::DDR);
+  EXPECT_EQ(pool_.kind_of(after), PoolKind::HBM);
+  shim_.deallocate(before);
+  shim_.deallocate(after);
+}
+
+TEST_F(ShimTest, RegistryRecordsSitesAndLifetimes) {
+  void* a = shim_.allocate_named("site::a", 100);
+  void* b = shim_.allocate_named("site::a", 200);  // aliases to same site
+  void* c = shim_.allocate_named("site::b", 300);
+  EXPECT_EQ(shim_.sites().num_sites(), 2);
+  const auto usage = shim_.registry().site_usage(shim_.sites());
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].num_allocations, 2u);  // aliased site::a
+  EXPECT_EQ(usage[0].live_bytes, 300u);
+  shim_.deallocate(a);
+  shim_.deallocate(b);
+  shim_.deallocate(c);
+  EXPECT_EQ(shim_.registry().live_count(), 0u);
+}
+
+TEST_F(ShimTest, MacroCapturesDistinctTextualSites) {
+  void* a = HMPT_SHIM_ALLOC(shim_, 128);  // site 1
+  void* b = HMPT_SHIM_ALLOC(shim_, 128);  // site 2 (different line)
+  EXPECT_EQ(shim_.sites().num_sites(), 2);
+  shim_.deallocate(a);
+  shim_.deallocate(b);
+}
+
+TEST_F(ShimTest, MacroAliasesLoopIterations) {
+  // The paper's aliasing caveat: allocations from the same source line in
+  // a loop share one call site and therefore one placement.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 5; ++i)
+    ptrs.push_back(HMPT_SHIM_ALLOC(shim_, 64));  // one textual site
+  EXPECT_EQ(shim_.sites().num_sites(), 1);
+  for (void* p : ptrs) shim_.deallocate(p);
+}
+
+TEST_F(ShimTest, TypedHelperAllocatesElementCount) {
+  double* v = shim_.allocate_array<double>("vec", 1000);
+  ASSERT_NE(v, nullptr);
+  v[999] = 2.5;
+  EXPECT_EQ(pool_.size_of(v), 8000u);
+  shim_.deallocate(v);
+}
+
+TEST_F(ShimTest, ResetTrackingKeepsPlanAndPool) {
+  PlacementPlan plan(PoolKind::HBM);
+  shim_.set_plan(plan);
+  void* p = shim_.allocate_named("x", 64);
+  shim_.reset_tracking();
+  EXPECT_EQ(shim_.registry().live_count(), 0u);
+  EXPECT_EQ(shim_.plan().default_kind(), PoolKind::HBM);
+  // The pool still owns the memory; free through it directly.
+  pool_.deallocate(p);
+}
+
+TEST_F(ShimTest, EmptyLabelRejected) {
+  EXPECT_THROW(shim_.allocate_named("", 64), Error);
+}
+
+}  // namespace
+}  // namespace hmpt::shim

@@ -1,0 +1,118 @@
+// Tests for hmpt::topo — simulated NUMA topologies.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "topo/machine.h"
+
+namespace hmpt::topo {
+namespace {
+
+TEST(PoolKindTest, RoundTripsThroughStrings) {
+  EXPECT_STREQ(to_string(PoolKind::DDR), "DDR");
+  EXPECT_STREQ(to_string(PoolKind::HBM), "HBM");
+  EXPECT_EQ(pool_kind_from_string("DDR"), PoolKind::DDR);
+  EXPECT_EQ(pool_kind_from_string("hbm"), PoolKind::HBM);
+  EXPECT_THROW(pool_kind_from_string("MRAM"), Error);
+}
+
+TEST(XeonMaxDuo, MatchesFig1Topology) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  EXPECT_EQ(machine.num_sockets(), 2);
+  EXPECT_EQ(machine.num_tiles(), 8);
+  EXPECT_EQ(machine.tiles_per_socket(), 4);
+  EXPECT_EQ(machine.num_nodes(), 16);
+  EXPECT_EQ(machine.num_cores(), 96);
+  EXPECT_EQ(machine.cores_per_tile(), 12);
+}
+
+TEST(XeonMaxDuo, NodeNumberingFollowsFig1) {
+  // Fig. 1: DDR nodes 0-7 carry cores; HBM nodes 8-15 are memory-only.
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  for (int n = 0; n < 8; ++n) {
+    EXPECT_EQ(machine.node(n).pool.kind, PoolKind::DDR) << n;
+    EXPECT_EQ(machine.node(n).num_cores, 12) << n;
+  }
+  for (int n = 8; n < 16; ++n) {
+    EXPECT_EQ(machine.node(n).pool.kind, PoolKind::HBM) << n;
+    EXPECT_EQ(machine.node(n).num_cores, 0) << n;
+  }
+}
+
+TEST(XeonMaxDuo, TilePairsDdrWithHbm) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  for (const auto& tile : machine.tiles()) {
+    EXPECT_EQ(machine.node(tile.ddr_node).pool.kind, PoolKind::DDR);
+    EXPECT_EQ(machine.node(tile.hbm_node).pool.kind, PoolKind::HBM);
+    EXPECT_EQ(machine.node(tile.ddr_node).tile, tile.id);
+    EXPECT_EQ(machine.node(tile.hbm_node).tile, tile.id);
+    EXPECT_EQ(tile.hbm_node, tile.ddr_node + 8);
+  }
+}
+
+TEST(XeonMaxDuo, CapacitiesMatchPaperSpecs) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  // Per socket: 4 x 16 GB HBM and 4 x 32 GB DDR.
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::HBM, 0), 64.0 * GiB);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::DDR, 0), 128.0 * GiB);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::HBM), 128.0 * GiB);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::DDR), 256.0 * GiB);
+}
+
+TEST(XeonMaxDuo, PeakBandwidthsMatchPaperSpecs) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  // 409.6 GB/s HBM and 76.8 GB/s DDR per tile (Sec. I-A).
+  EXPECT_NEAR(machine.peak_bandwidth_of_kind(PoolKind::HBM, 0),
+              4.0 * 409.6 * GB, 1.0);
+  EXPECT_NEAR(machine.peak_bandwidth_of_kind(PoolKind::DDR, 0),
+              4.0 * 76.8 * GB, 1.0);
+}
+
+TEST(XeonMaxDuo, NodesOfKindFiltersBySocket) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  const auto hbm0 = machine.nodes_of_kind(PoolKind::HBM, 0);
+  ASSERT_EQ(hbm0.size(), 4u);
+  for (int n : hbm0) EXPECT_EQ(machine.node(n).socket, 0);
+  EXPECT_EQ(machine.nodes_of_kind(PoolKind::DDR).size(), 8u);
+}
+
+TEST(XeonMaxDuo, DistancesAreSlitLike) {
+  const auto machine = xeon_max_9468_duo_flat_snc4();
+  EXPECT_EQ(machine.distance(0, 0), 10);   // local
+  EXPECT_EQ(machine.distance(0, 8), 12);   // same-tile HBM
+  EXPECT_EQ(machine.distance(0, 1), 14);   // same socket, other tile
+  EXPECT_EQ(machine.distance(0, 4), 21);   // remote socket DDR
+  EXPECT_EQ(machine.distance(0, 12), 23);  // remote socket HBM
+}
+
+TEST(XeonMaxSingle, IsHalfTheDuo) {
+  const auto machine = xeon_max_9468_single_flat_snc4();
+  EXPECT_EQ(machine.num_sockets(), 1);
+  EXPECT_EQ(machine.num_nodes(), 8);
+  EXPECT_EQ(machine.num_cores(), 48);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::HBM), 64.0 * GiB);
+}
+
+TEST(TwoPoolTestbed, HasConfigurableCapacities) {
+  const auto machine = two_pool_testbed(10.0 * GiB, 2.0 * GiB);
+  EXPECT_EQ(machine.num_nodes(), 2);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::DDR), 10.0 * GiB);
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::HBM), 2.0 * GiB);
+}
+
+TEST(MachineTest, OutOfRangeAccessThrows) {
+  const auto machine = two_pool_testbed();
+  EXPECT_THROW(machine.node(-1), Error);
+  EXPECT_THROW(machine.node(2), Error);
+  EXPECT_THROW(machine.tile(1), Error);
+}
+
+TEST(MachineTest, DescribeMentionsEveryNode) {
+  const auto machine = xeon_max_9468_single_flat_snc4();
+  const std::string text = machine.describe();
+  for (int n = 0; n < machine.num_nodes(); ++n)
+    EXPECT_NE(text.find("node " + std::to_string(n)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmpt::topo

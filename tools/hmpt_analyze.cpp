@@ -1,0 +1,143 @@
+// hmpt_analyze — command-line front end of the tuner.
+//
+// Loads a recorded workload profile (the format trace_io writes and the
+// driver's profiling path produces), sweeps its placement space on a
+// simulated platform, prints the paper-style analysis, and optionally
+// writes the recommended shim placement plan for the next run:
+//
+//   hmpt_analyze <profile> [--platform spr|spr1|knl] [--budget-gb N]
+//                [--threshold F] [--reps N] [--plan-out FILE] [--csv]
+//
+// Exit codes: 0 success, 1 bad usage, 2 analysis failure.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/units.h"
+#include "core/driver.h"
+#include "simmem/simulator.h"
+#include "workloads/trace_io.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <profile> [options]\n"
+      << "  --platform spr|spr1|knl   platform model (default spr: dual\n"
+      << "                            Xeon Max 9468; spr1: one socket;\n"
+      << "                            knl: KNL-like)\n"
+      << "  --budget-gb N             HBM capacity budget for the plan\n"
+      << "  --threshold F             speedup fraction for the minimal\n"
+      << "                            footprint search (default 0.9)\n"
+      << "  --reps N                  measurement repetitions (default 3)\n"
+      << "  --plan-out FILE           write the recommended shim plan\n"
+      << "  --csv                     also print the summary-view CSV\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmpt;
+  if (argc < 2) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  std::string profile_path;
+  std::string platform = "spr";
+  std::string plan_out;
+  double budget_gb = 0.0;
+  double threshold = 0.9;
+  int reps = 3;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--platform") platform = next();
+    else if (arg == "--budget-gb") budget_gb = std::atof(next());
+    else if (arg == "--threshold") threshold = std::atof(next());
+    else if (arg == "--reps") reps = std::atoi(next());
+    else if (arg == "--plan-out") plan_out = next();
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    } else if (profile_path.empty()) {
+      profile_path = arg;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (profile_path.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    auto simulator = [&]() -> sim::MachineSimulator {
+      if (platform == "spr") return sim::MachineSimulator::paper_platform();
+      if (platform == "spr1")
+        return sim::MachineSimulator::paper_platform_single();
+      if (platform == "knl")
+        return sim::MachineSimulator(topo::knl_like_flat_snc4(),
+                                     sim::knl_like_calibration());
+      raise("unknown platform: " + platform);
+    }();
+
+    const auto workload = workloads::load_workload(profile_path);
+    std::cout << "profile: " << profile_path << " (" << workload.name()
+              << ", " << workload.num_groups() << " groups, "
+              << format_bytes(workload.total_bytes()) << ")\n";
+    std::cout << "platform: " << simulator.machine().name() << "\n\n";
+
+    tuner::DriverOptions options;
+    options.experiment.repetitions = reps;
+    options.threshold_fraction = threshold;
+    options.hbm_budget_bytes = budget_gb * GB;
+    tuner::Driver driver(simulator, simulator.full_machine(), options);
+    const auto report = driver.analyze(workload);
+    std::cout << report.to_text();
+    if (csv) {
+      std::cout << "\nsummary view CSV:\n"
+                << report.summary_view.table.to_csv();
+    }
+
+    if (!plan_out.empty()) {
+      // Materialise the recommended mask against the profile's group
+      // labels (named call sites).
+      std::vector<tuner::AllocationGroup> groups;
+      for (const auto& g : workload.groups()) {
+        tuner::AllocationGroup ag;
+        ag.label = g.label;
+        ag.bytes = g.bytes;
+        groups.push_back(ag);
+      }
+      const auto plan = driver.plan_for(report, groups);
+      std::ofstream os(plan_out);
+      if (!os.good()) {
+        std::cerr << "cannot write plan to " << plan_out << '\n';
+        return 2;
+      }
+      os << plan.serialize();
+      std::cout << "\nplacement plan written to " << plan_out << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "analysis failed: " << e.what() << '\n';
+    return 2;
+  }
+  return 0;
+}
