@@ -4,10 +4,16 @@
 // speedups, plus the worst configuration. Apps with shared-bandwidth
 // phases (MG, k-Wave) interact and show larger errors than the additive
 // solvers.
+//
+// Second table: the "estimator" strategy in action — fit from the n
+// single-group runs, measure only the top-k predicted placements, and
+// compare achieved speedup and measurement cost against the exhaustive
+// sweep (O(n + k) vs O(2^n) configurations).
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/report.h"
+#include "core/session.h"
 
 int main() {
   using namespace hmpt;
@@ -37,5 +43,36 @@ int main() {
   std::cout << "expected: near-zero error for the additive solvers "
                "(BT/LU/SP/UA/IS); visible error for MG and k-Wave whose "
                "phases co-stream multiple groups\n";
+
+  bench::print_header("Ablation",
+                      "estimator-guided strategy vs exhaustive sweep");
+  Table guided_table({"Application", "optimal", "guided", "achieved",
+                      "guided configs", "sweep configs"});
+  for (const auto& app : suite) {
+    const auto exhaustive = tuner::Session::on(simulator)
+                                .workload(app.workload)
+                                .context(app.context)
+                                .strategy("exhaustive")
+                                .repetitions(1)
+                                .run();
+    const auto guided = tuner::Session::on(simulator)
+                            .workload(app.workload)
+                            .context(app.context)
+                            .strategy("estimator")
+                            .repetitions(1)
+                            .top_k(3)
+                            .run();
+    guided_table.add_row(
+        {app.name, cell(exhaustive.speedup, 2) + "x",
+         cell(guided.speedup, 2) + "x",
+         format_percent(guided.speedup / exhaustive.speedup),
+         std::to_string(guided.configs_measured),
+         std::to_string(exhaustive.configs_measured)});
+  }
+  std::cout << guided_table.to_text();
+  bench::print_csv_block("ablation_estimator_guided", guided_table);
+  std::cout << "expected: the guided strategy stays within a few percent "
+               "of the optimum at 1 + n + k measured configurations, a "
+               "large saving for the 8-group solvers (12 vs 256)\n";
   return 0;
 }

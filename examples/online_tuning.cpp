@@ -1,20 +1,20 @@
 // online_tuning — the paper's stated future direction (Sec. III): online
 // profiling and control instead of an offline 2^n sweep.
 //
-// The OnlineTuner starts from all-DDR and, between iterations of the
+// The "online" strategy starts from all-DDR and, between iterations of the
 // running application, greedily migrates the allocation group with the
 // best expected gain per HBM byte, keeping a move only when the next
 // observed iteration confirms the improvement. This example tunes every
-// paper benchmark online and compares cost (measured runs) and result
-// against the exhaustive sweep, then demonstrates the matching low-level
+// paper benchmark through the Session facade — the same front door as the
+// exhaustive sweep, just a different strategy name — and compares cost
+// (measured runs) and result, then demonstrates the matching low-level
 // primitive: live object migration in the pool allocator.
 #include <cstring>
 #include <iostream>
 
 #include "common/table.h"
 #include "common/units.h"
-#include "core/online.h"
-#include "core/summary.h"
+#include "core/session.h"
 #include "simmem/simulator.h"
 #include "workloads/app_models.h"
 
@@ -27,41 +27,38 @@ int main() {
   Table table({"Application", "online speedup", "exhaustive max",
                "online runs", "exhaustive runs"});
   for (const auto& app : suite) {
-    std::vector<double> bytes;
-    for (const auto& g : app.workload->groups()) bytes.push_back(g.bytes);
-    tuner::ConfigSpace space(bytes);
-
-    tuner::OnlineTuner online(simulator, app.context);
-    const auto result = online.tune(*app.workload, space);
-
-    tuner::ExperimentRunner runner(simulator, app.context, {3, true});
-    const auto sweep = runner.sweep(*app.workload, space);
-    const auto summary = tuner::summarize(sweep);
-
-    table.add_row({app.name, cell(result.speedup, 2) + "x",
-                   cell(summary.max_speedup, 2) + "x",
-                   std::to_string(result.iterations_used),
-                   std::to_string(3 * space.size())});
+    const auto online = tuner::Session::on(simulator)
+                            .workload(app.workload)
+                            .context(app.context)
+                            .strategy("online")
+                            .run();
+    const auto exhaustive = tuner::Session::on(simulator)
+                                .workload(app.workload)
+                                .context(app.context)
+                                .strategy("exhaustive")
+                                .repetitions(3)
+                                .run();
+    table.add_row({app.name, cell(online.speedup, 2) + "x",
+                   cell(exhaustive.speedup, 2) + "x",
+                   std::to_string(online.measurements),
+                   std::to_string(exhaustive.measurements)});
   }
   std::cout << table.to_text() << '\n';
 
-  // Show one trajectory in detail.
+  // Show one search in detail, watching it live through the progress hook.
   const auto mg = workloads::make_mg_model(simulator);
-  std::vector<double> bytes;
-  for (const auto& g : mg.workload->groups()) bytes.push_back(g.bytes);
-  tuner::ConfigSpace space(bytes);
-  tuner::OnlineTuner online(simulator, mg.context);
-  const auto result = online.tune(*mg.workload, space);
-  std::cout << "MG online trajectory (baseline "
-            << format_time(result.baseline_time) << "):\n";
-  for (const auto& step : result.trajectory) {
-    std::cout << "  iter " << step.iteration << ": try group "
-              << step.moved_group << (step.to_hbm ? " -> HBM" : " -> DDR")
-              << ", observed " << format_time(step.observed_time) << " — "
-              << (step.kept ? "kept" : "reverted") << '\n';
-  }
-  std::cout << "final: " << cell(result.speedup, 2) << "x in "
-            << result.iterations_used << " measured iterations\n\n";
+  const auto result = tuner::Session::on(simulator)
+                          .workload(mg.workload)
+                          .context(mg.context)
+                          .strategy("online")
+                          .progress([&](const tuner::TuningProgress& p) {
+                            std::cout << "  measured config " << p.mask
+                                      << " in " << format_time(p.observed_time)
+                                      << " (best so far "
+                                      << cell(p.best_speedup, 2) << "x)\n";
+                          })
+                          .run();
+  std::cout << '\n' << result.to_text() << '\n';
 
   // The low-level primitive behind a kept move: object migration.
   pools::PoolAllocator pool(simulator.machine());

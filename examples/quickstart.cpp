@@ -12,6 +12,7 @@
 #include "core/grouping.h"
 #include "core/planner.h"
 #include "core/report.h"
+#include "core/session.h"
 #include "core/summary.h"
 #include "simmem/simulator.h"
 #include "workloads/stream.h"
@@ -41,20 +42,25 @@ int main() {
     std::cout << "  " << g.label << "  " << format_bytes(g.bytes)
               << "  density " << format_percent(g.access_density) << '\n';
 
-  // --- 4. Sweep every placement of the paper-scale STREAM workload.
+  // --- 4. Tune the paper-scale STREAM workload through the Session
+  //        facade: one fluent call sweeps every placement (strategy
+  //        "exhaustive"; swap the name for "online" or "estimator" to
+  //        search the same space with far fewer measurements).
   workloads::StreamWorkload workload(16.0 * GB, 1);
-  tuner::ConfigSpace space(
-      {16.0 * GB, 16.0 * GB, 16.0 * GB});
-  tuner::ExperimentRunner runner(simulator, simulator.full_machine(),
-                                 {3, true});
-  const auto sweep = runner.sweep(workload, space);
-  const auto summary = tuner::summarize(sweep);
+  const auto outcome = tuner::Session::on(simulator)
+                           .workload(workload)
+                           .strategy("exhaustive")
+                           .repetitions(3)
+                           .run();
+  const auto summary = tuner::summarize(*outcome.sweep);
 
   std::cout << '\n'
             << tuner::render_summary_view(summary, workload.name()).scatter;
   std::cout << "max speedup " << summary.max_speedup << "x at "
             << format_percent(summary.max_usage) << " HBM usage; 90 % of it"
-            << " already at " << format_percent(summary.usage90) << "\n\n";
+            << " already at " << format_percent(summary.usage90) << "\n"
+            << "(" << outcome.configs_measured << " configurations, "
+            << outcome.measurements << " simulated runs)\n\n";
 
   // --- 5. Materialise the placement plan for the next run.
   std::vector<tuner::AllocationGroup> stream_groups(3);

@@ -1,9 +1,12 @@
 #include "core/driver.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "common/units.h"
+#include "core/session.h"
 
 namespace hmpt::tuner {
 
@@ -12,6 +15,8 @@ std::string AnalysisReport::to_text() const {
   os << "=== analysis: " << workload_name << " ===\n\n";
   os << "configurations measured: " << sweep.configs.size() << " ("
      << space.num_groups() << " groups)\n";
+  os << "strategy: " << outcome.strategy << " (" << outcome.measurements
+     << " simulator runs)\n";
   os << "all-DDR baseline: " << format_time(sweep.baseline_time) << "\n\n";
   os << "detailed view:\n" << detailed.table.to_text() << '\n'
      << detailed.bar_chart << '\n';
@@ -53,8 +58,23 @@ AnalysisReport Driver::analyze(const workloads::Workload& workload) const {
   for (const auto& g : workload.groups()) bytes.push_back(g.bytes);
   ConfigSpace space(std::move(bytes));
 
-  ExperimentRunner runner(*sim_, ctx_, options_.experiment);
-  SweepResult sweep = runner.sweep(workload, space);
+  // The measurement campaign runs behind the strategy API; the full report
+  // needs the complete space, so the driver always runs "exhaustive".
+  TuningOutcome outcome = Session::on(*sim_)
+                              .workload(workload)
+                              .context(ctx_)
+                              .strategy("exhaustive")
+                              .repetitions(options_.experiment.repetitions)
+                              .gray_order(options_.experiment.gray_order)
+                              .budget_bytes(
+                                  std::max(options_.hbm_budget_bytes, 0.0))
+                              .run();
+  // AnalysisReport::sweep becomes the canonical per-config data; the
+  // embedded outcome keeps only the summary numbers (its 2^n-sized
+  // trajectory adds nothing the report's views don't already show).
+  SweepResult sweep = std::move(*outcome.sweep);
+  outcome.sweep.reset();
+  outcome.trajectory = {};
   SummaryAnalysis summary =
       summarize(sweep, options_.threshold_fraction);
   const LinearEstimator estimator(sweep);
@@ -68,6 +88,7 @@ AnalysisReport Driver::analyze(const workloads::Workload& workload) const {
   AnalysisReport report{
       workload.name(),
       space,
+      std::move(outcome),
       sweep,
       summary,
       estimator_error(sweep, estimator),

@@ -1,10 +1,17 @@
 // driver.h — the paper's "driver script" as a library object (Fig. 6).
 //
 // Ties the whole workflow together: take a workload (analytic model or a
-// recorded profiling run), build its configuration space, sweep it on the
-// platform, summarise, choose a placement under the HBM capacity budget,
-// and materialise a shim PlacementPlan for the next run. One call replaces
-// the paper's external orchestration.
+// recorded profiling run), tune its placement, summarise, choose a plan
+// under the HBM capacity budget, and materialise a shim PlacementPlan for
+// the next run. One call replaces the paper's external orchestration.
+//
+// Layering (Fig. 6, after the strategy redesign): the search itself lives
+// behind the TuningStrategy registry (strategy.h) and is driven through
+// the Session facade (session.h) — Driver::analyze runs the "exhaustive"
+// strategy and layers the paper's full reporting (summary views, linear-
+// estimator error, capacity plans) on top of its complete sweep. Callers
+// that only need a placement, or a cheaper search ("online", "estimator"),
+// use a Session directly; the Driver remains the report-producing path.
 #pragma once
 
 #include <optional>
@@ -16,6 +23,7 @@
 #include "core/grouping.h"
 #include "core/planner.h"
 #include "core/report.h"
+#include "core/strategy.h"
 #include "core/summary.h"
 #include "simmem/simulator.h"
 #include "workloads/recorded.h"
@@ -35,6 +43,8 @@ struct DriverOptions {
 struct AnalysisReport {
   std::string workload_name;
   ConfigSpace space;
+  /// The unified strategy-layer result the analysis is built from.
+  TuningOutcome outcome;
   SweepResult sweep;
   SummaryAnalysis summary;
   EstimatorError estimator_error;

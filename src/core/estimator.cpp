@@ -8,6 +8,8 @@ namespace hmpt::tuner {
 
 LinearEstimator::LinearEstimator(const SweepResult& sweep) {
   HMPT_REQUIRE(sweep.num_groups >= 1, "sweep has no groups");
+  HMPT_REQUIRE(sweep.num_groups <= ConfigSpace::kMaxGroups,
+               "estimator limited to ConfigSpace::kMaxGroups groups");
   single_speedups_.resize(static_cast<std::size_t>(sweep.num_groups));
   for (int g = 0; g < sweep.num_groups; ++g)
     single_speedups_[static_cast<std::size_t>(g)] =
@@ -17,6 +19,11 @@ LinearEstimator::LinearEstimator(const SweepResult& sweep) {
 LinearEstimator::LinearEstimator(std::vector<double> single_speedups)
     : single_speedups_(std::move(single_speedups)) {
   HMPT_REQUIRE(!single_speedups_.empty(), "estimator needs >= 1 group");
+  // Masks are 32-bit; past kMaxGroups the shift in estimate() would be
+  // undefined long before the 2^n spaces became tractable anyway.
+  HMPT_REQUIRE(single_speedups_.size() <=
+                   static_cast<std::size_t>(ConfigSpace::kMaxGroups),
+               "estimator limited to ConfigSpace::kMaxGroups groups");
 }
 
 double LinearEstimator::single_speedup(int group) const {

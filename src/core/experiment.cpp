@@ -8,8 +8,17 @@
 namespace hmpt::tuner {
 
 const ConfigResult& SweepResult::of(ConfigMask mask) const {
-  HMPT_REQUIRE(mask < configs.size(), "mask out of range");
-  return configs[mask];
+  // Dense, mask-indexed tables (the runner's layout) resolve in O(1)...
+  if (mask < configs.size() && configs[mask].mask == mask)
+    return configs[mask];
+  // ...anything else (sparse or reordered tables) falls back to a scan, so
+  // a found entry is always the right one.
+  for (const auto& cfg : configs)
+    if (cfg.mask == mask) return cfg;
+  raise("configuration " + std::to_string(mask) +
+        " was not measured in this sweep (" +
+        std::to_string(configs.size()) + " configurations, " +
+        std::to_string(num_groups) + " groups)");
 }
 
 const ConfigResult& SweepResult::all_hbm() const {
@@ -46,6 +55,12 @@ ConfigResult ExperimentRunner::measure(const workloads::Workload& workload,
 
 SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
                                     const ConfigSpace& space) {
+  return sweep(workload, space, ConfigCallback{});
+}
+
+SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
+                                    const ConfigSpace& space,
+                                    const ConfigCallback& on_config) {
   HMPT_REQUIRE(space.num_groups() == workload.num_groups(),
                "config space arity does not match the workload");
   SweepResult sweep;
@@ -57,6 +72,7 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
   baseline.speedup = 1.0;
   sweep.baseline_time = baseline.mean_time;
   sweep.configs[0] = baseline;
+  if (on_config) on_config(sweep.configs[0]);
 
   const auto masks =
       options_.gray_order ? space.gray_masks() : space.all_masks();
@@ -64,6 +80,7 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
     if (mask == 0) continue;
     sweep.configs[mask] =
         measure(workload, space, mask, sweep.baseline_time);
+    if (on_config) on_config(sweep.configs[mask]);
   }
   return sweep;
 }

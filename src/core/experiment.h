@@ -5,6 +5,7 @@
 // the all-DDR baseline — the roughly 2^|AG| * n measurements of Sec. III-A.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/config_space.h"
@@ -36,20 +37,31 @@ struct SweepResult {
   std::vector<ConfigResult> configs;  ///< sorted by mask; [0] = all-DDR
   double baseline_time = 0.0;
 
+  /// The result of `mask`. Throws hmpt::Error when the sweep holds no such
+  /// configuration (out-of-range mask, or a table that was never measured
+  /// at that mask) instead of returning an unrelated or zeroed entry.
   const ConfigResult& of(ConfigMask mask) const;
   const ConfigResult& all_ddr() const { return of(0); }
   const ConfigResult& all_hbm() const;
   int num_groups = 0;
 };
 
+/// Observer invoked after each configuration finishes measuring.
+using ConfigCallback = std::function<void(const ConfigResult&)>;
+
 class ExperimentRunner {
  public:
   ExperimentRunner(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
                    ExperimentOptions options = {});
 
-  /// Measure every configuration of `space` for `workload`.
+  /// Measure every configuration of `space` for `workload`. `on_config`
+  /// (when given) fires once per configuration in measurement order — the
+  /// hook the strategy layer uses for progress reporting.
   SweepResult sweep(const workloads::Workload& workload,
                     const ConfigSpace& space);
+  SweepResult sweep(const workloads::Workload& workload,
+                    const ConfigSpace& space,
+                    const ConfigCallback& on_config);
 
   /// Measure a single configuration (n repetitions).
   ConfigResult measure(const workloads::Workload& workload,

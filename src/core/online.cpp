@@ -33,6 +33,7 @@ OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
   ConfigMask mask = 0;
   double current = observe(trace, space, mask);
   result.baseline_time = current;
+  if (options_.on_baseline) options_.on_baseline(current);
   int iterations = 1;
   int rejections = 0;
 
@@ -89,6 +90,7 @@ OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
       step.kept = trial < current * (1.0 - options_.keep_threshold);
       step.mask = step.kept ? trial_mask : mask;
       result.trajectory.push_back(step);
+      if (options_.on_step) options_.on_step(step);
 
       if (step.kept) {
         mask = trial_mask;

@@ -20,15 +20,6 @@
 
 namespace hmpt::tuner {
 
-struct OnlineTunerOptions {
-  double hbm_budget_bytes = 0.0;  ///< <= 0: unlimited
-  /// Relative improvement a trial move must show to be kept.
-  double keep_threshold = 1e-3;
-  /// Stop after this many consecutive rejected trials.
-  int patience = 3;
-  int max_iterations = 200;
-};
-
 /// One step of the tuning trajectory.
 struct OnlineStep {
   int iteration = 0;
@@ -37,6 +28,21 @@ struct OnlineStep {
   int moved_group = -1;      ///< group moved this step (-1: none)
   bool to_hbm = false;       ///< direction of the move
   bool kept = false;         ///< move survived its confirmation run
+};
+
+struct OnlineTunerOptions {
+  double hbm_budget_bytes = 0.0;  ///< <= 0: unlimited
+  /// Relative improvement a trial move must show to be kept.
+  double keep_threshold = 1e-3;
+  /// Stop after this many consecutive rejected trials.
+  int patience = 3;
+  int max_iterations = 200;
+  /// Observer fired once with the first (all-DDR) observation, before any
+  /// trial steps; may be empty.
+  std::function<void(double)> on_baseline;
+  /// Observer fired after each trial run (the strategy layer's progress
+  /// hook); may be empty.
+  std::function<void(const OnlineStep&)> on_step;
 };
 
 struct OnlineResult {

@@ -1,0 +1,93 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace hmpt::tuner {
+
+Session& Session::workload(const workloads::Workload& w) {
+  workload_ = &w;
+  owned_.reset();
+  return *this;
+}
+
+Session& Session::workload(workloads::WorkloadPtr w) {
+  HMPT_REQUIRE(w != nullptr, "session workload must not be null");
+  owned_ = std::move(w);
+  workload_ = owned_.get();
+  return *this;
+}
+
+Session& Session::context(sim::ExecutionContext ctx) {
+  ctx_ = ctx;
+  return *this;
+}
+
+Session& Session::strategy(std::string name) {
+  strategy_ = std::move(name);
+  return *this;
+}
+
+Session& Session::budget_gb(double gb) {
+  HMPT_REQUIRE(gb >= 0.0, "HBM budget must be >= 0 GB");
+  budget_.hbm_budget_bytes = gb * GB;
+  return *this;
+}
+
+Session& Session::budget_bytes(double bytes) {
+  HMPT_REQUIRE(bytes >= 0.0, "HBM budget must be >= 0 bytes");
+  budget_.hbm_budget_bytes = bytes;
+  return *this;
+}
+
+Session& Session::repetitions(int reps) {
+  HMPT_REQUIRE(reps >= 1, "need >= 1 repetition");
+  budget_.repetitions = reps;
+  return *this;
+}
+
+Session& Session::gray_order(bool enabled) {
+  budget_.gray_order = enabled;
+  return *this;
+}
+
+Session& Session::top_k(int k) {
+  HMPT_REQUIRE(k >= 1, "top_k must be >= 1");
+  budget_.top_k = k;
+  return *this;
+}
+
+Session& Session::max_measurements(int n) {
+  HMPT_REQUIRE(n >= 0, "max_measurements must be >= 0");
+  budget_.max_measurements = n;
+  return *this;
+}
+
+Session& Session::patience(int passes) {
+  HMPT_REQUIRE(passes >= 1, "patience must be >= 1");
+  budget_.patience = passes;
+  return *this;
+}
+
+Session& Session::progress(
+    std::function<void(const TuningProgress&)> callback) {
+  callbacks_.on_progress = std::move(callback);
+  return *this;
+}
+
+TuningOutcome Session::run() const {
+  HMPT_REQUIRE(workload_ != nullptr, "session has no workload");
+  const auto strategy = make_strategy(strategy_);
+
+  std::vector<double> bytes;
+  for (const auto& g : workload_->groups()) bytes.push_back(g.bytes);
+  const ConfigSpace space(std::move(bytes));
+
+  const sim::ExecutionContext ctx =
+      ctx_.has_value() ? *ctx_ : sim_->full_machine();
+  return strategy->tune(*sim_, ctx, *workload_, space, budget_, callbacks_);
+}
+
+}  // namespace hmpt::tuner

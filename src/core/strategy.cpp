@@ -1,0 +1,321 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/estimator.h"
+#include "core/online.h"
+#include "core/planner.h"
+#include "core/report.h"
+
+namespace hmpt::tuner {
+
+namespace {
+
+/// <= 0 means "the machine's full HBM capacity" across all strategies.
+double resolved_budget(const sim::MachineSimulator& sim,
+                       const TuningBudget& budget) {
+  if (budget.hbm_budget_bytes > 0.0) return budget.hbm_budget_bytes;
+  return sim.machine().capacity_of_kind(topo::PoolKind::HBM);
+}
+
+void emit_progress(const TuningCallbacks& callbacks, const std::string& name,
+                   int configs_measured, ConfigMask mask, double time,
+                   double best_speedup) {
+  if (!callbacks.on_progress) return;
+  callbacks.on_progress({name, configs_measured, mask, time, best_speedup});
+}
+
+/// Fill the placement-derived fields of a finished outcome.
+void finish_outcome(TuningOutcome& out, const ConfigSpace& space) {
+  out.hbm_bytes = space.hbm_bytes(out.chosen_mask);
+  out.hbm_usage = space.hbm_usage(out.chosen_mask);
+  std::sort(out.table.begin(), out.table.end(),
+            [](const ConfigResult& a, const ConfigResult& b) {
+              return a.mask < b.mask;
+            });
+}
+
+}  // namespace
+
+std::string TuningOutcome::to_text() const {
+  std::ostringstream os;
+  os << "=== tuning: " << workload << " — strategy " << strategy
+     << " ===\n\n";
+  os << "configurations measured: " << configs_measured << " of "
+     << (std::size_t{1} << num_groups) << " (" << measurements
+     << " simulator runs, " << num_groups << " groups)\n";
+  os << "all-DDR baseline: " << format_time(baseline_time) << "\n";
+  os << "recommended placement: " << mask_label(chosen_mask, num_groups)
+     << " at " << cell(speedup, 2) << "x, using " << format_bytes(hbm_bytes)
+     << " of HBM (" << format_percent(hbm_usage) << " of footprint)\n";
+
+  if (!trajectory.empty()) {
+    Table steps({"step", "config", "time", "speedup", "accepted"});
+    for (const auto& s : trajectory)
+      steps.add_row({std::to_string(s.index),
+                     mask_label(s.mask, num_groups),
+                     format_time(s.observed_time), cell(s.speedup, 2) + "x",
+                     s.accepted ? "yes" : "no"});
+    os << "\ntrajectory:\n" << steps.to_text();
+  }
+  if (!configs().empty()) {
+    Table rows({"config", "speedup", "HBM usage", "groups in HBM"});
+    for (const auto& c : configs())
+      rows.add_row({mask_label(c.mask, num_groups),
+                    cell(c.speedup, 2) + "x", format_percent(c.hbm_usage),
+                    std::to_string(c.groups_in_hbm)});
+    os << "\nmeasured configurations:\n" << rows.to_text();
+  }
+  return os.str();
+}
+
+// --------------------------------------------------------------- registry
+
+StrategyRegistry::StrategyRegistry() {
+  add("exhaustive", [] { return std::make_unique<ExhaustiveStrategy>(); });
+  add("online", [] { return std::make_unique<OnlineGreedyStrategy>(); });
+  add("estimator",
+      [] { return std::make_unique<EstimatorGuidedStrategy>(); });
+}
+
+StrategyRegistry& StrategyRegistry::instance() {
+  static StrategyRegistry registry;
+  return registry;
+}
+
+void StrategyRegistry::add(const std::string& name, Factory factory) {
+  HMPT_REQUIRE(!name.empty(), "strategy name must not be empty");
+  HMPT_REQUIRE(factory != nullptr, "strategy factory must not be null");
+  HMPT_REQUIRE(!contains(name), "strategy already registered: " + name);
+  factories_.emplace_back(name, std::move(factory));
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  for (const auto& [key, factory] : factories_)
+    if (key == name) return true;
+  return false;
+}
+
+std::unique_ptr<TuningStrategy> StrategyRegistry::create(
+    const std::string& name) const {
+  for (const auto& [key, factory] : factories_)
+    if (key == name) return factory();
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  raise("unknown tuning strategy: '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<TuningStrategy> make_strategy(const std::string& name) {
+  return StrategyRegistry::instance().create(name);
+}
+
+// ------------------------------------------------------------- exhaustive
+
+TuningOutcome ExhaustiveStrategy::tune(
+    sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+    const workloads::Workload& workload, const ConfigSpace& space,
+    const TuningBudget& budget, const TuningCallbacks& callbacks) const {
+  ExperimentOptions options;
+  options.repetitions = budget.repetitions;
+  options.gray_order = budget.gray_order;
+  ExperimentRunner runner(sim, ctx, options);
+
+  TuningOutcome out;
+  out.strategy = name();
+  out.workload = workload.name();
+  out.num_groups = space.num_groups();
+
+  const double cap = resolved_budget(sim, budget);
+  double best = 0.0;
+  SweepResult sweep =
+      runner.sweep(workload, space, [&](const ConfigResult& result) {
+        ++out.configs_measured;
+        const bool fits = space.hbm_bytes(result.mask) <= cap;
+        const bool accepted = fits && result.speedup > best;
+        if (accepted) best = result.speedup;
+        out.trajectory.push_back({out.configs_measured, result.mask,
+                                  result.mean_time, result.speedup,
+                                  accepted});
+        emit_progress(callbacks, name(), out.configs_measured, result.mask,
+                      result.mean_time, best);
+      });
+  out.measurements = out.configs_measured * budget.repetitions;
+
+  const PlanChoice chosen = CapacityPlanner(sweep, space).best_under_budget(cap);
+  out.chosen_mask = chosen.mask;
+  out.chosen_time = sweep.of(chosen.mask).mean_time;
+  out.baseline_time = sweep.baseline_time;
+  out.speedup = chosen.speedup;
+  out.sweep = std::move(sweep);  // configs() serves the table from here
+  finish_outcome(out, space);
+  return out;
+}
+
+// ------------------------------------------------------------ online greedy
+
+TuningOutcome OnlineGreedyStrategy::tune(
+    sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+    const workloads::Workload& workload, const ConfigSpace& space,
+    const TuningBudget& budget, const TuningCallbacks& callbacks) const {
+  TuningOutcome out;
+  out.strategy = name();
+  out.workload = workload.name();
+  out.num_groups = space.num_groups();
+
+  OnlineTunerOptions options;
+  options.hbm_budget_bytes = resolved_budget(sim, budget);
+  options.patience = budget.patience;
+  if (budget.max_measurements > 0)
+    options.max_iterations = budget.max_measurements;
+
+  // Per-mask aggregation of the observations the tuner makes along the way
+  // (the online search has no separate measurement table). Repeated
+  // observations of a mask — confirmation passes — average like the
+  // runner's repetitions do, so the table is not min-biased under noise.
+  struct Seen {
+    RunningStats times;
+  };
+  std::vector<Seen> seen(space.size());
+  int distinct = 0;
+  const auto note = [&](ConfigMask mask, double time) {
+    if (seen[mask].times.count() == 0) ++distinct;
+    seen[mask].times.add(time);
+  };
+
+  // The tuner's first observation is the all-DDR baseline; every speedup
+  // the hooks report is relative to it.
+  options.on_baseline = [&](double time) {
+    out.baseline_time = time;
+    note(0, time);
+    emit_progress(callbacks, name(), distinct, 0, time, 1.0);
+  };
+
+  double best_speedup = 1.0;
+  options.on_step = [&](const OnlineStep& step) {
+    const ConfigMask tried =
+        step.kept ? step.mask
+                  : step.mask ^ (ConfigMask{1} << step.moved_group);
+    note(tried, step.observed_time);
+    const double speedup = out.baseline_time / step.observed_time;
+    if (step.kept) best_speedup = speedup;
+    out.trajectory.push_back(
+        {step.iteration, tried, step.observed_time, speedup, step.kept});
+    emit_progress(callbacks, name(), distinct, tried, step.observed_time,
+                  best_speedup);
+  };
+
+  OnlineTuner tuner(sim, ctx, options);
+  OnlineResult result = tuner.tune(workload, space);
+
+  out.chosen_mask = result.final_mask;
+  out.chosen_time = result.final_time;
+  out.speedup = result.speedup;
+  out.measurements = result.iterations_used;
+  out.configs_measured = distinct;
+  for (ConfigMask mask = 0; mask < seen.size(); ++mask) {
+    const auto& times = seen[mask].times;
+    if (times.count() == 0) continue;
+    ConfigResult r;
+    r.mask = mask;
+    r.mean_time = times.mean();
+    r.stddev_time = times.stddev();
+    r.speedup = result.baseline_time / times.mean();
+    r.hbm_usage = space.hbm_usage(mask);
+    r.groups_in_hbm = space.popcount(mask);
+    out.table.push_back(r);
+  }
+  finish_outcome(out, space);
+  return out;
+}
+
+// -------------------------------------------------------- estimator-guided
+
+TuningOutcome EstimatorGuidedStrategy::tune(
+    sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+    const workloads::Workload& workload, const ConfigSpace& space,
+    const TuningBudget& budget, const TuningCallbacks& callbacks) const {
+  HMPT_REQUIRE(budget.top_k >= 1, "estimator strategy needs top_k >= 1");
+  ExperimentOptions options;
+  options.repetitions = budget.repetitions;
+  ExperimentRunner runner(sim, ctx, options);
+
+  TuningOutcome out;
+  out.strategy = name();
+  out.workload = workload.name();
+  out.num_groups = space.num_groups();
+
+  const double cap = resolved_budget(sim, budget);
+  const int n = space.num_groups();
+  double best = 0.0;
+
+  std::vector<char> measured(space.size(), 0);
+  const auto measure = [&](ConfigMask mask) {
+    ConfigResult result =
+        runner.measure(workload, space, mask, out.baseline_time);
+    measured[mask] = 1;
+    ++out.configs_measured;
+    const bool fits = space.hbm_bytes(mask) <= cap;
+    const bool accepted = fits && result.speedup > best;
+    if (accepted) {
+      best = result.speedup;
+      out.chosen_mask = mask;
+      out.chosen_time = result.mean_time;
+    }
+    out.trajectory.push_back({out.configs_measured, mask, result.mean_time,
+                              result.speedup, accepted});
+    out.table.push_back(result);
+    emit_progress(callbacks, name(), out.configs_measured, mask,
+                  result.mean_time, best);
+    return result;
+  };
+
+  // Phase 1: baseline + the n single-group runs the estimator needs. The
+  // singles are measured even when over budget — the fit needs them; only
+  // the chosen placement must fit.
+  ConfigResult baseline = measure(0);
+  baseline.speedup = 1.0;
+  out.baseline_time = baseline.mean_time;
+  out.table[0].speedup = 1.0;
+  out.trajectory[0].speedup = 1.0;
+  std::vector<double> singles(static_cast<std::size_t>(n), 1.0);
+  for (int g = 0; g < n; ++g)
+    singles[static_cast<std::size_t>(g)] =
+        measure(ConfigMask{1} << g).speedup;
+
+  // Phase 2: rank the unmeasured, budget-fitting configurations by the
+  // linear estimate and measure only the top-k predicted.
+  const LinearEstimator estimator(singles);
+  std::vector<std::pair<double, ConfigMask>> ranked;
+  for (ConfigMask mask = 0; mask < space.size(); ++mask) {
+    if (measured[mask]) continue;
+    if (space.hbm_bytes(mask) > cap) continue;
+    ranked.emplace_back(estimator.estimate(mask), mask);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(budget.top_k),
+                            ranked.size());
+  for (std::size_t i = 0; i < k; ++i) measure(ranked[i].second);
+
+  out.measurements = out.configs_measured * budget.repetitions;
+  out.speedup = best;
+  finish_outcome(out, space);
+  return out;
+}
+
+}  // namespace hmpt::tuner

@@ -1,0 +1,180 @@
+// strategy.h — the pluggable tuning-strategy API.
+//
+// A TuningStrategy is one search method over the placement configuration
+// space: it decides which configurations to measure on the simulated
+// platform and which placement to recommend, under a common budget and with
+// a common progress/outcome contract. The built-in strategies cover the
+// three search regimes of the paper and its outlook:
+//
+//   "exhaustive"  measure all 2^n configurations (Sec. III-A sweep),
+//   "online"      greedy iterative extension with confirmation runs,
+//   "estimator"   fit the linear estimator from the n single-group runs
+//                 and measure only the top-k predicted placements —
+//                 O(n + k) measurements instead of O(2^n).
+//
+// Strategies are looked up by name in a string-keyed registry so new
+// methods (sharded sweeps, batched search, model-based tuners) plug in
+// without another parallel entry point; the Session facade (session.h) is
+// the intended front door.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config_space.h"
+#include "core/experiment.h"
+#include "simmem/simulator.h"
+#include "workloads/workload.h"
+
+namespace hmpt::tuner {
+
+/// Resource limits common to all strategies.
+struct TuningBudget {
+  /// HBM capacity the chosen placement must fit; <= 0 means "the machine's
+  /// full HBM capacity".
+  double hbm_budget_bytes = 0.0;
+  int repetitions = 3;  ///< simulator runs averaged per configuration
+  /// Enumerate exhaustive sweeps in Gray order (single-group deltas).
+  bool gray_order = true;
+  /// "estimator": number of top predicted configurations to measure.
+  int top_k = 3;
+  /// Cap on measured runs for iterative strategies; 0 = strategy default.
+  int max_measurements = 0;
+  /// "online": rejected full passes tolerated before stopping — lower it
+  /// on noisy platforms for fewer confirmation runs, raise it for more.
+  int patience = 3;
+};
+
+/// One progress tick: a configuration finished measuring.
+struct TuningProgress {
+  std::string strategy;
+  int configs_measured = 0;   ///< distinct configurations so far
+  ConfigMask mask = 0;        ///< configuration just measured
+  double observed_time = 0.0;
+  double best_speedup = 1.0;  ///< incumbent so far
+};
+
+struct TuningCallbacks {
+  std::function<void(const TuningProgress&)> on_progress;  ///< may be empty
+};
+
+/// One entry of the search trajectory.
+struct TuningStep {
+  int index = 0;          ///< 1-based measurement order
+  ConfigMask mask = 0;    ///< configuration tried
+  double observed_time = 0.0;
+  double speedup = 0.0;   ///< vs. the all-DDR baseline
+  bool accepted = false;  ///< became (or stayed part of) the incumbent
+};
+
+/// Unified result of any strategy: the chosen placement, how the search got
+/// there, and the per-configuration table of everything it measured.
+struct TuningOutcome {
+  std::string strategy;
+  std::string workload;
+  int num_groups = 0;
+
+  ConfigMask chosen_mask = 0;
+  double chosen_time = 0.0;
+  double baseline_time = 0.0;
+  double speedup = 1.0;
+  double hbm_bytes = 0.0;  ///< footprint of the chosen placement in HBM
+  double hbm_usage = 0.0;
+
+  int configs_measured = 0;  ///< distinct configurations measured
+  int measurements = 0;      ///< simulator runs incl. repetitions
+
+  std::vector<TuningStep> trajectory;
+  /// Distinct configurations measured, sorted by mask. Strategies that
+  /// sweep the whole space store it once in `sweep` instead of duplicating
+  /// it here — read through configs(), which serves whichever is present.
+  std::vector<ConfigResult> table;
+  /// The full sweep, present when the strategy measured the whole space.
+  std::optional<SweepResult> sweep;
+
+  /// The per-configuration results, wherever they live.
+  const std::vector<ConfigResult>& configs() const {
+    return sweep.has_value() ? sweep->configs : table;
+  }
+
+  /// Human-readable report: chosen placement, trajectory, config table.
+  std::string to_text() const;
+};
+
+class TuningStrategy {
+ public:
+  virtual ~TuningStrategy() = default;
+
+  virtual std::string name() const = 0;
+  virtual TuningOutcome tune(sim::MachineSimulator& sim,
+                             sim::ExecutionContext ctx,
+                             const workloads::Workload& workload,
+                             const ConfigSpace& space,
+                             const TuningBudget& budget,
+                             const TuningCallbacks& callbacks) const = 0;
+};
+
+/// String-keyed strategy registry. The built-in strategies are registered
+/// on first access; libraries add their own with add().
+class StrategyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<TuningStrategy>()>;
+
+  static StrategyRegistry& instance();
+
+  /// Register a factory; throws hmpt::Error on a duplicate name.
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Instantiate; throws hmpt::Error naming the known strategies when
+  /// `name` is not registered.
+  std::unique_ptr<TuningStrategy> create(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  StrategyRegistry();
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Convenience: StrategyRegistry::instance().create(name).
+std::unique_ptr<TuningStrategy> make_strategy(const std::string& name);
+
+// ------------------------------------------------------ built-in strategies
+
+/// Measures every configuration (wraps ExperimentRunner::sweep); chooses
+/// the best measured placement that fits the HBM budget.
+class ExhaustiveStrategy : public TuningStrategy {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  TuningOutcome tune(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+                     const workloads::Workload& workload,
+                     const ConfigSpace& space, const TuningBudget& budget,
+                     const TuningCallbacks& callbacks) const override;
+};
+
+/// Greedy iterative extension with confirmation runs (wraps OnlineTuner).
+class OnlineGreedyStrategy : public TuningStrategy {
+ public:
+  std::string name() const override { return "online"; }
+  TuningOutcome tune(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+                     const workloads::Workload& workload,
+                     const ConfigSpace& space, const TuningBudget& budget,
+                     const TuningCallbacks& callbacks) const override;
+};
+
+/// Fits the LinearEstimator from the baseline + n single-group runs, then
+/// measures only the top-k predicted configurations that fit the budget:
+/// 1 + n + k configurations instead of 2^n.
+class EstimatorGuidedStrategy : public TuningStrategy {
+ public:
+  std::string name() const override { return "estimator"; }
+  TuningOutcome tune(sim::MachineSimulator& sim, sim::ExecutionContext ctx,
+                     const workloads::Workload& workload,
+                     const ConfigSpace& space, const TuningBudget& budget,
+                     const TuningCallbacks& callbacks) const override;
+};
+
+}  // namespace hmpt::tuner

@@ -97,4 +97,57 @@ TEST_F(CliTest, BadUsageFailsCleanly) {
   EXPECT_EQ(run("--help"), 0);
 }
 
+TEST_F(CliTest, BadFlagValuesFailWithUsage) {
+  // Out-of-range numerics exit 1 and print the usage text, instead of
+  // silently misconfiguring the run.
+  for (const std::string args :
+       {"--threshold 0", "--threshold 1.5", "--threshold -0.3",
+        "--budget-gb -1", "--reps 0", "--reps -2", "--top-k 0",
+        "--threshold abc", "--reps 2.5", "--strategy frobnicate"}) {
+    const int rc = run(profile_ + " " + args);
+    EXPECT_NE(rc, 0) << args;
+    EXPECT_NE(slurp(out_).find("usage:"), std::string::npos) << args;
+  }
+  // The boundary values stay valid.
+  EXPECT_EQ(run(profile_ + " --threshold 1 --reps 1 --budget-gb 0"), 0)
+      << slurp(out_);
+}
+
+// Pull "...: [0 1] at 2.27x" out of either report flavour.
+std::string recommended_mask(const std::string& out) {
+  const auto at = out.find("recommended placement");
+  if (at == std::string::npos) return "<missing>";
+  const auto open = out.find('[', at);
+  const auto close = out.find(']', at);
+  if (open == std::string::npos || close == std::string::npos)
+    return "<missing>";
+  return out.substr(open, close - open + 1);
+}
+
+TEST_F(CliTest, AllStrategiesAgreeOnTheRecommendedMask) {
+  ASSERT_EQ(run(profile_ + " --strategy exhaustive"), 0) << slurp(out_);
+  const std::string exhaustive = recommended_mask(slurp(out_));
+  ASSERT_NE(exhaustive, "<missing>") << slurp(out_);
+
+  ASSERT_EQ(run(profile_ + " --strategy online"), 0) << slurp(out_);
+  EXPECT_EQ(recommended_mask(slurp(out_)), exhaustive) << slurp(out_);
+
+  ASSERT_EQ(run(profile_ + " --strategy estimator"), 0) << slurp(out_);
+  const std::string estimator_out = slurp(out_);
+  EXPECT_EQ(recommended_mask(estimator_out), exhaustive) << estimator_out;
+  // The estimator-guided search reports measuring less than the full space.
+  EXPECT_NE(estimator_out.find("configurations measured: 7 of 8"),
+            std::string::npos)
+      << estimator_out;
+}
+
+TEST_F(CliTest, StrategyPlanMatchesExhaustivePlan) {
+  ASSERT_EQ(run(profile_ + " --strategy estimator --plan-out " + plan_), 0)
+      << slurp(out_);
+  const auto plan = hmpt::shim::PlacementPlan::parse(slurp(plan_));
+  EXPECT_EQ(plan.kind_for_named("mg::u"), hmpt::topo::PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("mg::r"), hmpt::topo::PoolKind::HBM);
+  EXPECT_EQ(plan.kind_for_named("mg::v"), hmpt::topo::PoolKind::DDR);
+}
+
 }  // namespace

@@ -1,14 +1,22 @@
 // hmpt_analyze — command-line front end of the tuner.
 //
 // Loads a recorded workload profile (the format trace_io writes and the
-// driver's profiling path produces), sweeps its placement space on a
-// simulated platform, prints the paper-style analysis, and optionally
+// driver's profiling path produces), tunes its placement on a simulated
+// platform with the selected strategy, prints the analysis, and optionally
 // writes the recommended shim placement plan for the next run:
 //
-//   hmpt_analyze <profile> [--platform spr|spr1|knl] [--budget-gb N]
-//                [--threshold F] [--reps N] [--plan-out FILE] [--csv]
+//   hmpt_analyze <profile> [--platform spr|spr1|knl] [--strategy NAME]
+//                [--budget-gb N] [--threshold F] [--reps N] [--top-k N]
+//                [--plan-out FILE] [--csv]
+//
+// The default "exhaustive" strategy prints the full paper-style report
+// (detailed + summary views); every other registered strategy prints the
+// unified TuningOutcome (chosen placement, trajectory, measured table).
 //
 // Exit codes: 0 success, 1 bad usage, 2 analysis failure.
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -17,23 +25,77 @@
 
 #include "common/units.h"
 #include "core/driver.h"
+#include "core/session.h"
 #include "simmem/simulator.h"
 #include "workloads/trace_io.h"
 
 namespace {
 
 void usage(const char* argv0) {
+  std::string strategies;
+  for (const auto& name : hmpt::tuner::StrategyRegistry::instance().names())
+    strategies += (strategies.empty() ? "" : "|") + name;
   std::cerr
       << "usage: " << argv0 << " <profile> [options]\n"
       << "  --platform spr|spr1|knl   platform model (default spr: dual\n"
       << "                            Xeon Max 9468; spr1: one socket;\n"
       << "                            knl: KNL-like)\n"
+      << "  --strategy " << strategies << "\n"
+      << "                            search method (default exhaustive)\n"
       << "  --budget-gb N             HBM capacity budget for the plan\n"
+      << "                            (N >= 0; 0 = full machine HBM)\n"
       << "  --threshold F             speedup fraction for the minimal\n"
-      << "                            footprint search (default 0.9)\n"
-      << "  --reps N                  measurement repetitions (default 3)\n"
+      << "                            footprint search, in (0,1]\n"
+      << "                            (default 0.9)\n"
+      << "  --reps N                  measurement repetitions (default 3,\n"
+      << "                            N >= 1)\n"
+      << "  --top-k N                 estimator strategy: predicted\n"
+      << "                            configurations to measure (default 3)\n"
       << "  --plan-out FILE           write the recommended shim plan\n"
       << "  --csv                     also print the summary-view CSV\n";
+}
+
+/// Parse a full numeric argument; exits 1 with usage on garbage like
+/// "--reps abc" instead of silently misconfiguring the run via atoi(0).
+double parse_double(const char* argv0, const std::string& flag,
+                    const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not a number: '" << text << "'\n";
+    usage(argv0);
+    std::exit(1);
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+    usage(argv0);
+    std::exit(1);
+  }
+  return value;
+}
+
+int parse_int(const char* argv0, const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not an integer: '" << text << "'\n";
+    usage(argv0);
+    std::exit(1);
+  }
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+    usage(argv0);
+    std::exit(1);
+  }
+  return static_cast<int>(value);
+}
+
+[[noreturn]] void bad_value(const char* argv0, const std::string& message) {
+  std::cerr << message << '\n';
+  usage(argv0);
+  std::exit(1);
 }
 
 }  // namespace
@@ -47,10 +109,12 @@ int main(int argc, char** argv) {
 
   std::string profile_path;
   std::string platform = "spr";
+  std::string strategy = "exhaustive";
   std::string plan_out;
   double budget_gb = 0.0;
   double threshold = 0.9;
   int reps = 3;
+  int top_k = 3;
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,9 +127,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--platform") platform = next();
-    else if (arg == "--budget-gb") budget_gb = std::atof(next());
-    else if (arg == "--threshold") threshold = std::atof(next());
-    else if (arg == "--reps") reps = std::atoi(next());
+    else if (arg == "--strategy") strategy = next();
+    else if (arg == "--budget-gb")
+      budget_gb = parse_double(argv[0], arg, next());
+    else if (arg == "--threshold")
+      threshold = parse_double(argv[0], arg, next());
+    else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
+    else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
     else if (arg == "--plan-out") plan_out = next();
     else if (arg == "--csv") csv = true;
     else if (arg == "--help" || arg == "-h") {
@@ -86,6 +154,13 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (!(threshold > 0.0 && threshold <= 1.0))
+    bad_value(argv[0], "--threshold must be in (0,1]");
+  if (budget_gb < 0.0) bad_value(argv[0], "--budget-gb must be >= 0");
+  if (reps < 1) bad_value(argv[0], "--reps must be >= 1");
+  if (top_k < 1) bad_value(argv[0], "--top-k must be >= 1");
+  if (!tuner::StrategyRegistry::instance().contains(strategy))
+    bad_value(argv[0], "unknown strategy: " + strategy);
 
   try {
     auto simulator = [&]() -> sim::MachineSimulator {
@@ -104,16 +179,40 @@ int main(int argc, char** argv) {
               << format_bytes(workload.total_bytes()) << ")\n";
     std::cout << "platform: " << simulator.machine().name() << "\n\n";
 
-    tuner::DriverOptions options;
-    options.experiment.repetitions = reps;
-    options.threshold_fraction = threshold;
-    options.hbm_budget_bytes = budget_gb * GB;
-    tuner::Driver driver(simulator, simulator.full_machine(), options);
-    const auto report = driver.analyze(workload);
-    std::cout << report.to_text();
-    if (csv) {
-      std::cout << "\nsummary view CSV:\n"
-                << report.summary_view.table.to_csv();
+    // Every strategy runs through the Session facade; "exhaustive"
+    // additionally gets the full paper-style report from the Driver, whose
+    // analysis is built on the same strategy layer.
+    tuner::ConfigMask plan_mask = 0;
+    if (strategy == "exhaustive") {
+      tuner::DriverOptions options;
+      options.experiment.repetitions = reps;
+      options.threshold_fraction = threshold;
+      options.hbm_budget_bytes = budget_gb * GB;
+      tuner::Driver driver(simulator, simulator.full_machine(), options);
+      const auto report = driver.analyze(workload);
+      plan_mask = report.recommended.mask;
+      std::cout << report.to_text();
+      if (csv) {
+        std::cout << "\nsummary view CSV:\n"
+                  << report.summary_view.table.to_csv();
+      }
+    } else {
+      const auto outcome = tuner::Session::on(simulator)
+                               .workload(workload)
+                               .strategy(strategy)
+                               .repetitions(reps)
+                               .budget_gb(budget_gb)
+                               .top_k(top_k)
+                               .run();
+      plan_mask = outcome.chosen_mask;
+      std::cout << outcome.to_text();
+      if (csv) {
+        Table table({"config", "speedup", "hbm_usage"});
+        for (const auto& c : outcome.configs())
+          table.add_row({tuner::mask_label(c.mask, outcome.num_groups),
+                         cell(c.speedup, 4), cell(c.hbm_usage, 4)});
+        std::cout << "\nmeasured configurations CSV:\n" << table.to_csv();
+      }
     }
 
     if (!plan_out.empty()) {
@@ -126,7 +225,7 @@ int main(int argc, char** argv) {
         ag.bytes = g.bytes;
         groups.push_back(ag);
       }
-      const auto plan = driver.plan_for(report, groups);
+      const auto plan = tuner::to_placement_plan(groups, plan_mask);
       std::ofstream os(plan_out);
       if (!os.good()) {
         std::cerr << "cannot write plan to " << plan_out << '\n';
