@@ -4,6 +4,25 @@
 
 namespace hmpt {
 
+namespace {
+
+/// splitmix64 finaliser: a strong 64-bit mixer (Stafford mix13 constants).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t counter) {
+  std::uint64_t h = mix64(seed + 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ (stream + 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (counter + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
 double Rng::next_gaussian(double mean, double stddev) {
   // Box-Muller; discard the second variate to keep the generator stateless
   // beyond its 256-bit core state.

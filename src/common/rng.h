@@ -10,6 +10,15 @@
 
 namespace hmpt {
 
+/// Collision-resistant combination of a base seed with up to two stream
+/// identifiers (splitmix64 finaliser applied per word). Seeding an Rng from
+/// mix_seed(seed, stream, counter) yields statistically independent,
+/// counter-based random streams: the draw for a given (stream, counter)
+/// pair is a pure function of the triple, independent of any other draw —
+/// the foundation of the simulator's per-(mask, repetition) noise streams.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t counter = 0);
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 /// Deterministic across platforms; not cryptographic.
 class Rng {

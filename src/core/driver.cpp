@@ -66,6 +66,7 @@ AnalysisReport Driver::analyze(const workloads::Workload& workload) const {
                               .strategy("exhaustive")
                               .repetitions(options_.experiment.repetitions)
                               .gray_order(options_.experiment.gray_order)
+                              .jobs(options_.experiment.jobs)
                               .budget_bytes(
                                   std::max(options_.hbm_budget_bytes, 0.0))
                               .run();

@@ -1,9 +1,11 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace hmpt::tuner {
 
@@ -30,6 +32,64 @@ ExperimentRunner::ExperimentRunner(sim::MachineSimulator& sim,
                                    ExperimentOptions options)
     : sim_(&sim), ctx_(ctx), options_(options) {
   HMPT_REQUIRE(options_.repetitions >= 1, "need >= 1 repetition");
+  HMPT_REQUIRE(options_.jobs >= 0, "jobs must be >= 0 (0 = hardware)");
+}
+
+int ExperimentRunner::resolved_jobs() const {
+  return options_.jobs == 0 ? ThreadPool::hardware_jobs() : options_.jobs;
+}
+
+ThreadPool& ExperimentRunner::pool() {
+  if (!pool_) pool_ = std::make_shared<ThreadPool>(resolved_jobs());
+  return *pool_;
+}
+
+ExperimentRunner::TraceStats ExperimentRunner::trace_stats(
+    const sim::PhaseTrace& trace, int num_groups) {
+  TraceStats stats;
+  stats.group_bytes.assign(static_cast<std::size_t>(num_groups), 0.0);
+  for (const auto& phase : trace.phases) {
+    for (const auto& s : phase.streams) {
+      const double bytes = s.bytes_read + s.bytes_written;
+      HMPT_REQUIRE(s.group >= 0 && s.group < num_groups,
+                   "trace group out of range");
+      stats.group_bytes[static_cast<std::size_t>(s.group)] += bytes;
+      stats.total_bytes += bytes;
+    }
+  }
+  return stats;
+}
+
+ConfigResult ExperimentRunner::measure_config(
+    const sim::PhaseTrace& trace, const TraceStats& stats,
+    const ConfigSpace& space, ConfigMask mask, double baseline_time,
+    sim::CachedTraceTimer* timer) const {
+  const auto placement = space.placement(mask);
+  // The deterministic time is a pure function of the placement: compute it
+  // once and apply per-repetition noise on top, instead of re-timing the
+  // whole trace `repetitions` times.
+  const double t = timer != nullptr
+                       ? timer->time(placement)
+                       : sim_->time_trace(trace, placement, ctx_);
+  RunningStats runs;
+  for (int rep = 0; rep < options_.repetitions; ++rep)
+    runs.add(t * sim_->noise_factor({mask, static_cast<std::uint64_t>(rep)}));
+
+  ConfigResult result;
+  result.mask = mask;
+  result.mean_time = runs.mean();
+  result.stddev_time = runs.stddev();
+  result.speedup = baseline_time > 0.0 ? baseline_time / runs.mean() : 1.0;
+  result.hbm_usage = space.hbm_usage(mask);
+  // Access density from the per-group totals: bit-for-bit the same value
+  // for every enumeration order, job count and cache setting.
+  double hbm = 0.0;
+  for (int g = 0; g < space.num_groups(); ++g)
+    if (mask & (ConfigMask{1} << g))
+      hbm += stats.group_bytes[static_cast<std::size_t>(g)];
+  result.hbm_density = stats.total_bytes > 0.0 ? hbm / stats.total_bytes : 0.0;
+  result.groups_in_hbm = space.popcount(mask);
+  return result;
 }
 
 ConfigResult ExperimentRunner::measure(const workloads::Workload& workload,
@@ -37,20 +97,38 @@ ConfigResult ExperimentRunner::measure(const workloads::Workload& workload,
                                        ConfigMask mask,
                                        double baseline_time) {
   const auto trace = workload.trace();
-  const auto placement = space.placement(mask);
-  RunningStats stats;
-  for (int rep = 0; rep < options_.repetitions; ++rep)
-    stats.add(sim_->measure_trace(trace, placement, ctx_));
+  const TraceStats stats = trace_stats(trace, space.num_groups());
+  return measure_config(trace, stats, space, mask, baseline_time, nullptr);
+}
 
-  ConfigResult result;
-  result.mask = mask;
-  result.mean_time = stats.mean();
-  result.stddev_time = stats.stddev();
-  result.speedup = baseline_time > 0.0 ? baseline_time / stats.mean() : 1.0;
-  result.hbm_usage = space.hbm_usage(mask);
-  result.hbm_density = hbm_access_fraction(trace, placement);
-  result.groups_in_hbm = space.popcount(mask);
-  return result;
+std::vector<ConfigResult> ExperimentRunner::measure_batch(
+    const workloads::Workload& workload, const ConfigSpace& space,
+    const std::vector<ConfigMask>& masks, double baseline_time) {
+  const auto trace = workload.trace();
+  const TraceStats stats = trace_stats(trace, space.num_groups());
+  std::vector<ConfigResult> results(masks.size());
+
+  const int jobs = resolved_jobs();
+  if (jobs <= 1 || masks.size() < 2) {
+    std::optional<sim::CachedTraceTimer> timer;
+    if (options_.memoize) timer.emplace(sim_->solver(), trace, ctx_);
+    for (std::size_t i = 0; i < masks.size(); ++i)
+      results[i] = measure_config(trace, stats, space, masks[i],
+                                  baseline_time,
+                                  timer ? &*timer : nullptr);
+    return results;
+  }
+
+  pool().parallel_chunks(masks.size(), [&](std::size_t begin,
+                                           std::size_t end) {
+    std::optional<sim::CachedTraceTimer> timer;
+    if (options_.memoize) timer.emplace(sim_->solver(), trace, ctx_);
+    for (std::size_t i = begin; i < end; ++i)
+      results[i] = measure_config(trace, stats, space, masks[i],
+                                  baseline_time,
+                                  timer ? &*timer : nullptr);
+  });
+  return results;
 }
 
 SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
@@ -63,24 +141,71 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
                                     const ConfigCallback& on_config) {
   HMPT_REQUIRE(space.num_groups() == workload.num_groups(),
                "config space arity does not match the workload");
+  const auto trace = workload.trace();
+  const TraceStats stats = trace_stats(trace, space.num_groups());
+
   SweepResult sweep;
   sweep.num_groups = space.num_groups();
   sweep.configs.resize(space.size());
 
-  // Baseline first: every speedup is relative to the all-DDR mean.
-  ConfigResult baseline = measure(workload, space, 0, 0.0);
+  const auto masks =
+      options_.gray_order ? space.gray_masks() : space.all_masks();
+  const int jobs = resolved_jobs();
+
+  if (jobs <= 1) {
+    // Serial: one timer lives across the whole enumeration, so Gray order
+    // re-times only the phases touching the flipped group.
+    std::optional<sim::CachedTraceTimer> timer;
+    if (options_.memoize) timer.emplace(sim_->solver(), trace, ctx_);
+    sim::CachedTraceTimer* t = timer ? &*timer : nullptr;
+
+    // Baseline first: every speedup is relative to the all-DDR mean.
+    ConfigResult baseline = measure_config(trace, stats, space, 0, 0.0, t);
+    baseline.speedup = 1.0;
+    sweep.baseline_time = baseline.mean_time;
+    sweep.configs[0] = baseline;
+    if (on_config) on_config(sweep.configs[0]);
+
+    for (const ConfigMask mask : masks) {
+      if (mask == 0) continue;
+      sweep.configs[mask] = measure_config(trace, stats, space, mask,
+                                           sweep.baseline_time, t);
+      if (on_config) on_config(sweep.configs[mask]);
+    }
+    return sweep;
+  }
+
+  // Parallel: the baseline is measured up front (speedups need its mean),
+  // then the remaining enumeration is split into contiguous chunks — each
+  // worker keeps its own timer, so Gray-order adjacency still pays off
+  // within a chunk. Per-mask result slots make the region write-disjoint.
+  ConfigResult baseline = measure_config(trace, stats, space, 0, 0.0,
+                                         nullptr);
   baseline.speedup = 1.0;
   sweep.baseline_time = baseline.mean_time;
   sweep.configs[0] = baseline;
-  if (on_config) on_config(sweep.configs[0]);
 
-  const auto masks =
-      options_.gray_order ? space.gray_masks() : space.all_masks();
-  for (const ConfigMask mask : masks) {
-    if (mask == 0) continue;
-    sweep.configs[mask] =
-        measure(workload, space, mask, sweep.baseline_time);
-    if (on_config) on_config(sweep.configs[mask]);
+  std::vector<ConfigMask> rest;
+  rest.reserve(masks.size() - 1);
+  for (const ConfigMask mask : masks)
+    if (mask != 0) rest.push_back(mask);
+
+  pool().parallel_chunks(rest.size(), [&](std::size_t begin,
+                                          std::size_t end) {
+    std::optional<sim::CachedTraceTimer> timer;
+    if (options_.memoize) timer.emplace(sim_->solver(), trace, ctx_);
+    for (std::size_t i = begin; i < end; ++i)
+      sweep.configs[rest[i]] =
+          measure_config(trace, stats, space, rest[i], sweep.baseline_time,
+                         timer ? &*timer : nullptr);
+  });
+
+  // Callbacks fire after the barrier, from this thread, in enumeration
+  // order — the exact sequence the serial sweep produces.
+  if (on_config) {
+    on_config(sweep.configs[0]);
+    for (const ConfigMask mask : masks)
+      if (mask != 0) on_config(sweep.configs[mask]);
   }
   return sweep;
 }

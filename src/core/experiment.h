@@ -3,14 +3,32 @@
 // For a fixed workload, the runner measures every placement configuration
 // n times on the (simulated) platform and aggregates speedups relative to
 // the all-DDR baseline — the roughly 2^|AG| * n measurements of Sec. III-A.
+//
+// The campaign is the tuner's hot path, so the runner scales it two ways:
+//   * parallelism — `jobs` worker threads split the enumeration into
+//     contiguous chunks (the simulator is const and thread-safe);
+//   * memoization — each worker re-times only the phases whose allocation
+//     group flipped, exploiting the Gray-order enumeration through a
+//     per-worker CachedTraceTimer, and the deterministic trace time is
+//     computed once per configuration with per-repetition noise applied on
+//     top instead of re-timing every repetition.
+// Both are exact: serial, parallel, memoized and unmemoized sweeps return
+// bit-identical SweepResults (the simulator's per-(mask, repetition) noise
+// streams are order-independent, and the cache stores exact doubles).
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/config_space.h"
 #include "simmem/simulator.h"
+#include "simmem/timing_cache.h"
 #include "workloads/workload.h"
+
+namespace hmpt {
+class ThreadPool;
+}
 
 namespace hmpt::tuner {
 
@@ -30,6 +48,12 @@ struct ExperimentOptions {
   /// When true, enumerate in Gray order (adjacent configs differ by one
   /// group); results are returned sorted by mask either way.
   bool gray_order = true;
+  /// Worker threads measuring configurations; 1 = serial in the calling
+  /// thread, 0 = all hardware threads. Results are bit-identical at any
+  /// job count.
+  int jobs = 1;
+  /// Memoize per-phase timings across configurations (exact; see header).
+  bool memoize = true;
 };
 
 /// Full sweep outcome.
@@ -55,8 +79,10 @@ class ExperimentRunner {
                    ExperimentOptions options = {});
 
   /// Measure every configuration of `space` for `workload`. `on_config`
-  /// (when given) fires once per configuration in measurement order — the
-  /// hook the strategy layer uses for progress reporting.
+  /// (when given) fires once per configuration, always from the calling
+  /// thread and always in enumeration order (baseline first, then Gray or
+  /// natural order) whatever the job count — the hook the strategy layer
+  /// uses for progress reporting.
   SweepResult sweep(const workloads::Workload& workload,
                     const ConfigSpace& space);
   SweepResult sweep(const workloads::Workload& workload,
@@ -68,10 +94,41 @@ class ExperimentRunner {
                        const ConfigSpace& space, ConfigMask mask,
                        double baseline_time);
 
+  /// Measure a batch of configurations (in parallel when options.jobs says
+  /// so); results are returned in the order of `masks` and are identical
+  /// to measuring each mask serially. The partial-space counterpart of
+  /// sweep() for strategies that probe selected configurations.
+  std::vector<ConfigResult> measure_batch(const workloads::Workload& workload,
+                                          const ConfigSpace& space,
+                                          const std::vector<ConfigMask>& masks,
+                                          double baseline_time);
+
+  /// The worker-thread count a sweep will actually use.
+  int resolved_jobs() const;
+
  private:
+  /// Per-group trace traffic, precomputed once per campaign so HBM access
+  /// density is O(groups) per configuration instead of O(streams).
+  struct TraceStats {
+    std::vector<double> group_bytes;  ///< bytes accessed per group
+    double total_bytes = 0.0;
+  };
+  static TraceStats trace_stats(const sim::PhaseTrace& trace, int num_groups);
+
+  ConfigResult measure_config(const sim::PhaseTrace& trace,
+                              const TraceStats& stats,
+                              const ConfigSpace& space, ConfigMask mask,
+                              double baseline_time,
+                              sim::CachedTraceTimer* timer) const;
+
+  /// The worker pool, created on the first parallel campaign and reused
+  /// across sweeps and batches (its threads persist).
+  ThreadPool& pool();
+
   sim::MachineSimulator* sim_;
   sim::ExecutionContext ctx_;
   ExperimentOptions options_;
+  std::shared_ptr<ThreadPool> pool_;  ///< shared so runners stay copyable
 };
 
 /// Fraction of trace bytes that land in HBM under `placement` — the

@@ -14,9 +14,12 @@ OnlineTuner::OnlineTuner(sim::MachineSimulator& sim,
   HMPT_REQUIRE(options_.patience >= 1, "patience must be >= 1");
 }
 
-double OnlineTuner::observe(const sim::PhaseTrace& trace,
-                            const ConfigSpace& space, ConfigMask mask) {
-  return sim_->measure_trace(trace, space.placement(mask), ctx_);
+double OnlineTuner::observe(
+    const sim::PhaseTrace& trace, const ConfigSpace& space, ConfigMask mask,
+    std::unordered_map<ConfigMask, std::uint32_t>& visits) {
+  const std::uint64_t rep = visits[mask]++;
+  return sim_->measure_trace(trace, space.placement(mask), ctx_,
+                             {mask, rep});
 }
 
 OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
@@ -30,8 +33,9 @@ OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
                             : space.total_bytes() + 1.0;
 
   OnlineResult result;
+  std::unordered_map<ConfigMask, std::uint32_t> visits;
   ConfigMask mask = 0;
-  double current = observe(trace, space, mask);
+  double current = observe(trace, space, mask, visits);
   result.baseline_time = current;
   if (options_.on_baseline) options_.on_baseline(current);
   int iterations = 1;
@@ -79,7 +83,7 @@ OnlineResult OnlineTuner::tune(const workloads::Workload& workload,
       if (iterations >= options_.max_iterations) break;
       const ConfigMask trial_mask =
           mask ^ (ConfigMask{1} << candidate.group);
-      const double trial = observe(trace, space, trial_mask);
+      const double trial = observe(trace, space, trial_mask, visits);
       ++iterations;
 
       OnlineStep step;

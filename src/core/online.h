@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config_space.h"
@@ -65,8 +66,14 @@ class OnlineTuner {
                     const ConfigSpace& space);
 
  private:
+  /// One measured run of `mask`. `visits` counts prior observations per
+  /// mask (sparse — the greedy search touches O(iterations) of the 2^n
+  /// masks): the i-th observation of a mask draws noise stream (mask, i),
+  /// matching the i-th repetition of an exhaustive sweep over the same
+  /// configuration (the simulator's determinism guarantee).
   double observe(const sim::PhaseTrace& trace, const ConfigSpace& space,
-                 ConfigMask mask);
+                 ConfigMask mask,
+                 std::unordered_map<ConfigMask, std::uint32_t>& visits);
 
   sim::MachineSimulator* sim_;
   sim::ExecutionContext ctx_;

@@ -53,6 +53,12 @@ Session& Session::gray_order(bool enabled) {
   return *this;
 }
 
+Session& Session::jobs(int n) {
+  HMPT_REQUIRE(n >= 0, "jobs must be >= 0 (0 = all hardware threads)");
+  budget_.jobs = n;
+  return *this;
+}
+
 Session& Session::top_k(int k) {
   HMPT_REQUIRE(k >= 1, "top_k must be >= 1");
   budget_.top_k = k;

@@ -42,6 +42,9 @@ class Session {
   Session& budget_bytes(double bytes);
   Session& repetitions(int reps);
   Session& gray_order(bool enabled);
+  /// Measurement worker threads (1 = serial, 0 = all hardware threads);
+  /// the outcome is bit-identical at any job count.
+  Session& jobs(int n);
   Session& top_k(int k);
   Session& max_measurements(int n);
   Session& patience(int passes);

@@ -132,6 +132,7 @@ TuningOutcome ExhaustiveStrategy::tune(
   ExperimentOptions options;
   options.repetitions = budget.repetitions;
   options.gray_order = budget.gray_order;
+  options.jobs = budget.jobs;
   ExperimentRunner runner(sim, ctx, options);
 
   TuningOutcome out;
@@ -251,6 +252,7 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   HMPT_REQUIRE(budget.top_k >= 1, "estimator strategy needs top_k >= 1");
   ExperimentOptions options;
   options.repetitions = budget.repetitions;
+  options.jobs = budget.jobs;
   ExperimentRunner runner(sim, ctx, options);
 
   TuningOutcome out;
@@ -263,38 +265,44 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   double best = 0.0;
 
   std::vector<char> measured(space.size(), 0);
-  const auto measure = [&](ConfigMask mask) {
-    ConfigResult result =
-        runner.measure(workload, space, mask, out.baseline_time);
-    measured[mask] = 1;
+  // Bookkeeping of one finished measurement. Batches measure in parallel
+  // but record in batch order, and the simulator's noise streams are
+  // order-independent, so the trajectory matches a serial run exactly.
+  const auto record = [&](const ConfigResult& result) {
+    measured[result.mask] = 1;
     ++out.configs_measured;
-    const bool fits = space.hbm_bytes(mask) <= cap;
+    const bool fits = space.hbm_bytes(result.mask) <= cap;
     const bool accepted = fits && result.speedup > best;
     if (accepted) {
       best = result.speedup;
-      out.chosen_mask = mask;
+      out.chosen_mask = result.mask;
       out.chosen_time = result.mean_time;
     }
-    out.trajectory.push_back({out.configs_measured, mask, result.mean_time,
-                              result.speedup, accepted});
+    out.trajectory.push_back({out.configs_measured, result.mask,
+                              result.mean_time, result.speedup, accepted});
     out.table.push_back(result);
-    emit_progress(callbacks, name(), out.configs_measured, mask,
+    emit_progress(callbacks, name(), out.configs_measured, result.mask,
                   result.mean_time, best);
-    return result;
   };
 
   // Phase 1: baseline + the n single-group runs the estimator needs. The
   // singles are measured even when over budget — the fit needs them; only
   // the chosen placement must fit.
-  ConfigResult baseline = measure(0);
+  ConfigResult baseline = runner.measure(workload, space, 0, 0.0);
   baseline.speedup = 1.0;
   out.baseline_time = baseline.mean_time;
-  out.table[0].speedup = 1.0;
-  out.trajectory[0].speedup = 1.0;
+  record(baseline);
+
+  std::vector<ConfigMask> single_masks;
+  for (int g = 0; g < n; ++g) single_masks.push_back(ConfigMask{1} << g);
+  const auto single_results =
+      runner.measure_batch(workload, space, single_masks, out.baseline_time);
   std::vector<double> singles(static_cast<std::size_t>(n), 1.0);
-  for (int g = 0; g < n; ++g)
+  for (int g = 0; g < n; ++g) {
+    record(single_results[static_cast<std::size_t>(g)]);
     singles[static_cast<std::size_t>(g)] =
-        measure(ConfigMask{1} << g).speedup;
+        single_results[static_cast<std::size_t>(g)].speedup;
+  }
 
   // Phase 2: rank the unmeasured, budget-fitting configurations by the
   // linear estimate and measure only the top-k predicted.
@@ -310,7 +318,11 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   const std::size_t k =
       std::min<std::size_t>(static_cast<std::size_t>(budget.top_k),
                             ranked.size());
-  for (std::size_t i = 0; i < k; ++i) measure(ranked[i].second);
+  std::vector<ConfigMask> top_masks;
+  for (std::size_t i = 0; i < k; ++i) top_masks.push_back(ranked[i].second);
+  for (const auto& result :
+       runner.measure_batch(workload, space, top_masks, out.baseline_time))
+    record(result);
 
   out.measurements = out.configs_measured * budget.repetitions;
   out.speedup = best;

@@ -12,8 +12,7 @@ MachineSimulator::MachineSimulator(topo::Machine machine,
       cache_(spr_single_core_hierarchy()),
       pool_model_(machine_, config),
       solver_(pool_model_, cache_),
-      noise_(noise),
-      rng_(noise.seed) {}
+      noise_(noise) {}
 
 MachineSimulator MachineSimulator::paper_platform() {
   return MachineSimulator(topo::xeon_max_9468_duo_flat_snc4(),
@@ -33,13 +32,20 @@ double MachineSimulator::time_trace(const PhaseTrace& trace,
 
 double MachineSimulator::measure_trace(const PhaseTrace& trace,
                                        const Placement& placement,
-                                       const ExecutionContext& ctx) {
-  const double t = time_trace(trace, placement, ctx);
-  if (noise_.relative_sigma <= 0.0) return t;
+                                       const ExecutionContext& ctx,
+                                       MeasurementKey key) const {
+  return time_trace(trace, placement, ctx) * noise_factor(key);
+}
+
+double MachineSimulator::noise_factor(MeasurementKey key) const {
+  if (noise_.relative_sigma <= 0.0) return 1.0;
   // Log-normal multiplicative noise keeps measured times positive and
-  // roughly symmetric in relative terms.
-  const double z = rng_.next_gaussian(0.0, noise_.relative_sigma);
-  return t * std::exp(z);
+  // roughly symmetric in relative terms. Each (stream, repetition) key
+  // seeds its own counter-based stream, so the factor is independent of
+  // measurement order (see the header's determinism guarantee).
+  Rng rng(mix_seed(noise_.seed, key.stream, key.repetition));
+  const double z = rng.next_gaussian(0.0, noise_.relative_sigma);
+  return std::exp(z);
 }
 
 double MachineSimulator::phase_bandwidth(const KernelPhase& phase,

@@ -7,6 +7,16 @@
 // random-access throughput; optional measurement noise emulates run-to-run
 // variance of a real machine so the n-repetition averaging in the tuner is
 // exercised meaningfully.
+//
+// Determinism guarantee: the simulator is fully const after construction —
+// no shared RNG, no mutable state — so every timing query is thread-safe.
+// Measurement noise is drawn from counter-based streams keyed by
+// MeasurementKey{stream, repetition}: the noisy time of a given
+// (placement-mask, repetition) pair is a pure function of the noise seed
+// and that key, independent of how many other measurements ran before it,
+// from which thread, or in which order. A parallel sweep, a serial sweep,
+// and a cheaper strategy (estimator, online) that touch the same keys
+// therefore observe bit-identical measured times.
 #pragma once
 
 #include <optional>
@@ -26,6 +36,16 @@ namespace hmpt::sim {
 struct NoiseModel {
   double relative_sigma = 0.0;  ///< 0 disables noise
   std::uint64_t seed = 42;
+};
+
+/// Identity of one simulated measurement, used to seed its noise stream.
+/// `stream` names the configuration being measured (the tuner passes the
+/// placement ConfigMask); `repetition` counts repeated runs of the same
+/// configuration (the runner's n repetitions, or the online tuner's
+/// revisits of a mask).
+struct MeasurementKey {
+  std::uint64_t stream = 0;
+  std::uint64_t repetition = 0;
 };
 
 class MachineSimulator {
@@ -49,9 +69,18 @@ class MachineSimulator {
                     const ExecutionContext& ctx) const;
 
   /// One "measured" run: deterministic time perturbed by the noise model.
-  /// Successive calls model successive repetitions of the experiment.
+  /// The perturbation is drawn from the counter-based stream named by
+  /// `key` (see the determinism guarantee above), so repeated repetitions
+  /// of one configuration pass increasing `key.repetition` values.
   double measure_trace(const PhaseTrace& trace, const Placement& placement,
-                       const ExecutionContext& ctx);
+                       const ExecutionContext& ctx,
+                       MeasurementKey key) const;
+
+  /// Multiplicative noise factor of the measurement named by `key`
+  /// (1.0 when noise is disabled). measure_trace == time_trace * this;
+  /// exposed so callers that already know the deterministic time (e.g. a
+  /// memoized sweep) can apply repetition noise without re-timing.
+  double noise_factor(MeasurementKey key) const;
 
   /// Achieved STREAM-style bandwidth of a single phase (Figs. 2, 5).
   double phase_bandwidth(const KernelPhase& phase, const Placement& placement,
@@ -75,7 +104,6 @@ class MachineSimulator {
   PoolPerfModel pool_model_;
   StreamBottleneckSolver solver_;
   NoiseModel noise_;
-  Rng rng_;
 };
 
 }  // namespace hmpt::sim

@@ -1,0 +1,73 @@
+#include "simmem/timing_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace hmpt::sim {
+
+CachedTraceTimer::CachedTraceTimer(const StreamBottleneckSolver& solver,
+                                   const PhaseTrace& trace,
+                                   ExecutionContext ctx)
+    : solver_(&solver), trace_(&trace), ctx_(ctx) {
+  phases_.reserve(trace.phases.size());
+  for (const auto& phase : trace.phases) {
+    PhaseCache cache;
+    for (const auto& s : phase.streams) cache.groups.push_back(s.group);
+    std::sort(cache.groups.begin(), cache.groups.end());
+    cache.groups.erase(
+        std::unique(cache.groups.begin(), cache.groups.end()),
+        cache.groups.end());
+
+    std::size_t table = 1;
+    for (std::size_t i = 0; i < cache.groups.size() && table <= kDenseLimit;
+         ++i)
+      table *= static_cast<std::size_t>(topo::kNumPoolKinds);
+    cache.use_dense = table <= kDenseLimit;
+    if (cache.use_dense)
+      cache.dense.assign(table, std::numeric_limits<double>::quiet_NaN());
+    phases_.push_back(std::move(cache));
+  }
+}
+
+double CachedTraceTimer::time(const Placement& placement) {
+  double total = 0.0;
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    PhaseCache& cache = phases_[p];
+    // Key = the placement restricted to the groups this phase touches.
+    std::uint64_t key = 0;
+    for (const int group : cache.groups)
+      key = key * static_cast<std::uint64_t>(topo::kNumPoolKinds) +
+            static_cast<std::uint64_t>(placement.of(group));
+
+    double t;
+    if (cache.use_dense) {
+      double& slot = cache.dense[key];
+      if (std::isnan(slot)) {
+        slot = solver_->time_phase(trace_->phases[p], placement.fn(), ctx_)
+                   .total;
+        ++misses_;
+      } else {
+        ++hits_;
+      }
+      t = slot;
+    } else {
+      const auto it = cache.sparse.find(key);
+      if (it != cache.sparse.end()) {
+        ++hits_;
+        t = it->second;
+      } else {
+        t = solver_->time_phase(trace_->phases[p], placement.fn(), ctx_)
+                .total;
+        cache.sparse.emplace(key, t);
+        ++misses_;
+      }
+    }
+    total += t;
+  }
+  return total;
+}
+
+}  // namespace hmpt::sim

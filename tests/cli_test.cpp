@@ -103,7 +103,8 @@ TEST_F(CliTest, BadFlagValuesFailWithUsage) {
   for (const std::string args :
        {"--threshold 0", "--threshold 1.5", "--threshold -0.3",
         "--budget-gb -1", "--reps 0", "--reps -2", "--top-k 0",
-        "--threshold abc", "--reps 2.5", "--strategy frobnicate"}) {
+        "--threshold abc", "--reps 2.5", "--strategy frobnicate",
+        "--jobs -1", "--jobs abc", "--jobs 1.5"}) {
     const int rc = run(profile_ + " " + args);
     EXPECT_NE(rc, 0) << args;
     EXPECT_NE(slurp(out_).find("usage:"), std::string::npos) << args;
@@ -111,6 +112,20 @@ TEST_F(CliTest, BadFlagValuesFailWithUsage) {
   // The boundary values stay valid.
   EXPECT_EQ(run(profile_ + " --threshold 1 --reps 1 --budget-gb 0"), 0)
       << slurp(out_);
+}
+
+TEST_F(CliTest, JobsFlagLeavesTheAnalysisIdentical) {
+  // --jobs only changes how the campaign is scheduled; the report — noise
+  // included — is byte-identical at any job count (0 = hardware threads).
+  ASSERT_EQ(run(profile_ + " --jobs 1"), 0) << slurp(out_);
+  const std::string serial = slurp(out_);
+  ASSERT_EQ(run(profile_ + " --jobs 4"), 0) << slurp(out_);
+  EXPECT_EQ(slurp(out_), serial);
+  ASSERT_EQ(run(profile_ + " --jobs 0"), 0) << slurp(out_);
+  EXPECT_EQ(slurp(out_), serial);
+  ASSERT_EQ(run(profile_ + " --strategy estimator --jobs 4"), 0)
+      << slurp(out_);
+  EXPECT_NE(slurp(out_).find("recommended placement"), std::string::npos);
 }
 
 // Pull "...: [0 1] at 2.27x" out of either report flavour.

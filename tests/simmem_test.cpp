@@ -321,8 +321,8 @@ TEST(SimulatorTest, NoiseFreeMeasurementIsDeterministic) {
   trace.phases.push_back(phase);
   const auto placement = Placement::uniform(1, PoolKind::DDR);
   const auto ctx = simulator.full_machine();
-  const double a = simulator.measure_trace(trace, placement, ctx);
-  const double b = simulator.measure_trace(trace, placement, ctx);
+  const double a = simulator.measure_trace(trace, placement, ctx, {0, 0});
+  const double b = simulator.measure_trace(trace, placement, ctx, {0, 1});
   EXPECT_DOUBLE_EQ(a, b);
 }
 
@@ -338,10 +338,40 @@ TEST(SimulatorTest, NoiseStaysWithinReason) {
   const auto ctx = simulator.full_machine();
   const double clean = simulator.time_trace(trace, placement, ctx);
   for (int i = 0; i < 50; ++i) {
-    const double noisy = simulator.measure_trace(trace, placement, ctx);
+    const double noisy = simulator.measure_trace(
+        trace, placement, ctx, {0, static_cast<std::uint64_t>(i)});
     EXPECT_NEAR(noisy / clean, 1.0, 0.15);
     EXPECT_GT(noisy, 0.0);
   }
+}
+
+TEST(SimulatorTest, NoiseStreamsAreCallOrderIndependent) {
+  // The determinism guarantee of simulator.h: the noise of a given
+  // (stream, repetition) key is a pure function of the key, whatever ran
+  // before — parallel sweeps and cheaper strategies see identical noise.
+  MachineSimulator simulator(topo::xeon_max_9468_duo_flat_snc4(),
+                             default_spr_hbm_calibration(), {0.02, 99});
+  KernelPhase phase;
+  phase.streams.push_back({0, 10.0 * GB, 0.0, AccessPattern::Sequential,
+                           true, 0.0});
+  PhaseTrace trace;
+  trace.phases.push_back(phase);
+  const auto placement = Placement::uniform(1, PoolKind::DDR);
+  const auto ctx = simulator.full_machine();
+
+  const double first = simulator.measure_trace(trace, placement, ctx, {3, 1});
+  for (int i = 0; i < 7; ++i)  // interleave unrelated measurements
+    simulator.measure_trace(trace, placement, ctx,
+                            {static_cast<std::uint64_t>(i), 0});
+  // Exactly reproducible, and genuinely distinct across streams and reps.
+  EXPECT_EQ(first, simulator.measure_trace(trace, placement, ctx, {3, 1}));
+  EXPECT_NE(first, simulator.measure_trace(trace, placement, ctx, {3, 2}));
+  EXPECT_NE(first, simulator.measure_trace(trace, placement, ctx, {4, 1}));
+
+  // Distinct seeds give distinct streams for the same key.
+  MachineSimulator reseeded(topo::xeon_max_9468_duo_flat_snc4(),
+                            default_spr_hbm_calibration(), {0.02, 100});
+  EXPECT_NE(first, reseeded.measure_trace(trace, placement, ctx, {3, 1}));
 }
 
 TEST(SimulatorTest, SocketContextValidatesThreads) {

@@ -7,7 +7,7 @@
 //
 //   hmpt_analyze <profile> [--platform spr|spr1|knl] [--strategy NAME]
 //                [--budget-gb N] [--threshold F] [--reps N] [--top-k N]
-//                [--plan-out FILE] [--csv]
+//                [--jobs N] [--plan-out FILE] [--csv]
 //
 // The default "exhaustive" strategy prints the full paper-style report
 // (detailed + summary views); every other registered strategy prints the
@@ -51,6 +51,10 @@ void usage(const char* argv0) {
       << "                            N >= 1)\n"
       << "  --top-k N                 estimator strategy: predicted\n"
       << "                            configurations to measure (default 3)\n"
+      << "  --jobs N                  measurement worker threads (N >= 0;\n"
+      << "                            0 = all hardware threads, the\n"
+      << "                            default; results are bit-identical\n"
+      << "                            at any job count)\n"
       << "  --plan-out FILE           write the recommended shim plan\n"
       << "  --csv                     also print the summary-view CSV\n";
 }
@@ -115,6 +119,7 @@ int main(int argc, char** argv) {
   double threshold = 0.9;
   int reps = 3;
   int top_k = 3;
+  int jobs = 0;  // 0 = all hardware threads
   bool csv = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +139,7 @@ int main(int argc, char** argv) {
       threshold = parse_double(argv[0], arg, next());
     else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
     else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
+    else if (arg == "--jobs") jobs = parse_int(argv[0], arg, next());
     else if (arg == "--plan-out") plan_out = next();
     else if (arg == "--csv") csv = true;
     else if (arg == "--help" || arg == "-h") {
@@ -159,6 +165,8 @@ int main(int argc, char** argv) {
   if (budget_gb < 0.0) bad_value(argv[0], "--budget-gb must be >= 0");
   if (reps < 1) bad_value(argv[0], "--reps must be >= 1");
   if (top_k < 1) bad_value(argv[0], "--top-k must be >= 1");
+  if (jobs < 0)
+    bad_value(argv[0], "--jobs must be >= 0 (0 = all hardware threads)");
   if (!tuner::StrategyRegistry::instance().contains(strategy))
     bad_value(argv[0], "unknown strategy: " + strategy);
 
@@ -186,6 +194,7 @@ int main(int argc, char** argv) {
     if (strategy == "exhaustive") {
       tuner::DriverOptions options;
       options.experiment.repetitions = reps;
+      options.experiment.jobs = jobs;
       options.threshold_fraction = threshold;
       options.hbm_budget_bytes = budget_gb * GB;
       tuner::Driver driver(simulator, simulator.full_machine(), options);
@@ -203,6 +212,7 @@ int main(int argc, char** argv) {
                                .repetitions(reps)
                                .budget_gb(budget_gb)
                                .top_k(top_k)
+                               .jobs(jobs)
                                .run();
       plan_mask = outcome.chosen_mask;
       std::cout << outcome.to_text();
