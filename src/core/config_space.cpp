@@ -1,16 +1,22 @@
 #include "core/config_space.h"
 
-#include <bit>
-
 #include "common/error.h"
 
 namespace hmpt::tuner {
 
-ConfigSpace::ConfigSpace(std::vector<double> group_bytes)
-    : bytes_(std::move(group_bytes)) {
+ConfigSpace::ConfigSpace(std::vector<double> group_bytes, int num_tiers)
+    : bytes_(std::move(group_bytes)), num_tiers_(num_tiers) {
   HMPT_REQUIRE(!bytes_.empty(), "config space needs >= 1 group");
   HMPT_REQUIRE(static_cast<int>(bytes_.size()) <= kMaxGroups,
                "too many groups to enumerate exhaustively");
+  HMPT_REQUIRE(num_tiers_ >= 2 && num_tiers_ <= topo::kNumPoolKinds,
+               "config space needs 2 <= num_tiers <= kNumPoolKinds");
+  size_ = 1;
+  for (std::size_t g = 0; g < bytes_.size(); ++g) {
+    size_ *= static_cast<std::size_t>(num_tiers_);
+    HMPT_REQUIRE(size_ <= kMaxConfigs,
+                 "too many configurations to enumerate exhaustively");
+  }
   for (double b : bytes_) {
     HMPT_REQUIRE(b >= 0.0, "negative group bytes");
     total_ += b;
@@ -26,9 +32,46 @@ std::vector<ConfigMask> ConfigSpace::all_masks() const {
 }
 
 std::vector<ConfigMask> ConfigSpace::gray_masks() const {
-  std::vector<ConfigMask> masks(size());
-  for (std::size_t i = 0; i < masks.size(); ++i)
-    masks[i] = static_cast<ConfigMask>(i ^ (i >> 1));
+  // k-ary reflected Gray enumeration (boustrophedon digits): each step
+  // moves the lowest digit that can advance in its current direction and
+  // reverses the direction of every digit below it. For k = 2 this
+  // produces exactly the binary reflected Gray code i ^ (i >> 1).
+  const int n = num_groups();
+  const ConfigMask k = static_cast<ConfigMask>(num_tiers_);
+  std::vector<ConfigMask> masks;
+  masks.reserve(size());
+
+  std::vector<ConfigMask> digits(static_cast<std::size_t>(n), 0);
+  std::vector<int> dirs(static_cast<std::size_t>(n), 1);
+  // Digit g's place value k^g: id updates are incremental, one digit move
+  // per step.
+  std::vector<ConfigMask> place(static_cast<std::size_t>(n), 1);
+  for (int g = 1; g < n; ++g)
+    place[static_cast<std::size_t>(g)] =
+        place[static_cast<std::size_t>(g - 1)] * k;
+
+  ConfigMask id = 0;
+  masks.push_back(id);
+  while (true) {
+    int g = 0;
+    while (g < n) {
+      const auto gi = static_cast<std::size_t>(g);
+      const ConfigMask next = digits[gi] + static_cast<ConfigMask>(dirs[gi]);
+      if (next < k) break;  // unsigned wrap catches the -1 underflow too
+      dirs[gi] = -dirs[gi];
+      ++g;
+    }
+    if (g == n) break;  // every digit exhausted: k^n ids emitted
+    const auto gi = static_cast<std::size_t>(g);
+    if (dirs[gi] > 0) {
+      ++digits[gi];
+      id += place[gi];
+    } else {
+      --digits[gi];
+      id -= place[gi];
+    }
+    masks.push_back(id);
+  }
   return masks;
 }
 
@@ -36,7 +79,7 @@ std::vector<ConfigMask> ConfigSpace::masks_of_rank(int k) const {
   HMPT_REQUIRE(k >= 0 && k <= num_groups(), "rank out of range");
   std::vector<ConfigMask> masks;
   for (std::size_t i = 0; i < size(); ++i) {
-    if (std::popcount(i) == static_cast<unsigned>(k))
+    if (popcount(static_cast<ConfigMask>(i)) == k)
       masks.push_back(static_cast<ConfigMask>(i));
   }
   return masks;
@@ -45,10 +88,50 @@ std::vector<ConfigMask> ConfigSpace::masks_of_rank(int k) const {
 sim::Placement ConfigSpace::placement(ConfigMask mask) const {
   HMPT_REQUIRE(mask < size(), "mask out of range");
   std::vector<topo::PoolKind> pools(bytes_.size(), topo::PoolKind::DDR);
-  for (int g = 0; g < num_groups(); ++g)
-    if (mask & (ConfigMask{1} << g))
-      pools[static_cast<std::size_t>(g)] = topo::PoolKind::HBM;
+  const auto k = static_cast<ConfigMask>(num_tiers_);
+  for (int g = 0; g < num_groups(); ++g) {
+    pools[static_cast<std::size_t>(g)] =
+        static_cast<topo::PoolKind>(mask % k);
+    mask /= k;
+  }
   return sim::Placement(std::move(pools));
+}
+
+ConfigMask ConfigSpace::config_id(const sim::Placement& placement) const {
+  HMPT_REQUIRE(placement.size() == num_groups(),
+               "placement arity does not match the config space");
+  const auto k = static_cast<ConfigMask>(num_tiers_);
+  ConfigMask id = 0;
+  for (int g = num_groups() - 1; g >= 0; --g) {
+    const auto tier = static_cast<ConfigMask>(placement.of(g));
+    HMPT_REQUIRE(tier < k, "placement uses a tier beyond the config space");
+    id = id * k + tier;
+  }
+  return id;
+}
+
+topo::PoolKind ConfigSpace::tier_of(ConfigMask mask, int group) const {
+  HMPT_REQUIRE(mask < size(), "mask out of range");
+  HMPT_REQUIRE(group >= 0 && group < num_groups(), "group out of range");
+  const auto k = static_cast<ConfigMask>(num_tiers_);
+  for (int g = 0; g < group; ++g) mask /= k;
+  return static_cast<topo::PoolKind>(mask % k);
+}
+
+double ConfigSpace::tier_bytes(ConfigMask mask, topo::PoolKind tier) const {
+  HMPT_REQUIRE(mask < size(), "mask out of range");
+  const auto k = static_cast<ConfigMask>(num_tiers_);
+  double bytes = 0.0;
+  for (int g = 0; g < num_groups(); ++g) {
+    if (static_cast<topo::PoolKind>(mask % k) == tier)
+      bytes += bytes_[static_cast<std::size_t>(g)];
+    mask /= k;
+  }
+  return bytes;
+}
+
+double ConfigSpace::tier_usage(ConfigMask mask, topo::PoolKind tier) const {
+  return tier_bytes(mask, tier) / total_;
 }
 
 double ConfigSpace::hbm_usage(ConfigMask mask) const {
@@ -56,16 +139,18 @@ double ConfigSpace::hbm_usage(ConfigMask mask) const {
 }
 
 double ConfigSpace::hbm_bytes(ConfigMask mask) const {
-  HMPT_REQUIRE(mask < size(), "mask out of range");
-  double bytes = 0.0;
-  for (int g = 0; g < num_groups(); ++g)
-    if (mask & (ConfigMask{1} << g))
-      bytes += bytes_[static_cast<std::size_t>(g)];
-  return bytes;
+  return tier_bytes(mask, topo::PoolKind::HBM);
 }
 
 int ConfigSpace::popcount(ConfigMask mask) const {
-  return std::popcount(mask);
+  HMPT_REQUIRE(mask < size(), "mask out of range");
+  const auto k = static_cast<ConfigMask>(num_tiers_);
+  int count = 0;
+  while (mask != 0) {
+    count += (mask % k) != 0;
+    mask /= k;
+  }
+  return count;
 }
 
 }  // namespace hmpt::tuner

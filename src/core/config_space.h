@@ -1,10 +1,18 @@
 // config_space.h — enumeration of the placement configuration space.
 //
-// With two pools, a configuration is a subset of allocation groups placed
-// in HBM (the rest stays in DDR): 2^|AG| configurations (Sec. III-A). The
-// paper measures all of them n times each; this module enumerates masks,
-// converts them to Placements, and computes per-configuration footprint
-// statistics.
+// A configuration assigns every allocation group one memory tier of the
+// machine (tier index = topo::PoolKind value; tier 0 = DDR baseline).
+// With k tiers and n groups there are k^n configurations; the paper's
+// platform has k = 2, where a configuration degenerates to the subset of
+// groups placed in HBM — 2^|AG| configurations (Sec. III-A).
+//
+// Configurations are indexed by a ConfigMask: the mixed-radix code of the
+// placement with digit g (base k) equal to group g's tier. For k = 2 this
+// is bit-for-bit the original HBM bitmask (bit g set = group g in HBM), so
+// two-tier enumeration orders, noise-stream keys and reports are unchanged
+// by the k-tier generalisation. This module enumerates configuration ids
+// (natural and k-ary reflected Gray order), converts them to Placements,
+// and computes per-configuration footprint statistics per tier.
 #pragma once
 
 #include <cstdint>
@@ -14,39 +22,81 @@
 
 namespace hmpt::tuner {
 
-/// Bitmask over groups: bit i set = group i in HBM.
-using ConfigMask = std::uint32_t;
+/// Configuration id: mixed-radix code over groups, digit g (base
+/// num_tiers) = tier of group g. For two tiers: bit g set = group g in HBM.
+using ConfigMask = std::uint64_t;
+
+/// Place value of group `group`'s digit in the mixed-radix id: num_tiers^g.
+constexpr ConfigMask config_place_value(int group, int num_tiers) {
+  ConfigMask place = 1;
+  for (int g = 0; g < group; ++g)
+    place *= static_cast<ConfigMask>(num_tiers);
+  return place;
+}
+
+/// Number of configurations of an n-group, k-tier space: k^n.
+constexpr std::size_t config_count(int num_groups, int num_tiers) {
+  return static_cast<std::size_t>(config_place_value(num_groups, num_tiers));
+}
+
+/// Id of the uniform placement with every group in `tier`.
+constexpr ConfigMask config_uniform_id(int num_groups, int tier,
+                                       int num_tiers) {
+  ConfigMask id = 0;
+  for (int g = 0; g < num_groups; ++g)
+    id += static_cast<ConfigMask>(tier) * config_place_value(g, num_tiers);
+  return id;
+}
 
 class ConfigSpace {
  public:
-  /// `group_bytes[i]` is group i's footprint (for HBM-usage fractions).
-  explicit ConfigSpace(std::vector<double> group_bytes);
+  /// `group_bytes[i]` is group i's footprint (for per-tier usage
+  /// fractions); `num_tiers` the machine's memory tier count (>= 2).
+  explicit ConfigSpace(std::vector<double> group_bytes, int num_tiers = 2);
 
   int num_groups() const { return static_cast<int>(bytes_.size()); }
-  std::size_t size() const { return std::size_t{1} << num_groups(); }
+  int num_tiers() const { return num_tiers_; }
+  std::size_t size() const { return size_; }
 
-  /// All masks in natural order (0 = all-DDR first, baseline).
+  /// All configuration ids in natural order (0 = all-DDR first, baseline).
   std::vector<ConfigMask> all_masks() const;
-  /// All masks in Gray-code order: consecutive configurations differ by a
-  /// single group move, minimising replacement work between measurements.
+  /// All ids in k-ary reflected Gray order: consecutive configurations
+  /// move exactly one group by exactly one tier, minimising replacement
+  /// work between measurements. For two tiers this is the binary reflected
+  /// Gray code i ^ (i >> 1) of the original sweep.
   std::vector<ConfigMask> gray_masks() const;
-  /// Masks with exactly `k` groups in HBM.
+  /// Ids with exactly `k` groups placed outside DDR.
   std::vector<ConfigMask> masks_of_rank(int k) const;
 
   sim::Placement placement(ConfigMask mask) const;
-  /// Fraction of total footprint in HBM under `mask`.
+  /// Inverse of placement(): the mixed-radix id of a placement.
+  ConfigMask config_id(const sim::Placement& placement) const;
+  /// Tier of group `g` under `mask` (the mixed-radix digit).
+  topo::PoolKind tier_of(ConfigMask mask, int group) const;
+
+  /// Bytes placed in `tier` under `mask`, and the footprint fraction.
+  double tier_bytes(ConfigMask mask, topo::PoolKind tier) const;
+  double tier_usage(ConfigMask mask, topo::PoolKind tier) const;
+  /// Fraction of total footprint in HBM under `mask` (tier 1).
   double hbm_usage(ConfigMask mask) const;
   /// Bytes in HBM under `mask`.
   double hbm_bytes(ConfigMask mask) const;
+  /// Number of groups placed outside the DDR baseline tier (for two tiers:
+  /// the popcount of the HBM bitmask).
   int popcount(ConfigMask mask) const;
 
   const std::vector<double>& group_bytes() const { return bytes_; }
   double total_bytes() const { return total_; }
 
   static constexpr int kMaxGroups = 20;  ///< 2^20 configs upper guard
+  /// Enumeration guard over k^n (equals 2^kMaxGroups, so two-tier spaces
+  /// keep their original limit).
+  static constexpr std::size_t kMaxConfigs = std::size_t{1} << kMaxGroups;
 
  private:
   std::vector<double> bytes_;
+  int num_tiers_ = 2;
+  std::size_t size_ = 0;
   double total_ = 0.0;
 };
 

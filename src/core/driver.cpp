@@ -23,20 +23,24 @@ std::string AnalysisReport::to_text() const {
   os << "summary view:\n" << summary_view.scatter << '\n';
   os << "maximum speedup: " << cell(summary.max_speedup, 2) << "x at "
      << format_percent(summary.max_usage) << " HBM usage ("
-     << mask_label(summary.max_mask, space.num_groups()) << ")\n";
+     << mask_label(summary.max_mask, space.num_groups(), space.num_tiers())
+     << ")\n";
   os << "HBM-only speedup: " << cell(summary.hbm_only_speedup, 2) << "x\n";
   os << "90 % of max (" << cell(summary.threshold90, 2) << "x) at "
      << format_percent(summary.usage90) << " HBM usage ("
-     << mask_label(summary.usage90_mask, space.num_groups()) << ")\n";
+     << mask_label(summary.usage90_mask, space.num_groups(),
+                   space.num_tiers())
+     << ")\n";
   os << "linear-estimator error: max " << cell(estimator_error.max_abs, 3)
      << ", rmse " << cell(estimator_error.rmse, 3) << "\n\n";
   os << "recommended placement (budget "
      << format_bytes(recommended.hbm_bytes) << " HBM): "
-     << mask_label(recommended.mask, space.num_groups()) << " at "
-     << cell(recommended.speedup, 2) << "x\n";
+     << mask_label(recommended.mask, space.num_groups(),
+                   space.num_tiers())
+     << " at " << cell(recommended.speedup, 2) << "x\n";
   os << "minimal 90 %-speedup placement: "
-     << mask_label(minimal90.mask, space.num_groups()) << " using "
-     << format_bytes(minimal90.hbm_bytes) << " of HBM\n";
+     << mask_label(minimal90.mask, space.num_groups(), space.num_tiers())
+     << " using " << format_bytes(minimal90.hbm_bytes) << " of HBM\n";
   return os.str();
 }
 
@@ -53,23 +57,41 @@ double Driver::effective_budget() const {
   return sim_->machine().capacity_of_kind(topo::PoolKind::HBM);
 }
 
+std::vector<double> Driver::effective_caps(int num_tiers) const {
+  // One resolution policy for the whole stack: the planner prunes with
+  // exactly the caps the strategy layer enforced.
+  TuningBudget budget;
+  budget.hbm_budget_bytes = options_.hbm_budget_bytes;
+  budget.tier_budget_bytes = options_.tier_budget_bytes;
+  return resolved_caps(*sim_, budget, num_tiers);
+}
+
 AnalysisReport Driver::analyze(const workloads::Workload& workload) const {
   std::vector<double> bytes;
   for (const auto& g : workload.groups()) bytes.push_back(g.bytes);
-  ConfigSpace space(std::move(bytes));
+  const int machine_tiers = sim_->machine().num_memory_tiers();
+  const int tiers = options_.tiers == 0 ? machine_tiers : options_.tiers;
+  HMPT_REQUIRE(tiers <= machine_tiers,
+               "driver requests more tiers than the machine has");
+  ConfigSpace space(std::move(bytes), tiers);
 
   // The measurement campaign runs behind the strategy API; the full report
   // needs the complete space, so the driver always runs "exhaustive".
-  TuningOutcome outcome = Session::on(*sim_)
-                              .workload(workload)
-                              .context(ctx_)
-                              .strategy("exhaustive")
-                              .repetitions(options_.experiment.repetitions)
-                              .gray_order(options_.experiment.gray_order)
-                              .jobs(options_.experiment.jobs)
-                              .budget_bytes(
-                                  std::max(options_.hbm_budget_bytes, 0.0))
-                              .run();
+  Session session = Session::on(*sim_)
+                        .workload(workload)
+                        .context(ctx_)
+                        .strategy("exhaustive")
+                        .tiers(tiers)
+                        .repetitions(options_.experiment.repetitions)
+                        .gray_order(options_.experiment.gray_order)
+                        .jobs(options_.experiment.jobs)
+                        .budget_bytes(
+                            std::max(options_.hbm_budget_bytes, 0.0));
+  for (std::size_t t = 1; t < options_.tier_budget_bytes.size(); ++t)
+    if (options_.tier_budget_bytes[t] > 0.0)
+      session.tier_budget_bytes(static_cast<int>(t),
+                                options_.tier_budget_bytes[t]);
+  TuningOutcome outcome = session.run();
   // AnalysisReport::sweep becomes the canonical per-config data; the
   // embedded outcome keeps only the summary numbers (its 2^n-sized
   // trajectory adds nothing the report's views don't already show).
@@ -81,7 +103,7 @@ AnalysisReport Driver::analyze(const workloads::Workload& workload) const {
   const LinearEstimator estimator(sweep);
 
   CapacityPlanner planner(sweep, space);
-  PlanChoice recommended = planner.best_under_budget(effective_budget());
+  PlanChoice recommended = planner.best_under_caps(effective_caps(tiers));
   auto minimal = planner.cheapest_reaching(summary.threshold90);
   HMPT_REQUIRE(minimal.has_value(),
                "no configuration reaches the threshold");
@@ -153,14 +175,17 @@ workloads::RecordedWorkload Driver::record(
 shim::PlacementPlan Driver::plan_for(
     const AnalysisReport& report,
     const std::vector<AllocationGroup>& groups) const {
-  return to_placement_plan(groups, report.recommended.mask);
+  // Decode through the report's space so k-tier ids keep their digits.
+  return to_placement_plan(groups,
+                           report.space.placement(report.recommended.mask));
 }
 
 shim::PlacementPlan Driver::plan_for(
     const AnalysisReport& report,
     const std::vector<AllocationGroup>& groups,
     const shim::CallSiteRegistry& sites) const {
-  return to_placement_plan(groups, report.recommended.mask, sites);
+  return to_placement_plan(
+      groups, report.space.placement(report.recommended.mask), sites);
 }
 
 }  // namespace hmpt::tuner

@@ -37,6 +37,11 @@ struct DriverOptions {
   /// HBM capacity budget for the recommended plan; <= 0 means "the
   /// machine's full HBM capacity".
   double hbm_budget_bytes = 0.0;
+  /// Per-tier capacity caps for the recommended plan (indexed by tier;
+  /// tier 1 overrides hbm_budget_bytes when positive), see TuningBudget.
+  std::vector<double> tier_budget_bytes;
+  /// Memory tiers to search (0 = the machine's native tier count).
+  int tiers = 0;
 };
 
 /// Everything one analysis produces.
@@ -87,6 +92,8 @@ class Driver {
 
  private:
   double effective_budget() const;
+  /// Per-tier caps for the recommended plan (see DriverOptions).
+  std::vector<double> effective_caps(int num_tiers) const;
 
   sim::MachineSimulator* sim_;
   sim::ExecutionContext ctx_;

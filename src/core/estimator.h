@@ -5,6 +5,12 @@
 // est(S) = 1 + sum_{g in S} (s({g}) - 1), i.e. groups are assumed not to
 // interact. Comparing est against measured quantifies how independent the
 // groups really are (bench/ablation_estimator sweeps this error).
+//
+// k-tier generalisation: a "single" is now one group moved alone to one
+// non-DDR tier (everything else in DDR), so the fit needs n * (k - 1)
+// probe configurations and est(config) = 1 + sum over non-DDR groups of
+// (s(group alone in its tier) - 1). For k = 2 this is exactly the
+// original estimator.
 #pragma once
 
 #include <vector>
@@ -15,24 +21,35 @@ namespace hmpt::tuner {
 
 class LinearEstimator {
  public:
-  /// Fit from a full sweep: reads off the single-group configurations.
+  /// Fit from a full sweep: reads off the single-group configurations of
+  /// every non-DDR tier (the sweep knows its own tier count).
   explicit LinearEstimator(const SweepResult& sweep);
-  /// Fit from explicit single-group speedups.
-  explicit LinearEstimator(std::vector<double> single_speedups);
+  /// Fit from explicit single-group speedups: `single_speedups` holds the
+  /// speedup of group g alone in tier t at index g * (num_tiers - 1) +
+  /// (t - 1). The one-argument form is the two-tier fit (one HBM single
+  /// per group, the original constructor).
+  explicit LinearEstimator(std::vector<double> single_speedups,
+                           int num_tiers = 2);
 
-  int num_groups() const {
-    return static_cast<int>(single_speedups_.size());
-  }
+  int num_groups() const { return num_groups_; }
+  int num_tiers() const { return num_tiers_; }
+  /// Speedup of `group` alone in HBM (tier 1).
   double single_speedup(int group) const;
+  /// Speedup of `group` alone in non-DDR tier `tier` (1 <= tier < k).
+  double single_speedup(int group, int tier) const;
 
-  /// est(S) = 1 + sum over set bits of (s_i - 1).
+  /// est(config) = 1 + sum over groups outside DDR of (s_{g,tier} - 1).
   double estimate(ConfigMask mask) const;
 
-  /// Estimates for every mask of an n-group space.
+  /// Estimates for every configuration id of the space.
   std::vector<double> estimate_all() const;
 
  private:
-  std::vector<double> single_speedups_;
+  std::size_t configs() const;  ///< num_tiers ^ num_groups
+
+  std::vector<double> single_speedups_;  ///< [g * (k-1) + (t-1)]
+  int num_groups_ = 0;
+  int num_tiers_ = 2;
 };
 
 /// Error statistics of the estimator against measured speedups.

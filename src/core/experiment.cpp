@@ -24,7 +24,9 @@ const ConfigResult& SweepResult::of(ConfigMask mask) const {
 }
 
 const ConfigResult& SweepResult::all_hbm() const {
-  return configs.back();
+  // Uniform tier-1 id: sum over groups of 1 * k^g. For two tiers this is
+  // 2^n - 1, the last configuration of the sweep.
+  return of(config_uniform_id(num_groups, 1, num_tiers));
 }
 
 ExperimentRunner::ExperimentRunner(sim::MachineSimulator& sim,
@@ -85,7 +87,7 @@ ConfigResult ExperimentRunner::measure_config(
   // for every enumeration order, job count and cache setting.
   double hbm = 0.0;
   for (int g = 0; g < space.num_groups(); ++g)
-    if (mask & (ConfigMask{1} << g))
+    if (placement.of(g) == topo::PoolKind::HBM)
       hbm += stats.group_bytes[static_cast<std::size_t>(g)];
   result.hbm_density = stats.total_bytes > 0.0 ? hbm / stats.total_bytes : 0.0;
   result.groups_in_hbm = space.popcount(mask);
@@ -146,6 +148,7 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
 
   SweepResult sweep;
   sweep.num_groups = space.num_groups();
+  sweep.num_tiers = space.num_tiers();
   sweep.configs.resize(space.size());
 
   const auto masks =

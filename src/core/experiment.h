@@ -2,16 +2,18 @@
 //
 // For a fixed workload, the runner measures every placement configuration
 // n times on the (simulated) platform and aggregates speedups relative to
-// the all-DDR baseline — the roughly 2^|AG| * n measurements of Sec. III-A.
+// the all-DDR baseline — the roughly 2^|AG| * n measurements of Sec. III-A
+// on the paper's two-tier platform, k^|AG| * n on a k-tier machine.
 //
 // The campaign is the tuner's hot path, so the runner scales it two ways:
 //   * parallelism — `jobs` worker threads split the enumeration into
 //     contiguous chunks (the simulator is const and thread-safe);
 //   * memoization — each worker re-times only the phases whose allocation
-//     group flipped, exploiting the Gray-order enumeration through a
-//     per-worker CachedTraceTimer, and the deterministic trace time is
-//     computed once per configuration with per-repetition noise applied on
-//     top instead of re-timing every repetition.
+//     group moved tier, exploiting the Gray-order enumeration (one group
+//     moves one tier per step, at any k) through a per-worker
+//     CachedTraceTimer, and the deterministic trace time is computed once
+//     per configuration with per-repetition noise applied on top instead
+//     of re-timing every repetition.
 // Both are exact: serial, parallel, memoized and unmemoized sweeps return
 // bit-identical SweepResults (the simulator's per-(mask, repetition) noise
 // streams are order-independent, and the cache stores exact doubles).
@@ -66,8 +68,11 @@ struct SweepResult {
   /// at that mask) instead of returning an unrelated or zeroed entry.
   const ConfigResult& of(ConfigMask mask) const;
   const ConfigResult& all_ddr() const { return of(0); }
+  /// The configuration with every group in HBM (tier 1); on a two-tier
+  /// sweep this is the last configuration, as before.
   const ConfigResult& all_hbm() const;
   int num_groups = 0;
+  int num_tiers = 2;  ///< tier count of the space the sweep enumerated
 };
 
 /// Observer invoked after each configuration finishes measuring.

@@ -8,7 +8,10 @@
 // observe one iteration's time, greedily move (or evict) the group with
 // the best expected marginal gain per HBM byte, keep the move only if the
 // next observed iteration confirms it. Converges in O(n^2) iterations
-// instead of O(2^n) runs and respects the HBM capacity budget throughout.
+// instead of O(2^n) runs and respects the per-tier capacity budgets
+// throughout. On a k-tier machine candidate moves cover every
+// (group, other tier) pair; for k = 2 the search is exactly the original
+// HBM flip sequence.
 #pragma once
 
 #include <functional>
@@ -24,15 +27,20 @@ namespace hmpt::tuner {
 /// One step of the tuning trajectory.
 struct OnlineStep {
   int iteration = 0;
-  ConfigMask mask = 0;       ///< placement after the step
+  ConfigMask mask = 0;        ///< placement after the step
+  ConfigMask tried_mask = 0;  ///< placement measured this step
   double observed_time = 0.0;
-  int moved_group = -1;      ///< group moved this step (-1: none)
-  bool to_hbm = false;       ///< direction of the move
-  bool kept = false;         ///< move survived its confirmation run
+  int moved_group = -1;       ///< group moved this step (-1: none)
+  int to_tier = 0;            ///< tier the group moved to (PoolKind value)
+  bool kept = false;          ///< move survived its confirmation run
 };
 
 struct OnlineTunerOptions {
   double hbm_budget_bytes = 0.0;  ///< <= 0: unlimited
+  /// Per-tier capacity caps indexed by tier (PoolKind value); <= 0 entries
+  /// and tiers beyond the vector are unlimited. When set for tier 1 it
+  /// takes precedence over the legacy `hbm_budget_bytes`.
+  std::vector<double> tier_budget_bytes;
   /// Relative improvement a trial move must show to be kept.
   double keep_threshold = 1e-3;
   /// Stop after this many consecutive rejected trials.

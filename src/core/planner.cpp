@@ -16,12 +16,24 @@ CapacityPlanner::CapacityPlanner(const SweepResult& sweep,
 
 PlanChoice CapacityPlanner::best_under_budget(double budget_bytes) const {
   HMPT_REQUIRE(budget_bytes >= 0.0, "negative budget");
+  return best_under_caps({0.0, budget_bytes});
+}
+
+PlanChoice CapacityPlanner::best_under_caps(
+    const std::vector<double>& caps) const {
   PlanChoice best;
   best.speedup = 0.0;
   bool found = false;
   for (const auto& cfg : sweep_->configs) {
+    bool fits = true;
+    for (int t = 1; t < space_->num_tiers() && fits; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      if (ti < caps.size())
+        fits = space_->tier_bytes(cfg.mask,
+                                  static_cast<topo::PoolKind>(t)) <= caps[ti];
+    }
+    if (!fits) continue;
     const double bytes = space_->hbm_bytes(cfg.mask);
-    if (bytes > budget_bytes) continue;
     if (!found || cfg.speedup > best.speedup ||
         (cfg.speedup == best.speedup && bytes < best.hbm_bytes)) {
       found = true;
@@ -116,26 +128,56 @@ PlanChoice knapsack_plan(const LinearEstimator& estimator,
   return choice;
 }
 
+namespace {
+
+sim::Placement mask_to_placement(std::size_t num_groups, ConfigMask mask) {
+  std::vector<topo::PoolKind> pools(num_groups, topo::PoolKind::DDR);
+  for (std::size_t g = 0; g < num_groups; ++g)
+    if (mask & (ConfigMask{1} << g)) pools[g] = topo::PoolKind::HBM;
+  return sim::Placement(std::move(pools));
+}
+
+}  // namespace
+
 shim::PlacementPlan to_placement_plan(
-    const std::vector<AllocationGroup>& groups, ConfigMask mask) {
+    const std::vector<AllocationGroup>& groups,
+    const sim::Placement& placement) {
+  HMPT_REQUIRE(placement.size() == static_cast<int>(groups.size()),
+               "placement/groups arity mismatch");
   shim::PlacementPlan plan(topo::PoolKind::DDR);
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    if (!(mask & (ConfigMask{1} << g))) continue;
-    plan.set_named_site(groups[g].label, topo::PoolKind::HBM);
+    const topo::PoolKind kind = placement.of(static_cast<int>(g));
+    if (kind == topo::PoolKind::DDR) continue;
+    plan.set_named_site(groups[g].label, kind);
   }
   return plan;
 }
 
 shim::PlacementPlan to_placement_plan(
-    const std::vector<AllocationGroup>& groups, ConfigMask mask,
-    const shim::CallSiteRegistry& sites) {
+    const std::vector<AllocationGroup>& groups,
+    const sim::Placement& placement, const shim::CallSiteRegistry& sites) {
+  HMPT_REQUIRE(placement.size() == static_cast<int>(groups.size()),
+               "placement/groups arity mismatch");
   shim::PlacementPlan plan(topo::PoolKind::DDR);
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    if (!(mask & (ConfigMask{1} << g))) continue;
+    const topo::PoolKind kind = placement.of(static_cast<int>(g));
+    if (kind == topo::PoolKind::DDR) continue;
     for (const int site : groups[g].sites)
-      plan.set_site(sites.site(site).hash, topo::PoolKind::HBM);
+      plan.set_site(sites.site(site).hash, kind);
   }
   return plan;
+}
+
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups, ConfigMask mask) {
+  return to_placement_plan(groups, mask_to_placement(groups.size(), mask));
+}
+
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups, ConfigMask mask,
+    const shim::CallSiteRegistry& sites) {
+  return to_placement_plan(groups, mask_to_placement(groups.size(), mask),
+                           sites);
 }
 
 }  // namespace hmpt::tuner

@@ -32,8 +32,13 @@ class CapacityPlanner {
   /// Plan from exhaustive measurements.
   CapacityPlanner(const SweepResult& sweep, const ConfigSpace& space);
 
-  /// Best configuration whose HBM footprint fits `budget_bytes`.
+  /// Best configuration whose HBM footprint fits `budget_bytes` (other
+  /// non-DDR tiers, if any, stay unconstrained).
   PlanChoice best_under_budget(double budget_bytes) const;
+
+  /// Best configuration fitting every per-tier cap (`caps` indexed by tier;
+  /// tier 0 ignored, caps beyond the vector unconstrained).
+  PlanChoice best_under_caps(const std::vector<double>& caps) const;
 
   /// Cheapest (by HBM bytes) configuration with speedup >= target.
   std::optional<PlanChoice> cheapest_reaching(double target_speedup) const;
@@ -55,14 +60,22 @@ PlanChoice knapsack_plan(const LinearEstimator& estimator,
                          double budget_bytes,
                          double granularity = 64.0 * 1024 * 1024);
 
-/// Materialise a mask as a shim plan: groups in the mask get HBM, the rest
-/// (and the default) DDR. Group labels must be the named call sites the
-/// workload allocates with.
+/// Materialise a placement as a shim plan: every group's call-site label
+/// is pinned to its tier's pool kind (DDR stays on the default). Group
+/// labels must be the named call sites the workload allocates with.
 shim::PlacementPlan to_placement_plan(
-    const std::vector<AllocationGroup>& groups, ConfigMask mask);
+    const std::vector<AllocationGroup>& groups,
+    const sim::Placement& placement);
 
 /// Same, but pins every member call site by its stack hash through the
 /// registry — required when groups fold multiple sites (the rest group).
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups,
+    const sim::Placement& placement, const shim::CallSiteRegistry& sites);
+
+/// Two-tier convenience: `mask` is the HBM bitmask over the groups.
+shim::PlacementPlan to_placement_plan(
+    const std::vector<AllocationGroup>& groups, ConfigMask mask);
 shim::PlacementPlan to_placement_plan(
     const std::vector<AllocationGroup>& groups, ConfigMask mask,
     const shim::CallSiteRegistry& sites);

@@ -6,13 +6,20 @@
 
 namespace hmpt::tuner {
 
-std::string mask_label(ConfigMask mask, int num_groups) {
+std::string mask_label(ConfigMask mask, int num_groups, int num_tiers) {
+  const auto k = static_cast<ConfigMask>(num_tiers);
   std::string label = "[";
   bool first = true;
   for (int g = 0; g < num_groups; ++g) {
-    if (!(mask & (ConfigMask{1} << g))) continue;
+    const int tier = static_cast<int>(mask % k);
+    mask /= k;
+    if (tier == 0) continue;
     if (!first) label += ' ';
     label += std::to_string(g);
+    if (num_tiers > 2) {
+      label += ':';
+      label += topo::to_string(static_cast<topo::PoolKind>(tier));
+    }
     first = false;
   }
   label += ']';
@@ -31,7 +38,8 @@ DetailedView render_detailed_view(const SweepResult& sweep,
     if (point.mask == 0) continue;
     const auto& cfg = sweep.of(point.mask);
     if (max_rank > 0 && cfg.groups_in_hbm > max_rank) continue;
-    const std::string label = mask_label(point.mask, sweep.num_groups);
+    const std::string label =
+        mask_label(point.mask, sweep.num_groups, sweep.num_tiers);
     view.table.add_row({label, cell(point.speedup, 3),
                         cell(point.estimate, 3), cell(point.hbm_usage, 3),
                         cell(cfg.hbm_density, 3), cell(cfg.mean_time, 4),
@@ -59,14 +67,13 @@ SummaryView render_summary_view(const SummaryAnalysis& summary,
   ChartSeries combos{"combinations", 'o', {}, {}};
   ChartSeries singles{"groups (single-allocation)", 's', {}, {}};
   ChartSeries estimates{"comb. est.", '+', {}, {}};
-  int num_groups = 0;
-  for (const auto& p : summary.points)
-    while ((ConfigMask{1} << num_groups) <= p.mask) ++num_groups;
 
   for (const auto& p : summary.points) {
     const bool single = p.single_group || p.mask == 0;
     view.table.add_row({cell(p.hbm_usage, 3), cell(p.speedup, 3),
-                        cell(p.estimate, 3), mask_label(p.mask, num_groups),
+                        cell(p.estimate, 3),
+                        mask_label(p.mask, summary.num_groups,
+                                   summary.num_tiers),
                         single ? "group" : "combination"});
     if (single) {
       singles.x.push_back(p.hbm_usage);

@@ -15,8 +15,10 @@
 
 namespace hmpt::tuner {
 
-/// Human-readable configuration label: "[0 2 3]" (Fig. 7a's x labels).
-std::string mask_label(ConfigMask mask, int num_groups);
+/// Human-readable configuration label. Two tiers keep the paper's Fig. 7a
+/// x-label format "[0 2 3]" (the groups in HBM); k > 2 tiers annotate each
+/// promoted group with its tier, e.g. "[0:HBM 2:CXL]". All-DDR is "[DDR]".
+std::string mask_label(ConfigMask mask, int num_groups, int num_tiers = 2);
 
 struct DetailedView {
   Table table;            ///< one row per configuration

@@ -42,6 +42,30 @@ Session& Session::budget_bytes(double bytes) {
   return *this;
 }
 
+Session& Session::tier_budget_gb(int tier, double gb) {
+  HMPT_REQUIRE(gb >= 0.0, "tier budget must be >= 0 GB");
+  return tier_budget_bytes(tier, gb * GB);
+}
+
+Session& Session::tier_budget_bytes(int tier, double bytes) {
+  HMPT_REQUIRE(tier >= 1 && tier < topo::kNumPoolKinds,
+               "tier budget applies to non-DDR tiers only");
+  HMPT_REQUIRE(bytes >= 0.0, "tier budget must be >= 0 bytes");
+  if (budget_.tier_budget_bytes.size() <=
+      static_cast<std::size_t>(tier))
+    budget_.tier_budget_bytes.resize(static_cast<std::size_t>(tier) + 1,
+                                     0.0);
+  budget_.tier_budget_bytes[static_cast<std::size_t>(tier)] = bytes;
+  return *this;
+}
+
+Session& Session::tiers(int count) {
+  HMPT_REQUIRE(count == 0 || (count >= 2 && count <= topo::kNumPoolKinds),
+               "tiers must be 0 (machine native) or in [2, kNumPoolKinds]");
+  tiers_ = count;
+  return *this;
+}
+
 Session& Session::repetitions(int reps) {
   HMPT_REQUIRE(reps >= 1, "need >= 1 repetition");
   budget_.repetitions = reps;
@@ -89,7 +113,11 @@ TuningOutcome Session::run() const {
 
   std::vector<double> bytes;
   for (const auto& g : workload_->groups()) bytes.push_back(g.bytes);
-  const ConfigSpace space(std::move(bytes));
+  const int machine_tiers = sim_->machine().num_memory_tiers();
+  const int tiers = tiers_ == 0 ? machine_tiers : tiers_;
+  HMPT_REQUIRE(tiers <= machine_tiers,
+               "session requests more tiers than the machine has");
+  const ConfigSpace space(std::move(bytes), tiers);
 
   const sim::ExecutionContext ctx =
       ctx_.has_value() ? *ctx_ : sim_->full_machine();

@@ -40,6 +40,13 @@ class Session {
 
   Session& budget_gb(double gb);
   Session& budget_bytes(double bytes);
+  /// Capacity cap of one non-DDR tier (tier = PoolKind value >= 1);
+  /// tier 1 is the HBM budget, tier 2 the CXL budget.
+  Session& tier_budget_gb(int tier, double gb);
+  Session& tier_budget_bytes(int tier, double bytes);
+  /// Number of memory tiers to search over (>= 2, at most the machine's
+  /// num_memory_tiers); 0 (the default) = the machine's full tier count.
+  Session& tiers(int count);
   Session& repetitions(int reps);
   Session& gray_order(bool enabled);
   /// Measurement worker threads (1 = serial, 0 = all hardware threads);
@@ -66,6 +73,7 @@ class Session {
   workloads::WorkloadPtr owned_;  ///< keeps shared workloads alive
   std::optional<sim::ExecutionContext> ctx_;
   std::string strategy_ = "exhaustive";
+  int tiers_ = 0;  ///< 0 = the machine's native tier count
   TuningBudget budget_;
   TuningCallbacks callbacks_;
 };

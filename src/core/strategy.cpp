@@ -15,13 +15,34 @@
 
 namespace hmpt::tuner {
 
+std::vector<double> resolved_caps(const sim::MachineSimulator& sim,
+                                  const TuningBudget& budget,
+                                  int num_tiers) {
+  std::vector<double> caps(static_cast<std::size_t>(num_tiers), 0.0);
+  for (int t = 1; t < num_tiers; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (ti < budget.tier_budget_bytes.size() &&
+        budget.tier_budget_bytes[ti] > 0.0)
+      caps[ti] = budget.tier_budget_bytes[ti];
+    else if (t == 1 && budget.hbm_budget_bytes > 0.0)
+      caps[ti] = budget.hbm_budget_bytes;
+    else
+      caps[ti] = sim.machine().capacity_of_kind(
+          static_cast<topo::PoolKind>(t));
+  }
+  return caps;
+}
+
 namespace {
 
-/// <= 0 means "the machine's full HBM capacity" across all strategies.
-double resolved_budget(const sim::MachineSimulator& sim,
-                       const TuningBudget& budget) {
-  if (budget.hbm_budget_bytes > 0.0) return budget.hbm_budget_bytes;
-  return sim.machine().capacity_of_kind(topo::PoolKind::HBM);
+/// Does every non-DDR tier of `mask` fit its capacity cap?
+bool fits_caps(const ConfigSpace& space, ConfigMask mask,
+               const std::vector<double>& caps) {
+  for (int t = 1; t < space.num_tiers(); ++t)
+    if (space.tier_bytes(mask, static_cast<topo::PoolKind>(t)) >
+        caps[static_cast<std::size_t>(t)])
+      return false;
+  return true;
 }
 
 void emit_progress(const TuningCallbacks& callbacks, const std::string& name,
@@ -33,6 +54,8 @@ void emit_progress(const TuningCallbacks& callbacks, const std::string& name,
 
 /// Fill the placement-derived fields of a finished outcome.
 void finish_outcome(TuningOutcome& out, const ConfigSpace& space) {
+  out.num_tiers = space.num_tiers();
+  out.chosen_placement = space.placement(out.chosen_mask);
   out.hbm_bytes = space.hbm_bytes(out.chosen_mask);
   out.hbm_usage = space.hbm_usage(out.chosen_mask);
   std::sort(out.table.begin(), out.table.end(),
@@ -47,19 +70,23 @@ std::string TuningOutcome::to_text() const {
   std::ostringstream os;
   os << "=== tuning: " << workload << " — strategy " << strategy
      << " ===\n\n";
-  os << "configurations measured: " << configs_measured << " of "
-     << (std::size_t{1} << num_groups) << " (" << measurements
-     << " simulator runs, " << num_groups << " groups)\n";
+  std::size_t total = 1;
+  for (int g = 0; g < num_groups; ++g)
+    total *= static_cast<std::size_t>(num_tiers);
+  os << "configurations measured: " << configs_measured << " of " << total
+     << " (" << measurements << " simulator runs, " << num_groups
+     << " groups)\n";
   os << "all-DDR baseline: " << format_time(baseline_time) << "\n";
-  os << "recommended placement: " << mask_label(chosen_mask, num_groups)
-     << " at " << cell(speedup, 2) << "x, using " << format_bytes(hbm_bytes)
+  os << "recommended placement: "
+     << mask_label(chosen_mask, num_groups, num_tiers) << " at "
+     << cell(speedup, 2) << "x, using " << format_bytes(hbm_bytes)
      << " of HBM (" << format_percent(hbm_usage) << " of footprint)\n";
 
   if (!trajectory.empty()) {
     Table steps({"step", "config", "time", "speedup", "accepted"});
     for (const auto& s : trajectory)
       steps.add_row({std::to_string(s.index),
-                     mask_label(s.mask, num_groups),
+                     mask_label(s.mask, num_groups, num_tiers),
                      format_time(s.observed_time), cell(s.speedup, 2) + "x",
                      s.accepted ? "yes" : "no"});
     os << "\ntrajectory:\n" << steps.to_text();
@@ -67,7 +94,7 @@ std::string TuningOutcome::to_text() const {
   if (!configs().empty()) {
     Table rows({"config", "speedup", "HBM usage", "groups in HBM"});
     for (const auto& c : configs())
-      rows.add_row({mask_label(c.mask, num_groups),
+      rows.add_row({mask_label(c.mask, num_groups, num_tiers),
                     cell(c.speedup, 2) + "x", format_percent(c.hbm_usage),
                     std::to_string(c.groups_in_hbm)});
     os << "\nmeasured configurations:\n" << rows.to_text();
@@ -140,13 +167,13 @@ TuningOutcome ExhaustiveStrategy::tune(
   out.workload = workload.name();
   out.num_groups = space.num_groups();
 
-  const double cap = resolved_budget(sim, budget);
+  const auto caps = resolved_caps(sim, budget, space.num_tiers());
   double best = 0.0;
   SweepResult sweep =
       runner.sweep(workload, space, [&](const ConfigResult& result) {
         ++out.configs_measured;
-        const bool fits = space.hbm_bytes(result.mask) <= cap;
-        const bool accepted = fits && result.speedup > best;
+        const bool accepted =
+            fits_caps(space, result.mask, caps) && result.speedup > best;
         if (accepted) best = result.speedup;
         out.trajectory.push_back({out.configs_measured, result.mask,
                                   result.mean_time, result.speedup,
@@ -156,7 +183,8 @@ TuningOutcome ExhaustiveStrategy::tune(
       });
   out.measurements = out.configs_measured * budget.repetitions;
 
-  const PlanChoice chosen = CapacityPlanner(sweep, space).best_under_budget(cap);
+  const PlanChoice chosen =
+      CapacityPlanner(sweep, space).best_under_caps(caps);
   out.chosen_mask = chosen.mask;
   out.chosen_time = sweep.of(chosen.mask).mean_time;
   out.baseline_time = sweep.baseline_time;
@@ -178,7 +206,7 @@ TuningOutcome OnlineGreedyStrategy::tune(
   out.num_groups = space.num_groups();
 
   OnlineTunerOptions options;
-  options.hbm_budget_bytes = resolved_budget(sim, budget);
+  options.tier_budget_bytes = resolved_caps(sim, budget, space.num_tiers());
   options.patience = budget.patience;
   if (budget.max_measurements > 0)
     options.max_iterations = budget.max_measurements;
@@ -207,16 +235,13 @@ TuningOutcome OnlineGreedyStrategy::tune(
 
   double best_speedup = 1.0;
   options.on_step = [&](const OnlineStep& step) {
-    const ConfigMask tried =
-        step.kept ? step.mask
-                  : step.mask ^ (ConfigMask{1} << step.moved_group);
-    note(tried, step.observed_time);
+    note(step.tried_mask, step.observed_time);
     const double speedup = out.baseline_time / step.observed_time;
     if (step.kept) best_speedup = speedup;
-    out.trajectory.push_back(
-        {step.iteration, tried, step.observed_time, speedup, step.kept});
-    emit_progress(callbacks, name(), distinct, tried, step.observed_time,
-                  best_speedup);
+    out.trajectory.push_back({step.iteration, step.tried_mask,
+                              step.observed_time, speedup, step.kept});
+    emit_progress(callbacks, name(), distinct, step.tried_mask,
+                  step.observed_time, best_speedup);
   };
 
   OnlineTuner tuner(sim, ctx, options);
@@ -260,8 +285,9 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   out.workload = workload.name();
   out.num_groups = space.num_groups();
 
-  const double cap = resolved_budget(sim, budget);
+  const auto caps = resolved_caps(sim, budget, space.num_tiers());
   const int n = space.num_groups();
+  const int tiers = space.num_tiers();
   double best = 0.0;
 
   std::vector<char> measured(space.size(), 0);
@@ -271,8 +297,8 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   const auto record = [&](const ConfigResult& result) {
     measured[result.mask] = 1;
     ++out.configs_measured;
-    const bool fits = space.hbm_bytes(result.mask) <= cap;
-    const bool accepted = fits && result.speedup > best;
+    const bool accepted =
+        fits_caps(space, result.mask, caps) && result.speedup > best;
     if (accepted) {
       best = result.speedup;
       out.chosen_mask = result.mask;
@@ -285,32 +311,35 @@ TuningOutcome EstimatorGuidedStrategy::tune(
                   result.mean_time, best);
   };
 
-  // Phase 1: baseline + the n single-group runs the estimator needs. The
-  // singles are measured even when over budget — the fit needs them; only
-  // the chosen placement must fit.
+  // Phase 1: baseline + the n * (tiers - 1) single-group runs the
+  // estimator needs — group g alone in each non-DDR tier. The singles are
+  // measured even when over budget — the fit needs them; only the chosen
+  // placement must fit.
   ConfigResult baseline = runner.measure(workload, space, 0, 0.0);
   baseline.speedup = 1.0;
   out.baseline_time = baseline.mean_time;
   record(baseline);
 
   std::vector<ConfigMask> single_masks;
-  for (int g = 0; g < n; ++g) single_masks.push_back(ConfigMask{1} << g);
+  for (int g = 0; g < n; ++g)
+    for (int t = 1; t < tiers; ++t)
+      single_masks.push_back(static_cast<ConfigMask>(t) *
+                             config_place_value(g, tiers));
   const auto single_results =
       runner.measure_batch(workload, space, single_masks, out.baseline_time);
-  std::vector<double> singles(static_cast<std::size_t>(n), 1.0);
-  for (int g = 0; g < n; ++g) {
-    record(single_results[static_cast<std::size_t>(g)]);
-    singles[static_cast<std::size_t>(g)] =
-        single_results[static_cast<std::size_t>(g)].speedup;
+  std::vector<double> singles(single_results.size(), 1.0);
+  for (std::size_t i = 0; i < single_results.size(); ++i) {
+    record(single_results[i]);
+    singles[i] = single_results[i].speedup;
   }
 
   // Phase 2: rank the unmeasured, budget-fitting configurations by the
   // linear estimate and measure only the top-k predicted.
-  const LinearEstimator estimator(singles);
+  const LinearEstimator estimator(singles, tiers);
   std::vector<std::pair<double, ConfigMask>> ranked;
   for (ConfigMask mask = 0; mask < space.size(); ++mask) {
     if (measured[mask]) continue;
-    if (space.hbm_bytes(mask) > cap) continue;
+    if (!fits_caps(space, mask, caps)) continue;
     ranked.emplace_back(estimator.estimate(mask), mask);
   }
   std::sort(ranked.begin(), ranked.end(),

@@ -6,7 +6,8 @@
 // a common progress/outcome contract. The built-in strategies cover the
 // three search regimes of the paper and its outlook:
 //
-//   "exhaustive"  measure all 2^n configurations (Sec. III-A sweep),
+//   "exhaustive"  measure all k^n configurations (Sec. III-A sweep; k = 2
+//                 on the paper's two-tier platform),
 //   "online"      greedy iterative extension with confirmation runs,
 //   "estimator"   fit the linear estimator from the n single-group runs
 //                 and measure only the top-k predicted placements —
@@ -36,6 +37,11 @@ struct TuningBudget {
   /// HBM capacity the chosen placement must fit; <= 0 means "the machine's
   /// full HBM capacity".
   double hbm_budget_bytes = 0.0;
+  /// Per-tier capacity caps indexed by tier (PoolKind value); tier 0 (DDR)
+  /// is never constrained. An entry <= 0 — or a tier beyond the vector —
+  /// falls back to the machine's capacity of that kind; a positive tier-1
+  /// entry takes precedence over the legacy `hbm_budget_bytes`.
+  std::vector<double> tier_budget_bytes;
   int repetitions = 3;  ///< simulator runs averaged per configuration
   /// Enumerate exhaustive sweeps in Gray order (single-group deltas).
   bool gray_order = true;
@@ -80,8 +86,11 @@ struct TuningOutcome {
   std::string strategy;
   std::string workload;
   int num_groups = 0;
+  int num_tiers = 2;  ///< tier count of the searched placement space
 
   ConfigMask chosen_mask = 0;
+  /// The chosen placement as a per-group tier vector (decodes chosen_mask).
+  sim::Placement chosen_placement;
   double chosen_time = 0.0;
   double baseline_time = 0.0;
   double speedup = 1.0;
@@ -107,6 +116,15 @@ struct TuningOutcome {
   /// Human-readable report: chosen placement, trajectory, config table.
   std::string to_text() const;
 };
+
+/// Per-tier capacity caps every strategy (and the Driver's planner)
+/// enforces, resolved from a budget: tier 0 (DDR) is never constrained; a
+/// non-DDR tier takes its positive tier_budget_bytes entry, falling back
+/// to the legacy hbm_budget_bytes for tier 1 and then to the machine's
+/// capacity of the tier's pool kind ("<= 0 means the machine's full
+/// capacity", as before).
+std::vector<double> resolved_caps(const sim::MachineSimulator& sim,
+                                  const TuningBudget& budget, int num_tiers);
 
 class TuningStrategy {
  public:

@@ -9,6 +9,8 @@ SummaryAnalysis summarize(const SweepResult& sweep, double fraction) {
   HMPT_REQUIRE(fraction > 0.0 && fraction <= 1.0, "bad threshold fraction");
 
   SummaryAnalysis out;
+  out.num_groups = sweep.num_groups;
+  out.num_tiers = sweep.num_tiers;
   const LinearEstimator estimator(sweep);
 
   for (const auto& cfg : sweep.configs) {

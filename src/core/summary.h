@@ -21,6 +21,8 @@ struct SummaryPoint {
 };
 
 struct SummaryAnalysis {
+  int num_groups = 0;  ///< arity of the analysed space
+  int num_tiers = 2;   ///< tier count of the analysed space
   double max_speedup = 0.0;
   ConfigMask max_mask = 0;
   double max_usage = 0.0;        ///< HBM usage of the best configuration

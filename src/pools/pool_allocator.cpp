@@ -52,14 +52,25 @@ PoolAllocation PoolAllocator::allocate(std::size_t size, topo::PoolKind kind,
     case OomPolicy::ReturnNull:
       return {};
     case OomPolicy::Spill: {
-      // Fall back to the other pool kind, as the SHIM library must when
-      // the 16 GB/tile HBM pool is exhausted mid-plan.
-      const auto fallback = kind == topo::PoolKind::HBM ? topo::PoolKind::DDR
-                                                        : topo::PoolKind::HBM;
-      result = try_allocate_kind(size, fallback, alignment);
-      if (result.ptr != nullptr) {
-        result.spilled = true;
-        return result;
+      // Fall back to another pool kind, as the SHIM library must when the
+      // 16 GB/tile HBM pool is exhausted mid-plan. Every non-DDR tier
+      // spills to the DDR baseline first, then to any remaining kind the
+      // machine has (HBM exhausts into DDR, then into a CXL expander).
+      std::vector<topo::PoolKind> fallbacks;
+      if (kind != topo::PoolKind::DDR)
+        fallbacks.push_back(topo::PoolKind::DDR);
+      for (int k = 0; k < topo::kNumPoolKinds; ++k) {
+        const auto other = static_cast<topo::PoolKind>(k);
+        if (other != kind && other != topo::PoolKind::DDR &&
+            machine_->has_kind(other))
+          fallbacks.push_back(other);
+      }
+      for (const auto fallback : fallbacks) {
+        result = try_allocate_kind(size, fallback, alignment);
+        if (result.ptr != nullptr) {
+          result.spilled = true;
+          return result;
+        }
       }
       raise("all pools out of capacity");
     }

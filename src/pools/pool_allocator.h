@@ -23,7 +23,7 @@ namespace hmpt::pools {
 enum class OomPolicy {
   Throw,       ///< raise hmpt::Error
   ReturnNull,  ///< return nullptr (malloc semantics)
-  Spill,       ///< fall back to the other pool kind (HBM -> DDR)
+  Spill,       ///< fall back to another pool kind (DDR first, then any)
 };
 
 /// Result of an allocation: pointer plus where it actually landed.

@@ -16,6 +16,18 @@ MemSystemConfig default_spr_hbm_calibration() {
   return cfg;
 }
 
+MemSystemConfig cxl_tiered_calibration() {
+  MemSystemConfig cfg = default_spr_hbm_calibration();
+  // The solver scales saturation per tile sharing the traffic; a socket-
+  // level expander therefore calibrates as socket bandwidth divided by the
+  // tiles_per_socket of the SPR presets (4).
+  auto& cxl = cfg.of(topo::PoolKind::CXL);
+  cxl.sat_bandwidth_per_tile = 6.0 * GB;   // ~24 GB/s per socket
+  cxl.rand_bandwidth_per_tile = 3.0 * GB;  // ~12 GB/s per socket
+  cxl.idle_latency = 250.0 * ns;           // device + controller hop
+  return cfg;
+}
+
 MemSystemConfig knl_like_calibration() {
   MemSystemConfig cfg;
   auto& ddr = cfg.of(topo::PoolKind::DDR);

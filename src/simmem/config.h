@@ -30,7 +30,10 @@ struct PoolCalibration {
   double idle_latency = 0.0;
 };
 
-/// Whole memory-system calibration.
+/// Whole memory-system calibration. One PoolCalibration slot exists per
+/// PoolKind; only the kinds present on the simulated machine need positive
+/// values (PoolPerfModel validates exactly those), so two-tier calibrations
+/// simply leave the CXL slot zeroed.
 struct MemSystemConfig {
   PoolCalibration pool[topo::kNumPoolKinds];
 
@@ -89,5 +92,11 @@ MemSystemConfig default_spr_hbm_calibration();
 /// DDR4 (~90 GB/s) — the published Knights Landing characteristics the
 /// related-work tools (ADAMANT, Laghari et al.) tuned against.
 MemSystemConfig knl_like_calibration();
+
+/// Calibration for the three-tier preset (topo::cxl_tiered_xeon_max): the
+/// SPR + HBM constants above plus a CXL-attached DRAM expander — ~24 GB/s
+/// achieved streaming per socket behind a PCIe 5.0 x8-class link, ~12 GB/s
+/// random, and ~250 ns idle latency (device + controller hop).
+MemSystemConfig cxl_tiered_calibration();
 
 }  // namespace hmpt::sim

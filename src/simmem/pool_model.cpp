@@ -9,7 +9,11 @@ namespace hmpt::sim {
 PoolPerfModel::PoolPerfModel(const topo::Machine& machine,
                              MemSystemConfig config)
     : machine_(&machine), config_(config) {
+  // Validate exactly the pool kinds the machine exposes: two-tier
+  // calibrations leave the CXL slot zeroed, and no query ever reaches a
+  // kind the machine does not have.
   for (int k = 0; k < topo::kNumPoolKinds; ++k) {
+    if (!machine.has_kind(static_cast<topo::PoolKind>(k))) continue;
     HMPT_REQUIRE(config_.pool[k].sat_bandwidth_per_tile > 0,
                  "pool saturation bandwidth must be positive");
     HMPT_REQUIRE(config_.pool[k].idle_latency > 0,

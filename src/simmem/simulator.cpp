@@ -24,6 +24,11 @@ MachineSimulator MachineSimulator::paper_platform_single() {
                           default_spr_hbm_calibration());
 }
 
+MachineSimulator MachineSimulator::cxl_tiered_platform() {
+  return MachineSimulator(topo::cxl_tiered_xeon_max(),
+                          cxl_tiered_calibration());
+}
+
 double MachineSimulator::time_trace(const PhaseTrace& trace,
                                     const Placement& placement,
                                     const ExecutionContext& ctx) const {

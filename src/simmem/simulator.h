@@ -8,13 +8,27 @@
 // variance of a real machine so the n-repetition averaging in the tuner is
 // exercised meaningfully.
 //
+// k-tier memory model: a Placement assigns every allocation group one
+// memory tier — a topo::PoolKind, whose enum value is the tier index (0 =
+// DDR baseline, 1 = HBM, 2 = CXL-class expansion memory). Each tier has
+// its own bandwidth/latency calibration (PoolCalibration in config.h); the
+// solver times every pool the phase touches and takes the bottleneck, so
+// adding a tier never changes the timing of placements that do not use it.
+// Two-tier machines are a strict special case of the k-tier model: a
+// DDR/HBM machine produces bit-identical times, noise streams, chosen
+// placements and report bytes to the original two-pool implementation
+// (tests/tier_equivalence_test.cpp locks this down).
+//
 // Determinism guarantee: the simulator is fully const after construction —
 // no shared RNG, no mutable state — so every timing query is thread-safe.
 // Measurement noise is drawn from counter-based streams keyed by
 // MeasurementKey{stream, repetition}: the noisy time of a given
-// (placement-mask, repetition) pair is a pure function of the noise seed
+// (configuration-id, repetition) pair is a pure function of the noise seed
 // and that key, independent of how many other measurements ran before it,
-// from which thread, or in which order. A parallel sweep, a serial sweep,
+// from which thread, or in which order. The configuration id is the
+// mixed-radix code of the placement (digit g, base num_tiers, = group g's
+// tier), which for two tiers is exactly the legacy placement bitmask — so
+// two-tier noise streams are unchanged. A parallel sweep, a serial sweep,
 // and a cheaper strategy (estimator, online) that touch the same keys
 // therefore observe bit-identical measured times.
 #pragma once
@@ -57,6 +71,10 @@ class MachineSimulator {
 
   static MachineSimulator paper_platform();         // dual socket
   static MachineSimulator paper_platform_single();  // one socket (Figs. 2-5)
+  /// Three-tier platform: the single-socket paper machine plus a CXL
+  /// memory-expander node (topo::cxl_tiered_xeon_max with
+  /// cxl_tiered_calibration). The tuner enumerates 3^n placements on it.
+  static MachineSimulator cxl_tiered_platform();
 
   const topo::Machine& machine() const { return machine_; }
   const PoolPerfModel& pool_model() const { return pool_model_; }

@@ -35,7 +35,7 @@ PhaseTiming StreamBottleneckSolver::time_phase(
   // Pass 1: which pools does the phase read from? The cross-pool write
   // coupling penalises writes into a pool while reading from a faster one
   // (Fig. 5a's HBM->DDR anomaly).
-  bool reads_from[topo::kNumPoolKinds] = {false, false};
+  bool reads_from[topo::kNumPoolKinds] = {};
   for (const auto& s : phase.streams) {
     if (s.bytes_read > 0.0)
       reads_from[static_cast<int>(placement(s.group))] = true;
@@ -50,9 +50,9 @@ PhaseTiming StreamBottleneckSolver::time_phase(
   };
 
   // Pass 2: accumulate demand per pool and pattern.
-  double seq_bytes[topo::kNumPoolKinds] = {0.0, 0.0};
-  double rand_bytes[topo::kNumPoolKinds] = {0.0, 0.0};
-  double chase_time[topo::kNumPoolKinds] = {0.0, 0.0};
+  double seq_bytes[topo::kNumPoolKinds] = {};
+  double rand_bytes[topo::kNumPoolKinds] = {};
+  double chase_time[topo::kNumPoolKinds] = {};
 
   for (const auto& s : phase.streams) {
     HMPT_REQUIRE(s.bytes_read >= 0.0 && s.bytes_written >= 0.0,

@@ -47,7 +47,7 @@ class Placement {
 /// Per-phase timing breakdown, useful for reports and tests.
 struct PhaseTiming {
   double total = 0.0;
-  double pool_time[topo::kNumPoolKinds] = {0.0, 0.0};
+  double pool_time[topo::kNumPoolKinds] = {};
   double compute_time = 0.0;
   /// Which component won the max (index into pool kinds, or -1 = compute).
   int bottleneck = -1;

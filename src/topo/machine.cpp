@@ -13,6 +13,8 @@ const char* to_string(PoolKind kind) {
       return "DDR";
     case PoolKind::HBM:
       return "HBM";
+    case PoolKind::CXL:
+      return "CXL";
   }
   return "?";
 }
@@ -20,6 +22,7 @@ const char* to_string(PoolKind kind) {
 PoolKind pool_kind_from_string(const std::string& name) {
   if (name == "DDR" || name == "ddr") return PoolKind::DDR;
   if (name == "HBM" || name == "hbm") return PoolKind::HBM;
+  if (name == "CXL" || name == "cxl") return PoolKind::CXL;
   raise("unknown pool kind: " + name);
 }
 
@@ -43,6 +46,25 @@ Machine::Machine(std::string name, std::vector<NumaNode> nodes,
     HMPT_REQUIRE(t.hbm_node >= 0 && t.hbm_node < num_nodes(),
                  "tile HBM node out of range");
   }
+  // Tiers must be contiguous from DDR upward: the tuner enumerates tier
+  // indices 0..num_memory_tiers()-1, so a machine exposing tier t must
+  // also expose every tier below it.
+  for (int k = 0; k < num_memory_tiers(); ++k)
+    HMPT_REQUIRE(has_kind(static_cast<PoolKind>(k)),
+                 "machine memory tiers must be contiguous from DDR");
+}
+
+int Machine::num_memory_tiers() const {
+  int highest = 0;
+  for (const auto& n : nodes_)
+    highest = std::max(highest, static_cast<int>(n.pool.kind));
+  return highest + 1;
+}
+
+bool Machine::has_kind(PoolKind kind) const {
+  for (const auto& n : nodes_)
+    if (n.pool.kind == kind) return true;
+  return false;
 }
 
 int Machine::num_cores() const {
@@ -99,8 +121,12 @@ int Machine::distance(int node_a, int node_b) const {
   const NumaNode& a = node(node_a);
   const NumaNode& b = node(node_b);
   // SLIT-style: local 10; same tile (DDR<->HBM pair) 12; same socket 14;
-  // cross-socket 21 (plus 2 for reaching a remote HBM device node).
+  // cross-socket 21 (plus 2 for reaching a remote HBM device node). CXL
+  // expanders sit behind the socket's root complex: 20 locally, 28 remote
+  // (symmetric — either endpoint behind the link pays the hop).
   if (node_a == node_b) return 10;
+  if (a.pool.kind == PoolKind::CXL || b.pool.kind == PoolKind::CXL)
+    return a.socket == b.socket ? 20 : 28;
   if (a.socket == b.socket) {
     if (a.tile == b.tile) return 12;
     return 14;
@@ -208,6 +234,39 @@ Machine knl_like_flat_snc4() {
     tiles.push_back({q, 0, kCoresPerQuadrant, q * kCoresPerQuadrant, q,
                      kQuadrants + q});
   return Machine("KNL-like (flat SNC4)", std::move(nodes), std::move(tiles),
+                 1);
+}
+
+Machine cxl_tiered_xeon_max(double cxl_capacity, double cxl_peak) {
+  // Start from the single-socket paper machine and hang one socket-level
+  // CXL expander node (no cores, no tile) off the root complex.
+  Machine base = xeon_max_9468_single_flat_snc4();
+  std::vector<NumaNode> nodes = base.nodes();
+  std::vector<Tile> tiles = base.tiles();
+  NumaNode cxl;
+  cxl.id = static_cast<int>(nodes.size());
+  cxl.socket = 0;
+  cxl.tile = -1;  // device node behind the socket, not tile-local
+  cxl.pool = {PoolKind::CXL, cxl_capacity, cxl_peak};
+  cxl.num_cores = 0;
+  nodes.push_back(cxl);
+  return Machine("1x Intel Xeon Max 9468 + CXL expander (flat SNC4)",
+                 std::move(nodes), std::move(tiles), 1);
+}
+
+Machine three_pool_testbed(double ddr_capacity, double hbm_capacity,
+                           double cxl_capacity) {
+  Machine base = two_pool_testbed(ddr_capacity, hbm_capacity);
+  std::vector<NumaNode> nodes = base.nodes();
+  std::vector<Tile> tiles = base.tiles();
+  NumaNode cxl;
+  cxl.id = 2;
+  cxl.socket = 0;
+  cxl.tile = -1;
+  cxl.pool = {PoolKind::CXL, cxl_capacity, 32.0 * GB};
+  cxl.num_cores = 0;
+  nodes.push_back(cxl);
+  return Machine("three-pool testbed", std::move(nodes), std::move(tiles),
                  1);
 }
 

@@ -15,10 +15,16 @@
 
 namespace hmpt::topo {
 
-/// Kind of a physical memory pool. The paper's platform has two.
-enum class PoolKind : std::uint8_t { DDR = 0, HBM = 1 };
+/// Kind of a physical memory pool. The paper's platform has the first two;
+/// CXL models a third, capacity-rich but slower tier (CXL- or NVM-class
+/// expansion memory). The enum value doubles as the pool's *tier index* in
+/// the tuner's k-tier placement space: tier 0 (DDR) is always the baseline
+/// the paper's speedups are relative to, tier 1 is HBM — exactly the bit
+/// semantics of the original two-tier mask — and higher tiers extend the
+/// space without disturbing two-tier runs.
+enum class PoolKind : std::uint8_t { DDR = 0, HBM = 1, CXL = 2 };
 
-inline constexpr int kNumPoolKinds = 2;
+inline constexpr int kNumPoolKinds = 3;
 
 const char* to_string(PoolKind kind);
 PoolKind pool_kind_from_string(const std::string& name);
@@ -69,6 +75,16 @@ class Machine {
   const NumaNode& node(int id) const;
   const Tile& tile(int id) const;
 
+  /// Number of memory tiers this machine exposes to the placement tuner:
+  /// 1 + the highest PoolKind value present among the nodes. Two-pool
+  /// DDR/HBM machines report 2 (the paper's search space); machines with a
+  /// CXL-class pool report 3. Tiers are the contiguous PoolKind values
+  /// 0..num_memory_tiers()-1; a machine must provide every tier below its
+  /// highest one (enforced at construction).
+  int num_memory_tiers() const;
+  /// Whether any node carries a pool of `kind`.
+  bool has_kind(PoolKind kind) const;
+
   /// All node ids whose pool is of `kind` (optionally restricted to socket).
   std::vector<int> nodes_of_kind(PoolKind kind, int socket = -1) const;
 
@@ -105,6 +121,21 @@ Machine xeon_max_9468_single_flat_snc4();
 /// unit tests and the quickstart example.
 Machine two_pool_testbed(double ddr_capacity = 64.0 * GiB,
                          double hbm_capacity = 16.0 * GiB);
+
+/// Three-tier machine: a single-socket Xeon Max 9468 (4 tiles with the
+/// paper's DDR5 + HBM2e nodes) extended by one socket-level CXL memory
+/// expander node — 128 GB of CXL-attached DRAM at 32 GB/s peak behind a
+/// PCIe 5.0 x8-class link, with no local cores (tile -1). The smallest
+/// realistic HBM / DDR / CXL platform; the tuner enumerates its 3^n
+/// placement space.
+Machine cxl_tiered_xeon_max(double cxl_capacity = 128.0 * GiB,
+                            double cxl_peak = 32.0 * GB);
+
+/// A hypothetical flat machine with one node per tier (DDR, HBM, CXL),
+/// convenient in unit tests of the k-tier placement space.
+Machine three_pool_testbed(double ddr_capacity = 64.0 * GiB,
+                           double hbm_capacity = 16.0 * GiB,
+                           double cxl_capacity = 256.0 * GiB);
 
 /// A Knights-Landing-like platform in SNC4 flat mode: the generation the
 /// related work (Laghari et al., ADAMANT) targeted. 4 quadrants x 16 cores

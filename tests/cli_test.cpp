@@ -104,13 +104,37 @@ TEST_F(CliTest, BadFlagValuesFailWithUsage) {
        {"--threshold 0", "--threshold 1.5", "--threshold -0.3",
         "--budget-gb -1", "--reps 0", "--reps -2", "--top-k 0",
         "--threshold abc", "--reps 2.5", "--strategy frobnicate",
-        "--jobs -1", "--jobs abc", "--jobs 1.5"}) {
+        "--jobs -1", "--jobs abc", "--jobs 1.5",
+        // Tier flags: --tiers must be 0 or >= 2 and within the platform's
+        // tier count; tier budgets must name a searched non-DDR tier.
+        "--tiers 1", "--tiers -2", "--tiers abc", "--tiers 3",
+        "--tier-budget-gb 64", "--tier-budget-gb 0:16",
+        "--tier-budget-gb 9:16", "--tier-budget-gb 1:-4",
+        "--tier-budget-gb 2:64", "--platform spr-cxl --tiers 2 "
+        "--tier-budget-gb 2:64"}) {
     const int rc = run(profile_ + " " + args);
     EXPECT_NE(rc, 0) << args;
     EXPECT_NE(slurp(out_).find("usage:"), std::string::npos) << args;
   }
   // The boundary values stay valid.
   EXPECT_EQ(run(profile_ + " --threshold 1 --reps 1 --budget-gb 0"), 0)
+      << slurp(out_);
+  EXPECT_EQ(run(profile_ + " --reps 1 --tiers 2 --tier-budget-gb 1:16"), 0)
+      << slurp(out_);
+}
+
+TEST_F(CliTest, ThreeTierPlatformSweepsTheLargerSpace) {
+  ASSERT_EQ(run(profile_ + " --platform spr-cxl --reps 1"), 0)
+      << slurp(out_);
+  const std::string out = slurp(out_);
+  EXPECT_NE(out.find("CXL expander"), std::string::npos) << out;
+  EXPECT_NE(out.find("configurations measured: 27"), std::string::npos)
+      << out;
+  // Restricting the same platform to two tiers reproduces the 2^n space.
+  ASSERT_EQ(run(profile_ + " --platform spr-cxl --tiers 2 --reps 1"), 0)
+      << slurp(out_);
+  EXPECT_NE(slurp(out_).find("configurations measured: 8"),
+            std::string::npos)
       << slurp(out_);
 }
 

@@ -11,9 +11,35 @@ namespace {
 TEST(PoolKindTest, RoundTripsThroughStrings) {
   EXPECT_STREQ(to_string(PoolKind::DDR), "DDR");
   EXPECT_STREQ(to_string(PoolKind::HBM), "HBM");
+  EXPECT_STREQ(to_string(PoolKind::CXL), "CXL");
   EXPECT_EQ(pool_kind_from_string("DDR"), PoolKind::DDR);
   EXPECT_EQ(pool_kind_from_string("hbm"), PoolKind::HBM);
+  EXPECT_EQ(pool_kind_from_string("cxl"), PoolKind::CXL);
   EXPECT_THROW(pool_kind_from_string("MRAM"), Error);
+}
+
+TEST(MemoryTiers, TierCountFollowsThePoolKindsPresent) {
+  EXPECT_EQ(xeon_max_9468_duo_flat_snc4().num_memory_tiers(), 2);
+  EXPECT_EQ(knl_like_flat_snc4().num_memory_tiers(), 2);
+  EXPECT_EQ(two_pool_testbed().num_memory_tiers(), 2);
+  EXPECT_EQ(three_pool_testbed().num_memory_tiers(), 3);
+  EXPECT_EQ(cxl_tiered_xeon_max().num_memory_tiers(), 3);
+  EXPECT_TRUE(cxl_tiered_xeon_max().has_kind(PoolKind::CXL));
+  EXPECT_FALSE(two_pool_testbed().has_kind(PoolKind::CXL));
+}
+
+TEST(MemoryTiers, CxlTieredMachineExtendsTheSingleSocketPreset) {
+  const auto machine = cxl_tiered_xeon_max();
+  const auto base = xeon_max_9468_single_flat_snc4();
+  EXPECT_EQ(machine.num_nodes(), base.num_nodes() + 1);
+  EXPECT_EQ(machine.num_cores(), base.num_cores());
+  const auto& cxl = machine.node(machine.num_nodes() - 1);
+  EXPECT_EQ(cxl.pool.kind, PoolKind::CXL);
+  EXPECT_EQ(cxl.num_cores, 0);
+  EXPECT_EQ(cxl.tile, -1);  // socket-level device node
+  EXPECT_DOUBLE_EQ(machine.capacity_of_kind(PoolKind::CXL), 128.0 * GiB);
+  // CXL sits behind the root complex: further than any tile-local node.
+  EXPECT_GT(machine.distance(0, cxl.id), machine.distance(0, 4));
 }
 
 TEST(XeonMaxDuo, MatchesFig1Topology) {

@@ -5,9 +5,10 @@
 // platform with the selected strategy, prints the analysis, and optionally
 // writes the recommended shim placement plan for the next run:
 //
-//   hmpt_analyze <profile> [--platform spr|spr1|knl] [--strategy NAME]
-//                [--budget-gb N] [--threshold F] [--reps N] [--top-k N]
-//                [--jobs N] [--plan-out FILE] [--csv]
+//   hmpt_analyze <profile> [--platform spr|spr1|spr-cxl|knl]
+//                [--strategy NAME] [--tiers K] [--budget-gb N]
+//                [--tier-budget-gb T:N] [--threshold F] [--reps N]
+//                [--top-k N] [--jobs N] [--plan-out FILE] [--csv]
 //
 // The default "exhaustive" strategy prints the full paper-style report
 // (detailed + summary views); every other registered strategy prints the
@@ -22,6 +23,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.h"
 #include "core/driver.h"
@@ -37,13 +40,21 @@ void usage(const char* argv0) {
     strategies += (strategies.empty() ? "" : "|") + name;
   std::cerr
       << "usage: " << argv0 << " <profile> [options]\n"
-      << "  --platform spr|spr1|knl   platform model (default spr: dual\n"
+      << "  --platform spr|spr1|spr-cxl|knl\n"
+      << "                            platform model (default spr: dual\n"
       << "                            Xeon Max 9468; spr1: one socket;\n"
-      << "                            knl: KNL-like)\n"
+      << "                            spr-cxl: one socket + CXL expander\n"
+      << "                            [3 tiers]; knl: KNL-like)\n"
       << "  --strategy " << strategies << "\n"
       << "                            search method (default exhaustive)\n"
+      << "  --tiers K                 memory tiers to search (K >= 2, at\n"
+      << "                            most the platform's tier count;\n"
+      << "                            0 = the platform's native count,\n"
+      << "                            the default)\n"
       << "  --budget-gb N             HBM capacity budget for the plan\n"
       << "                            (N >= 0; 0 = full machine HBM)\n"
+      << "  --tier-budget-gb T:N      capacity budget of tier T (1 = HBM,\n"
+      << "                            2 = CXL); repeatable\n"
       << "  --threshold F             speedup fraction for the minimal\n"
       << "                            footprint search, in (0,1]\n"
       << "                            (default 0.9)\n"
@@ -116,7 +127,9 @@ int main(int argc, char** argv) {
   std::string strategy = "exhaustive";
   std::string plan_out;
   double budget_gb = 0.0;
+  std::vector<std::pair<int, double>> tier_budgets_gb;
   double threshold = 0.9;
+  int tiers = 0;  // 0 = platform native tier count
   int reps = 3;
   int top_k = 3;
   int jobs = 0;  // 0 = all hardware threads
@@ -133,8 +146,25 @@ int main(int argc, char** argv) {
     };
     if (arg == "--platform") platform = next();
     else if (arg == "--strategy") strategy = next();
+    else if (arg == "--tiers") tiers = parse_int(argv[0], arg, next());
     else if (arg == "--budget-gb")
       budget_gb = parse_double(argv[0], arg, next());
+    else if (arg == "--tier-budget-gb") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos)
+        bad_value(argv[0], "--tier-budget-gb expects T:N (e.g. 2:64)");
+      const int tier =
+          parse_int(argv[0], arg, spec.substr(0, colon).c_str());
+      const double gb =
+          parse_double(argv[0], arg, spec.substr(colon + 1).c_str());
+      if (tier < 1 || tier >= hmpt::topo::kNumPoolKinds || gb < 0.0)
+        bad_value(argv[0],
+                  "--tier-budget-gb needs 1 <= tier < " +
+                      std::to_string(hmpt::topo::kNumPoolKinds) +
+                      " and budget >= 0");
+      tier_budgets_gb.emplace_back(tier, gb);
+    }
     else if (arg == "--threshold")
       threshold = parse_double(argv[0], arg, next());
     else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
@@ -167,6 +197,8 @@ int main(int argc, char** argv) {
   if (top_k < 1) bad_value(argv[0], "--top-k must be >= 1");
   if (jobs < 0)
     bad_value(argv[0], "--jobs must be >= 0 (0 = all hardware threads)");
+  if (tiers != 0 && tiers < 2)
+    bad_value(argv[0], "--tiers must be 0 (platform native) or >= 2");
   if (!tuner::StrategyRegistry::instance().contains(strategy))
     bad_value(argv[0], "unknown strategy: " + strategy);
 
@@ -175,11 +207,28 @@ int main(int argc, char** argv) {
       if (platform == "spr") return sim::MachineSimulator::paper_platform();
       if (platform == "spr1")
         return sim::MachineSimulator::paper_platform_single();
+      if (platform == "spr-cxl")
+        return sim::MachineSimulator::cxl_tiered_platform();
       if (platform == "knl")
         return sim::MachineSimulator(topo::knl_like_flat_snc4(),
                                      sim::knl_like_calibration());
       raise("unknown platform: " + platform);
     }();
+
+    // Tier flags must name tiers the selected platform actually searches —
+    // a silently ignored budget is worse than an error.
+    const int machine_tiers = simulator.machine().num_memory_tiers();
+    const int effective_tiers = tiers == 0 ? machine_tiers : tiers;
+    if (effective_tiers > machine_tiers)
+      bad_value(argv[0], "--tiers " + std::to_string(tiers) +
+                             ": platform has only " +
+                             std::to_string(machine_tiers) + " tiers");
+    for (const auto& tb : tier_budgets_gb) {
+      if (tb.first >= effective_tiers)
+        bad_value(argv[0], "--tier-budget-gb " + std::to_string(tb.first) +
+                               ":...: the search covers only tiers 0-" +
+                               std::to_string(effective_tiers - 1));
+    }
 
     const auto workload = workloads::load_workload(profile_path);
     std::cout << "profile: " << profile_path << " (" << workload.name()
@@ -190,43 +239,56 @@ int main(int argc, char** argv) {
     // Every strategy runs through the Session facade; "exhaustive"
     // additionally gets the full paper-style report from the Driver, whose
     // analysis is built on the same strategy layer.
-    tuner::ConfigMask plan_mask = 0;
+    sim::Placement plan_placement;
     if (strategy == "exhaustive") {
       tuner::DriverOptions options;
       options.experiment.repetitions = reps;
       options.experiment.jobs = jobs;
       options.threshold_fraction = threshold;
       options.hbm_budget_bytes = budget_gb * GB;
+      options.tiers = tiers;
+      for (const auto& [tier, gb] : tier_budgets_gb) {
+        if (options.tier_budget_bytes.size() <=
+            static_cast<std::size_t>(tier))
+          options.tier_budget_bytes.resize(
+              static_cast<std::size_t>(tier) + 1, 0.0);
+        options.tier_budget_bytes[static_cast<std::size_t>(tier)] =
+            gb * GB;
+      }
       tuner::Driver driver(simulator, simulator.full_machine(), options);
       const auto report = driver.analyze(workload);
-      plan_mask = report.recommended.mask;
+      plan_placement = report.space.placement(report.recommended.mask);
       std::cout << report.to_text();
       if (csv) {
         std::cout << "\nsummary view CSV:\n"
                   << report.summary_view.table.to_csv();
       }
     } else {
-      const auto outcome = tuner::Session::on(simulator)
-                               .workload(workload)
-                               .strategy(strategy)
-                               .repetitions(reps)
-                               .budget_gb(budget_gb)
-                               .top_k(top_k)
-                               .jobs(jobs)
-                               .run();
-      plan_mask = outcome.chosen_mask;
+      auto session = tuner::Session::on(simulator)
+                         .workload(workload)
+                         .strategy(strategy)
+                         .tiers(tiers)
+                         .repetitions(reps)
+                         .budget_gb(budget_gb)
+                         .top_k(top_k)
+                         .jobs(jobs);
+      for (const auto& [tier, gb] : tier_budgets_gb)
+        session.tier_budget_gb(tier, gb);
+      const auto outcome = session.run();
+      plan_placement = outcome.chosen_placement;
       std::cout << outcome.to_text();
       if (csv) {
         Table table({"config", "speedup", "hbm_usage"});
         for (const auto& c : outcome.configs())
-          table.add_row({tuner::mask_label(c.mask, outcome.num_groups),
+          table.add_row({tuner::mask_label(c.mask, outcome.num_groups,
+                                           outcome.num_tiers),
                          cell(c.speedup, 4), cell(c.hbm_usage, 4)});
         std::cout << "\nmeasured configurations CSV:\n" << table.to_csv();
       }
     }
 
     if (!plan_out.empty()) {
-      // Materialise the recommended mask against the profile's group
+      // Materialise the recommended placement against the profile's group
       // labels (named call sites).
       std::vector<tuner::AllocationGroup> groups;
       for (const auto& g : workload.groups()) {
@@ -235,7 +297,7 @@ int main(int argc, char** argv) {
         ag.bytes = g.bytes;
         groups.push_back(ag);
       }
-      const auto plan = tuner::to_placement_plan(groups, plan_mask);
+      const auto plan = tuner::to_placement_plan(groups, plan_placement);
       std::ofstream os(plan_out);
       if (!os.good()) {
         std::cerr << "cannot write plan to " << plan_out << '\n';
