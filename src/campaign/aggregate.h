@@ -1,0 +1,44 @@
+// aggregate.h — campaign-wide views of a finished CampaignResult.
+//
+// Three artefacts per campaign, all derived deterministically from the
+// per-scenario outcomes so a resumed campaign reproduces them
+// byte-for-byte:
+//   * runs.csv      one row per scenario with the headline numbers
+//                   (machine-readable; stable across --resume, so status
+//                   columns live in summary.json instead),
+//   * summary.json  campaign totals + per-scenario records including run
+//                   status and errors,
+//   * a ranked text table (common/table) for the terminal, best speedup
+//                   first.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace hmpt::campaign {
+
+/// The planned-scenario listing shared by --dry-run and the pre-run plan
+/// printout (one row per scenario, matrix order).
+Table plan_table(const std::vector<Scenario>& scenarios);
+
+/// One row per scenario with an outcome (Executed/Cached), matrix order.
+/// Deliberately excludes run status and timings: those vary between a
+/// cold and a resumed campaign, and runs.csv must not.
+Table runs_table(const CampaignResult& result);
+
+/// Scenarios with outcomes ranked by speedup, best first (ties broken by
+/// label for determinism).
+Table ranked_table(const CampaignResult& result);
+
+/// Campaign totals + per-scenario status records (including failures).
+Json summary_json(const CampaignResult& result);
+
+/// Write runs.csv and summary.json under `output_dir`; returns the paths
+/// written. Per-scenario outcome JSONs are already in the store.
+std::vector<std::string> write_artifacts(const CampaignResult& result,
+                                         const std::string& output_dir);
+
+}  // namespace hmpt::campaign

@@ -1,0 +1,120 @@
+#include "campaign/campaign.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "campaign/platforms.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "core/session.h"
+
+namespace hmpt::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(ScenarioRun::Status status) {
+  switch (status) {
+    case ScenarioRun::Status::Planned: return "planned";
+    case ScenarioRun::Status::Executed: return "executed";
+    case ScenarioRun::Status::Cached: return "cached";
+    case ScenarioRun::Status::Failed: return "failed";
+  }
+  return "?";
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)), store_(options_.output_dir) {
+  HMPT_REQUIRE(options_.scenario_jobs >= 0,
+               "scenario_jobs must be >= 0 (0 = all hardware threads)");
+  HMPT_REQUIRE(options_.measure_jobs >= 0,
+               "measure_jobs must be >= 0 (0 = all hardware threads)");
+}
+
+tuner::TuningOutcome CampaignRunner::execute(const Scenario& scenario,
+                                             int measure_jobs) {
+  auto simulator = make_platform(scenario.platform);
+  const auto resolved = WorkloadRegistry::instance().create(
+      scenario.workload, simulator);
+
+  // Tier sanity (tier count within the platform, budgets within the
+  // searched tiers) is enforced by Session::run for every entry point.
+  auto session = tuner::Session::on(simulator)
+                     .workload(resolved.workload)
+                     .strategy(scenario.strategy)
+                     .tiers(scenario.tiers)
+                     .repetitions(scenario.repetitions)
+                     .budget_gb(scenario.budget_gb)
+                     .top_k(scenario.top_k)
+                     .jobs(measure_jobs);
+  if (resolved.context.has_value()) session.context(*resolved.context);
+  for (const auto& [tier, gb] : scenario.tier_budgets_gb)
+    session.tier_budget_gb(tier, gb);
+  return session.run();
+}
+
+CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
+                                   const ScenarioCallback& on_scenario) const {
+  CampaignResult result;
+  result.runs.resize(scenarios.size());
+  const auto campaign_start = Clock::now();
+
+  std::mutex mutex;  // guards the counters and the progress callback
+  const auto finish = [&](std::size_t i, ScenarioRun&& run) {
+    std::lock_guard<std::mutex> lock(mutex);
+    switch (run.status) {
+      case ScenarioRun::Status::Planned: ++result.planned; break;
+      case ScenarioRun::Status::Executed: ++result.executed; break;
+      case ScenarioRun::Status::Cached: ++result.cached; break;
+      case ScenarioRun::Status::Failed: ++result.failed; break;
+    }
+    result.runs[i] = std::move(run);
+    if (on_scenario) on_scenario(i, result.runs[i]);
+  };
+
+  const auto run_one = [&](std::size_t i) {
+    ScenarioRun run;
+    run.scenario = scenarios[i];
+
+    if (options_.dry_run) {
+      run.status = ScenarioRun::Status::Planned;
+      finish(i, std::move(run));
+      return;
+    }
+    try {
+      if (options_.resume) {
+        if (auto cached = store_.load(run.scenario)) {
+          run.status = ScenarioRun::Status::Cached;
+          run.outcome = std::move(*cached);
+          finish(i, std::move(run));
+          return;
+        }
+      }
+      const auto start = Clock::now();
+      run.outcome = execute(run.scenario, options_.measure_jobs);
+      run.seconds = seconds_since(start);
+      store_.save(run.scenario, run.outcome);
+      run.status = ScenarioRun::Status::Executed;
+    } catch (const std::exception& e) {
+      if (!options_.keep_going) throw;  // the pool rethrows to the caller
+      run.status = ScenarioRun::Status::Failed;
+      run.error = e.what();
+    }
+    finish(i, std::move(run));
+  };
+
+  parallel_for(options_.scenario_jobs, scenarios.size(), run_one);
+
+  result.seconds = seconds_since(campaign_start);
+  return result;
+}
+
+}  // namespace hmpt::campaign

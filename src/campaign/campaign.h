@@ -1,0 +1,97 @@
+// campaign.h — the engine that runs a scenario fleet.
+//
+// Takes the expanded scenario list of a ScenarioMatrix and executes each
+// scenario through the Session facade on a freshly-built platform
+// simulator, with
+//   * scenario-level concurrency (common/ThreadPool; each scenario owns
+//     its simulator, so scenarios are independent),
+//   * a resumable on-disk OutcomeStore — with `resume` set, scenarios
+//     whose fingerprint is already stored load instead of executing,
+//   * a dry-run mode that only plans (no execution, no store writes),
+//   * keep-going vs fail-fast error policy.
+// Results come back in scenario order whatever the concurrency, so
+// aggregation (runs.csv, ranked summaries) is deterministic and a resumed
+// campaign reproduces its artefacts byte-for-byte.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/outcome_store.h"
+#include "campaign/scenario.h"
+#include "core/strategy.h"
+
+namespace hmpt::campaign {
+
+struct CampaignOptions {
+  std::string output_dir = "campaign-out";  ///< store + aggregate artefacts
+  bool resume = false;    ///< skip scenarios already in the store
+  bool dry_run = false;   ///< plan only: no execution, no writes
+  /// Record failed scenarios and keep running (exit status reports them);
+  /// false = fail fast, first error aborts the campaign.
+  bool keep_going = false;
+  /// Concurrent scenarios (1 = serial, 0 = all hardware threads).
+  int scenario_jobs = 1;
+  /// Measurement worker threads inside each scenario's Session. The
+  /// default keeps one thread per scenario — scenario-level parallelism
+  /// composes badly with nested measurement pools.
+  int measure_jobs = 1;
+};
+
+struct ScenarioRun {
+  enum class Status {
+    Planned,   ///< dry run: would execute
+    Executed,  ///< ran and was stored
+    Cached,    ///< loaded from the store (--resume hit)
+    Failed,    ///< threw; error holds the message (keep-going only)
+  };
+
+  Scenario scenario;
+  Status status = Status::Planned;
+  tuner::TuningOutcome outcome;  ///< valid for Executed/Cached
+  std::string error;             ///< valid for Failed
+  double seconds = 0.0;          ///< wall time of the execution (0 otherwise)
+};
+
+const char* to_string(ScenarioRun::Status status);
+
+struct CampaignResult {
+  std::vector<ScenarioRun> runs;  ///< scenario order
+  int executed = 0;
+  int cached = 0;
+  int failed = 0;
+  int planned = 0;
+  double seconds = 0.0;  ///< campaign wall time
+
+  bool ok() const { return failed == 0; }
+};
+
+/// Progress hook: fired (serialised, from any worker) when a scenario
+/// finishes. `index` is the position in the scenario list.
+using ScenarioCallback =
+    std::function<void(std::size_t index, const ScenarioRun& run)>;
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options);
+
+  const CampaignOptions& options() const { return options_; }
+  const OutcomeStore& store() const { return store_; }
+
+  /// Execute (or plan, or resume) the scenario list.
+  CampaignResult run(const std::vector<Scenario>& scenarios,
+                     const ScenarioCallback& on_scenario = {}) const;
+
+  /// Execute one scenario end to end: build the platform, resolve the
+  /// workload by name, tune through a Session. Public so single-scenario
+  /// callers (tests, tools) share the exact campaign execution path.
+  static tuner::TuningOutcome execute(const Scenario& scenario,
+                                      int measure_jobs = 1);
+
+ private:
+  CampaignOptions options_;
+  OutcomeStore store_;
+};
+
+}  // namespace hmpt::campaign

@@ -1,0 +1,86 @@
+#include "campaign/outcome_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "core/outcome_io.h"
+
+namespace hmpt::campaign {
+
+namespace fs = std::filesystem;
+
+OutcomeStore::OutcomeStore(std::string directory)
+    : directory_(std::move(directory)) {
+  HMPT_REQUIRE(!directory_.empty(), "outcome store needs a directory");
+}
+
+std::string OutcomeStore::path_for(const Scenario& scenario) const {
+  return (fs::path(directory_) / "outcomes" /
+          (scenario.fingerprint() + ".json"))
+      .string();
+}
+
+bool OutcomeStore::contains(const Scenario& scenario) const {
+  std::error_code ec;
+  return fs::exists(path_for(scenario), ec) && !ec;
+}
+
+std::optional<tuner::TuningOutcome> OutcomeStore::load(
+    const Scenario& scenario) const {
+  const std::string path = path_for(scenario);
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    HMPT_REQUIRE(static_cast<int>(doc.at("format_version").as_number()) ==
+                     kFingerprintVersion,
+                 "outcome format version mismatch");
+    HMPT_REQUIRE(doc.at("fingerprint").as_string() == scenario.fingerprint(),
+                 "outcome fingerprint mismatch");
+    return tuner::outcome_from_json(doc.at("outcome"));
+  } catch (const std::exception& e) {
+    raise("corrupt outcome file " + path + ": " + e.what() +
+          " (delete it to re-run the scenario)");
+  }
+}
+
+void OutcomeStore::save(const Scenario& scenario,
+                        const tuner::TuningOutcome& outcome) const {
+  // Directories appear on the first write, so opening a store (or planning
+  // a dry run) never touches the filesystem.
+  std::error_code mkdir_ec;
+  fs::create_directories(fs::path(directory_) / "outcomes", mkdir_ec);
+  if (mkdir_ec)
+    raise("cannot create outcome store at " + directory_ + ": " +
+          mkdir_ec.message());
+
+  JsonObject doc;
+  doc["format_version"] = Json(kFingerprintVersion);
+  doc["fingerprint"] = Json(scenario.fingerprint());
+  doc["scenario"] = scenario.to_json();
+  doc["outcome"] = tuner::outcome_to_json(outcome);
+
+  const std::string path = path_for(scenario);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os.good()) raise("cannot write outcome file: " + tmp);
+    os << Json(std::move(doc)).dump();
+    os.flush();
+    if (!os.good()) raise("short write to outcome file: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    raise("cannot finalise outcome file " + path + ": " + ec.message());
+  }
+}
+
+}  // namespace hmpt::campaign

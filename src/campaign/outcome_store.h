@@ -1,0 +1,45 @@
+// outcome_store.h — the content-addressed cache of finished scenarios.
+//
+// One file per scenario under <dir>/outcomes/<fingerprint>.json, holding
+// the scenario that produced it (for human inspection and sanity checks)
+// and the serialised TuningOutcome. The fingerprint is the key: --resume
+// asks contains()/load() before executing, and anything that changes the
+// experiment (workload parameters, platform, strategy, tier count,
+// budgets, repetitions, top-k, the format version) changes the
+// fingerprint and so misses the cache. Writes go through a temp file +
+// rename, so a campaign killed mid-save never leaves a half-written
+// outcome for the next --resume to trust.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "campaign/scenario.h"
+#include "core/strategy.h"
+
+namespace hmpt::campaign {
+
+class OutcomeStore {
+ public:
+  /// Open the store under `directory`. Purely nominal: directories are
+  /// created on the first save(), so opening (or dry-run planning against)
+  /// a store writes nothing.
+  explicit OutcomeStore(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+  /// The on-disk path of a scenario's outcome file.
+  std::string path_for(const Scenario& scenario) const;
+
+  bool contains(const Scenario& scenario) const;
+  /// Load a cached outcome; nullopt when absent. Throws hmpt::Error on a
+  /// present-but-corrupt file (a silent miss would silently re-run).
+  std::optional<tuner::TuningOutcome> load(const Scenario& scenario) const;
+  /// Persist a finished scenario (overwrites any previous outcome).
+  void save(const Scenario& scenario,
+            const tuner::TuningOutcome& outcome) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace hmpt::campaign

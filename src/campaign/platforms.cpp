@@ -1,0 +1,84 @@
+#include "campaign/platforms.h"
+
+#include "common/error.h"
+#include "topo/machine.h"
+
+namespace hmpt::campaign {
+
+const std::vector<PlatformInfo>& platform_catalog() {
+  static const std::vector<PlatformInfo> catalog = {
+      {"xeon-max",
+       {"spr"},
+       "dual-socket Xeon Max 9468, flat HBM+DDR (the paper platform)",
+       2,
+       [] { return sim::MachineSimulator::paper_platform(); }},
+      {"xeon-max-1s",
+       {"spr1"},
+       "one Xeon Max socket (the platform of Figs. 2-5)",
+       2,
+       [] { return sim::MachineSimulator::paper_platform_single(); }},
+      {"spr-cxl",
+       {},
+       "one Xeon Max socket + CXL memory expander (3 tiers)",
+       3,
+       [] { return sim::MachineSimulator::cxl_tiered_platform(); }},
+      {"knl",
+       {},
+       "KNL-like flat MCDRAM+DDR in SNC-4",
+       2,
+       [] {
+         return sim::MachineSimulator(topo::knl_like_flat_snc4(),
+                                      sim::knl_like_calibration());
+       }},
+  };
+  return catalog;
+}
+
+std::vector<std::string> platform_names() {
+  std::vector<std::string> names;
+  for (const auto& info : platform_catalog()) names.push_back(info.name);
+  return names;
+}
+
+namespace {
+
+const PlatformInfo* lookup(const std::string& name) {
+  for (const auto& info : platform_catalog()) {
+    if (info.name == name) return &info;
+    for (const auto& alias : info.aliases)
+      if (alias == name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool is_platform(const std::string& name) { return lookup(name) != nullptr; }
+
+std::string canonical_platform(const std::string& name) {
+  const PlatformInfo* info = lookup(name);
+  if (info == nullptr) {
+    std::string known;
+    for (const auto& n : platform_names())
+      known += (known.empty() ? "" : ", ") + n;
+    raise("unknown platform: '" + name + "' (known: " + known + ")");
+  }
+  return info->name;
+}
+
+sim::MachineSimulator make_platform(const std::string& name) {
+  return lookup(canonical_platform(name))->factory();
+}
+
+std::string platform_catalog_text() {
+  std::string out = "platform catalogue:\n";
+  for (const auto& info : platform_catalog()) {
+    out += "  " + info.name;
+    for (const auto& alias : info.aliases) out += " (alias " + alias + ")";
+    out += "  —  " + info.description + " [" +
+           std::to_string(info.tiers) + " tiers]\n";
+  }
+  return out;
+}
+
+}  // namespace hmpt::campaign

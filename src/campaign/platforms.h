@@ -1,0 +1,48 @@
+// platforms.h — the string-keyed catalogue of simulated platforms.
+//
+// Scenarios name their platform ("a campaign is workloads × platforms ×
+// strategies"), so the simulator presets scattered across simmem get one
+// canonical name each plus the historical CLI aliases. hmpt_analyze and
+// hmpt_campaign resolve --platform through this catalogue; scenario
+// fingerprints always store the canonical name so "spr" and "xeon-max"
+// dedup to the same cached outcome.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simmem/simulator.h"
+
+namespace hmpt::campaign {
+
+struct PlatformInfo {
+  std::string name;                  ///< canonical name
+  std::vector<std::string> aliases;  ///< accepted synonyms
+  std::string description;
+  int tiers = 2;  ///< memory tiers the platform exposes
+  /// Builds the simulator — part of the catalogue entry, so a platform
+  /// cannot be listed without being constructible.
+  std::function<sim::MachineSimulator()> factory;
+};
+
+/// All platforms in catalogue order.
+const std::vector<PlatformInfo>& platform_catalog();
+
+/// Canonical names, catalogue order.
+std::vector<std::string> platform_names();
+
+/// True when `name` is a canonical name or alias.
+bool is_platform(const std::string& name);
+
+/// Resolve an alias to its canonical name; throws hmpt::Error naming the
+/// known platforms when `name` is unknown.
+std::string canonical_platform(const std::string& name);
+
+/// Construct the simulator for a (canonical or alias) platform name.
+sim::MachineSimulator make_platform(const std::string& name);
+
+/// Human-readable catalogue listing (shared by the CLIs' --list-platforms).
+std::string platform_catalog_text();
+
+}  // namespace hmpt::campaign

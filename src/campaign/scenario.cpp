@@ -1,0 +1,326 @@
+#include "campaign/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "campaign/platforms.h"
+#include "common/error.h"
+#include "core/strategy.h"
+
+namespace hmpt::campaign {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// A "recorded" workload is really the *contents* of its profile file, so
+/// the content address must cover them: hashing only the path would let
+/// --resume serve stale outcomes after the profile is re-recorded. A
+/// missing/unreadable file gets a stable marker — such a scenario fails at
+/// execute time anyway, it just must not crash planning. Fingerprints are
+/// recomputed per use (dedup, store paths, every aggregate table), so the
+/// digest is cached per path and re-read only when mtime/size change.
+std::string profile_digest(const WorkloadParams& params) {
+  const auto it = params.find("path");
+  if (it == params.end()) return "no-path";
+  const std::string& path = it->second;
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  const auto size = ec ? 0 : fs::file_size(path, ec);
+  if (ec) return "unreadable";
+
+  struct Cached {
+    fs::file_time_type mtime;
+    std::uintmax_t size = 0;
+    std::string digest;
+  };
+  static std::mutex mutex;
+  static std::map<std::string, Cached> cache;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto hit = cache.find(path);
+    if (hit != cache.end() && hit->second.mtime == mtime &&
+        hit->second.size == size)
+      return hit->second.digest;
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return "unreadable";
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(buffer.str())));
+  std::lock_guard<std::mutex> lock(mutex);
+  cache[path] = {mtime, size, buf};
+  return buf;
+}
+
+/// Render a double compactly but losslessly for canonical()/labels.
+std::string number_text(double value) {
+  char buf[40];
+  if (std::fabs(value) < 9e15 &&
+      value == static_cast<double>(static_cast<long long>(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Scenario
+
+std::string Scenario::label() const {
+  std::string out = workload.to_string() + "/" + platform + "/" + strategy;
+  if (tiers != 0) out += "/tiers=" + std::to_string(tiers);
+  if (budget_gb > 0.0) out += "/budget=" + number_text(budget_gb) + "GB";
+  for (const auto& [tier, gb] : tier_budgets_gb)
+    out += "/t" + std::to_string(tier) + "=" + number_text(gb) + "GB";
+  return out;
+}
+
+std::string Scenario::canonical() const {
+  std::string out = "v" + std::to_string(kFingerprintVersion);
+  out += "|workload=" + workload.to_string();
+  if (workload.name == "recorded")
+    out += "|profile_digest=" + profile_digest(workload.params);
+  out += "|platform=" + platform;
+  out += "|strategy=" + strategy;
+  out += "|tiers=" + std::to_string(tiers);
+  out += "|budget_gb=" + number_text(budget_gb);
+  auto budgets = tier_budgets_gb;
+  std::sort(budgets.begin(), budgets.end());
+  for (const auto& [tier, gb] : budgets)
+    out += "|tier_budget_gb=" + std::to_string(tier) + ":" + number_text(gb);
+  out += "|reps=" + std::to_string(repetitions);
+  out += "|top_k=" + std::to_string(top_k);
+  return out;
+}
+
+std::string Scenario::fingerprint() const {
+  // FNV-1a 64-bit over the canonical text: stable across platforms and
+  // builds (no std::hash, whose value is implementation-defined).
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(canonical())));
+  return buf;
+}
+
+Json Scenario::to_json() const {
+  JsonObject o;
+  o["workload"] = Json(workload.to_string());
+  o["platform"] = Json(platform);
+  o["strategy"] = Json(strategy);
+  o["tiers"] = Json(tiers);
+  o["budget_gb"] = Json(budget_gb);
+  if (!tier_budgets_gb.empty()) {
+    JsonArray budgets;
+    for (const auto& [tier, gb] : tier_budgets_gb) {
+      JsonObject b;
+      b["tier"] = Json(tier);
+      b["gb"] = Json(gb);
+      budgets.push_back(Json(std::move(b)));
+    }
+    o["tier_budgets_gb"] = Json(std::move(budgets));
+  }
+  o["repetitions"] = Json(repetitions);
+  o["top_k"] = Json(top_k);
+  return Json(std::move(o));
+}
+
+Scenario Scenario::from_json(const Json& json) {
+  Scenario s;
+  s.workload = parse_workload_spec(json.at("workload").as_string());
+  s.platform = json.at("platform").as_string();
+  s.strategy = json.at("strategy").as_string();
+  s.tiers = static_cast<int>(json.at("tiers").as_number());
+  s.budget_gb = json.at("budget_gb").as_number();
+  if (const Json* budgets = json.as_object().find("tier_budgets_gb")) {
+    for (const Json& b : budgets->as_array())
+      s.tier_budgets_gb.emplace_back(
+          static_cast<int>(b.at("tier").as_number()),
+          b.at("gb").as_number());
+  }
+  s.repetitions = static_cast<int>(json.at("repetitions").as_number());
+  s.top_k = static_cast<int>(json.at("top_k").as_number());
+  return s;
+}
+
+// ---------------------------------------------------------- ScenarioMatrix
+
+std::vector<Scenario> ScenarioMatrix::expand() const {
+  HMPT_REQUIRE(!workloads.empty(), "campaign declares no workloads");
+  HMPT_REQUIRE(!platforms.empty(), "campaign declares no platforms");
+  HMPT_REQUIRE(!strategies.empty(), "campaign declares no strategies");
+  HMPT_REQUIRE(repetitions >= 1, "campaign reps must be >= 1");
+  HMPT_REQUIRE(top_k >= 1, "campaign top-k must be >= 1");
+
+  const auto& registry = WorkloadRegistry::instance();
+  for (const auto& spec : workloads) {
+    if (!registry.contains(spec.name)) {
+      std::string known;
+      for (const auto& n : registry.names())
+        known += (known.empty() ? "" : ", ") + n;
+      raise("unknown workload: '" + spec.name + "' (known: " + known + ")");
+    }
+  }
+  for (const auto& strategy : strategies) {
+    if (!tuner::StrategyRegistry::instance().contains(strategy))
+      raise("unknown strategy: '" + strategy + "'");
+  }
+  for (const int t : tiers)
+    HMPT_REQUIRE(t == 0 || t >= 2,
+                 "campaign tiers must be 0 (platform native) or >= 2");
+  for (const double gb : budgets_gb)
+    HMPT_REQUIRE(gb >= 0.0, "campaign budget-gb must be >= 0");
+  auto sorted_tier_budgets = tier_budgets_gb;
+  std::sort(sorted_tier_budgets.begin(), sorted_tier_budgets.end());
+  for (const auto& [tier, gb] : sorted_tier_budgets)
+    HMPT_REQUIRE(tier >= 1 && gb >= 0.0,
+                 "campaign tier-budget-gb needs tier >= 1 and budget >= 0");
+
+  const std::vector<int> tier_axis = tiers.empty() ? std::vector<int>{0}
+                                                   : tiers;
+  const std::vector<double> budget_axis =
+      budgets_gb.empty() ? std::vector<double>{0.0} : budgets_gb;
+
+  std::vector<Scenario> out;
+  std::set<std::string> seen;
+  for (const auto& spec : workloads) {
+    for (const auto& platform : platforms) {
+      const std::string canonical = canonical_platform(platform);
+      for (const auto& strategy : strategies) {
+        for (const int tier_count : tier_axis) {
+          for (const double budget : budget_axis) {
+            Scenario s;
+            s.workload = spec;
+            s.platform = canonical;
+            s.strategy = strategy;
+            s.tiers = tier_count;
+            s.budget_gb = budget;
+            s.tier_budgets_gb = sorted_tier_budgets;
+            s.repetitions = repetitions;
+            s.top_k = top_k;
+            if (seen.insert(s.fingerprint()).second)
+              out.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ScenarioMatrix ScenarioMatrix::parse(std::istream& is) {
+  ScenarioMatrix matrix;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // '#' starts a comment only at line start or after whitespace, so
+    // values that contain one (e.g. recorded:path=/data/run#3.profile)
+    // survive.
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '#') continue;
+      if (i == 0 || line[i - 1] == ' ' || line[i - 1] == '\t') {
+        line = line.substr(0, i);
+        break;
+      }
+    }
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank/comment line
+
+    std::string value;
+    if (!(tokens >> value))
+      raise("campaign file line " + std::to_string(line_no) + ": '" +
+            directive + "' needs a value");
+    std::string extra;
+    if (tokens >> extra)
+      raise("campaign file line " + std::to_string(line_no) +
+            ": trailing text after '" + value + "'");
+
+    const auto as_int = [&](const std::string& text) {
+      try {
+        std::size_t used = 0;
+        const int v = std::stoi(text, &used);
+        HMPT_REQUIRE(used == text.size(), "trailing text");
+        return v;
+      } catch (const std::exception&) {
+        raise("campaign file line " + std::to_string(line_no) +
+              ": not an integer: '" + text + "'");
+      }
+    };
+    const auto as_double = [&](const std::string& text) {
+      try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        HMPT_REQUIRE(used == text.size(), "trailing text");
+        return v;
+      } catch (const std::exception&) {
+        raise("campaign file line " + std::to_string(line_no) +
+              ": not a number: '" + text + "'");
+      }
+    };
+
+    if (directive == "workload") {
+      matrix.workloads.push_back(parse_workload_spec(value));
+    } else if (directive == "platform") {
+      matrix.platforms.push_back(value);
+    } else if (directive == "strategy") {
+      matrix.strategies.push_back(value);
+    } else if (directive == "tiers") {
+      matrix.tiers.push_back(as_int(value));
+    } else if (directive == "budget-gb") {
+      matrix.budgets_gb.push_back(as_double(value));
+    } else if (directive == "tier-budget-gb") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos)
+        raise("campaign file line " + std::to_string(line_no) +
+              ": tier-budget-gb expects tier:gb");
+      matrix.tier_budgets_gb.emplace_back(as_int(value.substr(0, colon)),
+                                          as_double(value.substr(colon + 1)));
+    } else if (directive == "reps") {
+      matrix.repetitions = as_int(value);
+    } else if (directive == "top-k") {
+      matrix.top_k = as_int(value);
+    } else {
+      raise("campaign file line " + std::to_string(line_no) +
+            ": unknown directive '" + directive + "'");
+    }
+  }
+  return matrix;
+}
+
+ScenarioMatrix ScenarioMatrix::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+ScenarioMatrix ScenarioMatrix::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) raise("cannot read campaign file: " + path);
+  return parse(is);
+}
+
+}  // namespace hmpt::campaign

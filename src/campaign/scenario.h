@@ -1,0 +1,87 @@
+// scenario.h — declarative scenarios and the matrix that expands them.
+//
+// A Scenario is one fully-specified tuning run: (workload, platform,
+// strategy, tier count, capacity budgets, repetitions). Its canonical()
+// rendering — alias-free platform name, sorted workload parameters,
+// sorted tier budgets — is hashed into a content-addressed fingerprint
+// that keys the on-disk outcome store: two scenarios with the same
+// fingerprint are the same experiment, whatever order or spelling they
+// were declared in. Fields that cannot change the result (worker-thread
+// counts — outcomes are bit-identical at any job count) are deliberately
+// excluded, so re-running a campaign with different parallelism still
+// hits the cache.
+//
+// A ScenarioMatrix is the declarative cross product the campaign file and
+// the CLI flags build up: workloads × platforms × strategies × tiers ×
+// budgets, expanded to a validated, deduplicated scenario list.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "campaign/workload_registry.h"
+
+namespace hmpt::campaign {
+
+struct Scenario {
+  WorkloadSpec workload;
+  std::string platform;  ///< canonical name (see canonical_platform)
+  std::string strategy;
+  int tiers = 0;          ///< 0 = the platform's native tier count
+  double budget_gb = 0.0; ///< HBM budget; 0 = full machine HBM
+  /// Per-tier budgets (tier, GB), kept sorted by tier.
+  std::vector<std::pair<int, double>> tier_budgets_gb;
+  int repetitions = 3;
+  int top_k = 3;
+
+  /// Human-readable id, e.g. "mg/spr-cxl/estimator".
+  std::string label() const;
+  /// The exact text the fingerprint hashes (stable across versions of the
+  /// runner; bump kFingerprintVersion on any semantic change).
+  std::string canonical() const;
+  /// 16-hex-digit FNV-1a hash of canonical().
+  std::string fingerprint() const;
+
+  Json to_json() const;
+  static Scenario from_json(const Json& json);
+};
+
+/// Bumped whenever canonical() or the outcome format changes meaning, so
+/// stale caches invalidate instead of replaying wrong results.
+inline constexpr int kFingerprintVersion = 1;
+
+struct ScenarioMatrix {
+  std::vector<WorkloadSpec> workloads;
+  std::vector<std::string> platforms;   ///< any alias; canonicalised on expand
+  std::vector<std::string> strategies;
+  std::vector<int> tiers;               ///< empty = {0}
+  std::vector<double> budgets_gb;       ///< empty = {0}
+  std::vector<std::pair<int, double>> tier_budgets_gb;  ///< applied to all
+  int repetitions = 3;
+  int top_k = 3;
+
+  /// Cross product in declaration order, deduplicated by fingerprint.
+  /// Validates every axis (known workloads/platforms/strategies, sane
+  /// numerics) and throws hmpt::Error on the first violation.
+  std::vector<Scenario> expand() const;
+
+  /// Parse the campaign-file format (one directive per line, '#' comments):
+  ///   workload <name[:k=v,...]>
+  ///   platform <name>
+  ///   strategy <name>
+  ///   tiers <k>
+  ///   budget-gb <n>
+  ///   tier-budget-gb <tier>:<n>
+  ///   reps <n>
+  ///   top-k <n>
+  /// Repeatable directives (workload/platform/strategy/tiers/budget-gb)
+  /// append to their axis; reps and top-k are single-valued.
+  static ScenarioMatrix parse(std::istream& is);
+  static ScenarioMatrix parse(const std::string& text);
+  static ScenarioMatrix load(const std::string& path);
+};
+
+}  // namespace hmpt::campaign

@@ -1,0 +1,258 @@
+#include "campaign/workload_registry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "workloads/app_models.h"
+#include "workloads/pointer_chase.h"
+#include "workloads/random_access.h"
+#include "workloads/stream.h"
+#include "workloads/trace_io.h"
+
+namespace hmpt::campaign {
+
+// -------------------------------------------------------------------- spec
+
+std::string WorkloadSpec::to_string() const {
+  std::string out = name;
+  bool first = true;
+  for (const auto& [key, value] : params) {  // std::map: sorted keys
+    out += first ? ":" : ",";
+    first = false;
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+WorkloadSpec parse_workload_spec(const std::string& text) {
+  WorkloadSpec spec;
+  const auto colon = text.find(':');
+  spec.name = text.substr(0, colon);
+  HMPT_REQUIRE(!spec.name.empty(),
+               "workload spec needs a name: '" + text + "'");
+  if (colon == std::string::npos) return spec;
+
+  std::string rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string pair = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto eq = pair.find('=');
+    HMPT_REQUIRE(eq != std::string::npos && eq > 0,
+                 "workload parameter needs key=value: '" + pair + "' in '" +
+                     text + "'");
+    const std::string key = pair.substr(0, eq);
+    HMPT_REQUIRE(spec.params.find(key) == spec.params.end(),
+                 "duplicate workload parameter '" + key + "' in '" + text +
+                     "'");
+    spec.params[key] = pair.substr(eq + 1);
+  }
+  return spec;
+}
+
+// -------------------------------------------------------- parameter access
+
+double param_double(const WorkloadParams& params, const std::string& key,
+                    double fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(it->second.c_str(), &end);
+  HMPT_REQUIRE(end != it->second.c_str() && *end == '\0' && errno != ERANGE,
+               "workload parameter " + key + ": not a number: '" +
+                   it->second + "'");
+  return value;
+}
+
+int param_int(const WorkloadParams& params, const std::string& key,
+              int fallback) {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  HMPT_REQUIRE(end != it->second.c_str() && *end == '\0' && errno != ERANGE,
+               "workload parameter " + key + ": not an integer: '" +
+                   it->second + "'");
+  return static_cast<int>(value);
+}
+
+std::string param_string(const WorkloadParams& params, const std::string& key,
+                         std::string fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? std::move(fallback) : it->second;
+}
+
+void require_params(const WorkloadParams& params,
+                    const std::vector<std::string>& allowed,
+                    const std::string& workload_name) {
+  for (const auto& [key, value] : params) {
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end())
+      continue;
+    std::string known;
+    for (const auto& k : allowed) known += (known.empty() ? "" : ", ") + k;
+    raise("workload '" + workload_name + "' has no parameter '" + key +
+          "'" + (known.empty() ? " (takes none)" : " (takes: " + known + ")"));
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+namespace {
+
+/// Shared `scale` handling of the paper app models: the analytic traffic
+/// descriptors scale linearly, extrapolating a model to longer runs.
+ResolvedWorkload from_app(workloads::AppInfo app, const WorkloadParams& params,
+                          const std::string& name) {
+  require_params(params, {"scale"}, name);
+  const double scale = param_double(params, "scale", 1.0);
+  HMPT_REQUIRE(scale > 0.0, "workload parameter scale must be > 0");
+  if (scale != 1.0) {
+    auto recorded = std::make_shared<workloads::RecordedWorkload>(
+        app.workload->name(), app.workload->groups(), app.workload->trace());
+    recorded->scale(scale);
+    app.workload = recorded;
+  }
+  return {app.workload, app.context};
+}
+
+}  // namespace
+
+WorkloadRegistry::WorkloadRegistry() {
+  // The seven paper applications (Table I), by their NPB/k-Wave codes.
+  const struct {
+    const char* name;
+    workloads::AppInfo (*make)(const sim::MachineSimulator&);
+    const char* description;
+  } apps[] = {
+      {"mg", workloads::make_mg_model, "NPB Multi-Grid (mg.D model)"},
+      {"bt", workloads::make_bt_model, "NPB Block Tri-diagonal (bt.D model)"},
+      {"lu", workloads::make_lu_model, "NPB Lower-Upper (lu.D model)"},
+      {"sp", workloads::make_sp_model, "NPB Scalar Penta-diagonal (sp.D model)"},
+      {"ua", workloads::make_ua_model, "NPB Unstructured Adaptive (ua.D model)"},
+      {"is", workloads::make_is_model, "NPB Integer Sort (is.C* model)"},
+      {"kwave", workloads::make_kwave_model,
+       "k-Wave pseudospectral solver (512^3 model)"},
+  };
+  for (const auto& app : apps) {
+    const auto make = app.make;
+    const std::string name = app.name;
+    add(name, std::string(app.description) + " [scale]",
+        [make, name](const sim::MachineSimulator& sim,
+                     const WorkloadParams& params) {
+          return from_app(make(sim), params, name);
+        });
+  }
+
+  add("stream", "STREAM Copy/Scale/Add/Triad [array_gb, iterations]",
+      [](const sim::MachineSimulator&, const WorkloadParams& params) {
+        require_params(params, {"array_gb", "iterations"}, "stream");
+        const double array_gb = param_double(params, "array_gb", 16.0);
+        const int iterations = param_int(params, "iterations", 10);
+        HMPT_REQUIRE(array_gb > 0.0 && iterations >= 1,
+                     "stream needs array_gb > 0 and iterations >= 1");
+        return ResolvedWorkload{
+            std::make_shared<workloads::StreamWorkload>(array_gb * GB,
+                                                        iterations),
+            std::nullopt};
+      });
+
+  add("pointer-chase", "dependent-load latency chase [window_gb, accesses]",
+      [](const sim::MachineSimulator&, const WorkloadParams& params) {
+        require_params(params, {"window_gb", "accesses"}, "pointer-chase");
+        const double window_gb = param_double(params, "window_gb", 8.0);
+        const double accesses = param_double(params, "accesses", 1e9);
+        HMPT_REQUIRE(window_gb > 0.0 && accesses > 0.0,
+                     "pointer-chase needs window_gb > 0 and accesses > 0");
+        return ResolvedWorkload{
+            std::make_shared<workloads::PointerChaseWorkload>(window_gb * GB,
+                                                              accesses),
+            std::nullopt};
+      });
+
+  add("random-sum", "random indirect summation [data_gb, accesses]",
+      [](const sim::MachineSimulator&, const WorkloadParams& params) {
+        require_params(params, {"data_gb", "accesses"}, "random-sum");
+        const double data_gb = param_double(params, "data_gb", 8.0);
+        const double accesses = param_double(params, "accesses", 1e9);
+        HMPT_REQUIRE(data_gb > 0.0 && accesses > 0.0,
+                     "random-sum needs data_gb > 0 and accesses > 0");
+        return ResolvedWorkload{
+            std::make_shared<workloads::RandomSumWorkload>(data_gb * GB,
+                                                           accesses),
+            std::nullopt};
+      });
+
+  add("recorded", "profile file written by trace_io [path, scale]",
+      [](const sim::MachineSimulator&, const WorkloadParams& params) {
+        require_params(params, {"path", "scale"}, "recorded");
+        const std::string path = param_string(params, "path", "");
+        HMPT_REQUIRE(!path.empty(),
+                     "recorded workload needs a path parameter");
+        auto workload = std::make_shared<workloads::RecordedWorkload>(
+            workloads::load_workload(path));
+        const double scale = param_double(params, "scale", 1.0);
+        HMPT_REQUIRE(scale > 0.0, "workload parameter scale must be > 0");
+        if (scale != 1.0) workload->scale(scale);
+        return ResolvedWorkload{std::move(workload), std::nullopt};
+      });
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(const std::string& name, std::string description,
+                           Factory factory) {
+  HMPT_REQUIRE(!name.empty(), "workload name must not be empty");
+  HMPT_REQUIRE(factory != nullptr, "workload factory must not be null");
+  HMPT_REQUIRE(!contains(name), "workload already registered: " + name);
+  entries_.push_back({name, std::move(description), std::move(factory)});
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return true;
+  return false;
+}
+
+ResolvedWorkload WorkloadRegistry::create(const std::string& name,
+                                          const sim::MachineSimulator& sim,
+                                          const WorkloadParams& params) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return entry.factory(sim, params);
+  std::string known;
+  for (const auto& n : names()) known += (known.empty() ? "" : ", ") + n;
+  raise("unknown workload: '" + name + "' (known: " + known + ")");
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::string& WorkloadRegistry::description(
+    const std::string& name) const {
+  for (const auto& entry : entries_)
+    if (entry.name == name) return entry.description;
+  raise("unknown workload: '" + name + "'");
+}
+
+std::string WorkloadRegistry::list_text() const {
+  std::string out = "registered workloads:\n";
+  for (const auto& name : names())
+    out += "  " + name + "  —  " + description(name) + "\n";
+  return out;
+}
+
+}  // namespace hmpt::campaign

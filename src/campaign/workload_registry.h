@@ -1,0 +1,106 @@
+// workload_registry.h — every workload constructible by name.
+//
+// The tuner's workloads were only reachable programmatically (each with
+// its own constructor) or via a recorded profile file; campaigns need to
+// name them declaratively: "mg", "stream:array_gb=2,iterations=4",
+// "recorded:path=run.profile". The registry mirrors the StrategyRegistry
+// (string-keyed factories, built-ins registered on first access, add() for
+// user workloads) with one twist: factories receive the target simulator,
+// because the paper-scale app models calibrate their traffic against the
+// platform's reference bandwidths.
+//
+// A WorkloadSpec is the parsed "name:key=value,key=value" form; its
+// canonical rendering (sorted keys) is what scenario fingerprints hash, so
+// "stream:iterations=4,array_gb=2" and the sorted spelling dedup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simmem/simulator.h"
+#include "workloads/workload.h"
+
+namespace hmpt::campaign {
+
+/// String key=value parameters of one workload instantiation.
+using WorkloadParams = std::map<std::string, std::string>;
+
+/// A workload resolved against a platform, plus the execution context the
+/// model was calibrated for (paper thread/tile counts); campaigns fall
+/// back to the simulator's full machine when absent.
+struct ResolvedWorkload {
+  workloads::WorkloadPtr workload;
+  std::optional<sim::ExecutionContext> context;
+};
+
+/// Parsed "name" or "name:key=value,key=value" workload reference.
+struct WorkloadSpec {
+  std::string name;
+  WorkloadParams params;
+
+  /// Canonical rendering: name[:k=v,...] with keys in sorted order.
+  std::string to_string() const;
+};
+
+/// Parse a spec string; throws hmpt::Error on malformed syntax (empty
+/// name, parameter without '=', duplicate key).
+WorkloadSpec parse_workload_spec(const std::string& text);
+
+class WorkloadRegistry {
+ public:
+  using Factory = std::function<ResolvedWorkload(
+      const sim::MachineSimulator& sim, const WorkloadParams& params)>;
+
+  static WorkloadRegistry& instance();
+
+  /// Register a factory; throws hmpt::Error on a duplicate name.
+  void add(const std::string& name, std::string description, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Instantiate; throws hmpt::Error naming the known workloads when
+  /// `name` is not registered, and on unsupported/malformed parameters.
+  ResolvedWorkload create(const std::string& name,
+                          const sim::MachineSimulator& sim,
+                          const WorkloadParams& params = {}) const;
+  ResolvedWorkload create(const WorkloadSpec& spec,
+                          const sim::MachineSimulator& sim) const {
+    return create(spec.name, sim, spec.params);
+  }
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// One-line description of a registered workload (for --list-workloads).
+  const std::string& description(const std::string& name) const;
+  /// Human-readable listing of every registered workload (shared by the
+  /// CLIs' --list-workloads).
+  std::string list_text() const;
+
+ private:
+  WorkloadRegistry();
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Typed parameter readers shared by factories: value of `key`, or the
+// fallback when absent. Throw hmpt::Error on non-numeric text.
+double param_double(const WorkloadParams& params, const std::string& key,
+                    double fallback);
+int param_int(const WorkloadParams& params, const std::string& key,
+              int fallback);
+std::string param_string(const WorkloadParams& params, const std::string& key,
+                         std::string fallback);
+
+/// Reject parameters outside `allowed` so a typo ("arraygb=2") fails
+/// loudly instead of silently tuning the default workload.
+void require_params(const WorkloadParams& params,
+                    const std::vector<std::string>& allowed,
+                    const std::string& workload_name);
+
+}  // namespace hmpt::campaign

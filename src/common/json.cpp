@@ -1,0 +1,378 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace hmpt {
+
+// -------------------------------------------------------------- JsonObject
+
+Json& JsonObject::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return v;
+  entries_.emplace_back(key, Json());
+  return entries_.back().second;
+}
+
+const Json* JsonObject::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+// ------------------------------------------------------------------- value
+
+Json::Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+Json::Json(JsonArray a)
+    : kind_(Kind::Array), array_(std::make_unique<JsonArray>(std::move(a))) {}
+Json::Json(JsonObject o)
+    : kind_(Kind::Object),
+      object_(std::make_unique<JsonObject>(std::move(o))) {}
+
+Json::Json(const Json& other)
+    : kind_(other.kind_),
+      bool_(other.bool_),
+      number_(other.number_),
+      string_(other.string_) {
+  if (other.array_) array_ = std::make_unique<JsonArray>(*other.array_);
+  if (other.object_) object_ = std::make_unique<JsonObject>(*other.object_);
+}
+
+Json& Json::operator=(const Json& other) {
+  if (this != &other) *this = Json(other);
+  return *this;
+}
+
+bool Json::as_bool() const {
+  HMPT_REQUIRE(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  HMPT_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  HMPT_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  HMPT_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  return *array_;
+}
+
+const JsonObject& Json::as_object() const {
+  HMPT_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return *object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* value = as_object().find(key);
+  if (value == nullptr) raise("JSON object has no key '" + key + "'");
+  return *value;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* value = as_object().find(key);
+  return value == nullptr ? fallback : value->as_number();
+}
+
+std::string Json::string_or(const std::string& key,
+                            std::string fallback) const {
+  const Json* value = as_object().find(key);
+  return value == nullptr ? std::move(fallback) : value->as_string();
+}
+
+// ------------------------------------------------------------------ writer
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double v) {
+  HMPT_REQUIRE(std::isfinite(v), "JSON cannot represent a non-finite number");
+  // Integers print without an exponent or trailing ".0" (stable, compact);
+  // everything else uses max_digits10 so the value round-trips exactly.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  out += buf;
+}
+
+void write_newline(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) *
+                 static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += bool_ ? "true" : "false"; return;
+    case Kind::Number: write_number(out, number_); return;
+    case Kind::String: write_escaped(out, string_); return;
+    case Kind::Array: {
+      if (array_->empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& item : *array_) {
+        if (!first) out += ',';
+        first = false;
+        write_newline(out, indent, depth + 1);
+        item.write(out, indent, depth + 1);
+      }
+      write_newline(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_->size() == 0) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : *object_) {
+        if (!first) out += ',';
+        first = false;
+        write_newline(out, indent, depth + 1);
+        write_escaped(out, key);
+        out += indent < 0 ? ":" : ": ";
+        value.write(out, indent, depth + 1);
+      }
+      write_newline(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    raise("JSON parse error at offset " + std::to_string(pos_) + ": " +
+          message);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume_keyword(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == 't' && consume_keyword("true")) return Json(true);
+    if (c == 'f' && consume_keyword("false")) return Json(false);
+    if (c == 'n' && consume_keyword("null")) return Json();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object[key] = parse_value();
+      skip_ws();
+      const char next = take();
+      if (next == '}') return Json(std::move(object));
+      if (next != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      const char next = take();
+      if (next == ']') return Json(std::move(array));
+      if (next != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // Latin-1 range and reject the rest rather than mis-decode.
+          if (code > 0xFF) fail("\\u escape beyond \\u00ff unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hmpt

@@ -1,0 +1,98 @@
+// json.h — a minimal JSON value with parser and writer.
+//
+// The campaign engine persists machine-readable artefacts (per-scenario
+// outcomes, campaign summaries, bench trajectories) and must read them
+// back for --resume, so both directions live here. The value model is the
+// usual tagged union (null/bool/number/string/array/object); objects keep
+// insertion order so written files are stable byte-for-byte — resumed
+// campaigns must reproduce identical artefacts. No external dependency;
+// the dialect is plain RFC 8259 minus \uXXXX escapes beyond ASCII needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hmpt {
+
+class Json;
+using JsonArray = std::vector<Json>;
+
+/// Order-preserving string->Json map (insertion order, like the writer
+/// emits and the parser reads — deterministic round trips).
+class JsonObject {
+ public:
+  Json& operator[](const std::string& key);          ///< insert or fetch
+  const Json* find(const std::string& key) const;    ///< null when absent
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  std::size_t size() const { return entries_.size(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Json>> entries_;
+};
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  ///< null
+  Json(const Json& other);
+  Json(Json&&) noexcept = default;
+  Json& operator=(const Json& other);
+  Json& operator=(Json&&) noexcept = default;
+  ~Json() = default;
+
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double v) : kind_(Kind::Number), number_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+  Json(std::string s);
+  Json(JsonArray a);
+  Json(JsonObject o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors; throw hmpt::Error on a kind mismatch so malformed
+  /// artefacts fail loudly instead of reading as zeroes.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field access; throws when this is not an object or the key is
+  /// missing. `get_or` variants return the fallback on a missing key only.
+  const Json& at(const std::string& key) const;
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+  /// Serialise. `indent` < 0 = compact one-liner; >= 0 pretty-prints with
+  /// that many spaces per level. Numbers round-trip exactly (max_digits10).
+  std::string dump(int indent = 2) const;
+
+  /// Parse a document; throws hmpt::Error with offset context on garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Containers live behind pointers because JsonObject (which stores Json
+  // by value) is still incomplete here; copies are deep, so a Json behaves
+  // like any other value type.
+  std::unique_ptr<JsonArray> array_;
+  std::unique_ptr<JsonObject> object_;
+};
+
+}  // namespace hmpt

@@ -117,6 +117,15 @@ TuningOutcome Session::run() const {
   const int tiers = tiers_ == 0 ? machine_tiers : tiers_;
   HMPT_REQUIRE(tiers <= machine_tiers,
                "session requests more tiers than the machine has");
+  // A budget for a tier the search never visits would be silently dead
+  // configuration; every entry point (CLI, campaigns, library callers)
+  // gets this check by running through here.
+  for (std::size_t t = static_cast<std::size_t>(tiers);
+       t < budget_.tier_budget_bytes.size(); ++t)
+    HMPT_REQUIRE(budget_.tier_budget_bytes[t] <= 0.0,
+                 "tier " + std::to_string(t) +
+                     " budget names a tier outside the searched space (" +
+                     std::to_string(tiers) + " tiers)");
   const ConfigSpace space(std::move(bytes), tiers);
 
   const sim::ExecutionContext ctx =

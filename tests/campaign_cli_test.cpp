@@ -1,0 +1,220 @@
+// End-to-end tests of the hmpt_campaign command-line tool and of
+// hmpt_analyze's campaign-backed flags (--json, --list-*). Both binary
+// paths come from CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/outcome_io.h"
+#include "simmem/simulator.h"
+#include "workloads/app_models.h"
+#include "workloads/trace_io.h"
+
+namespace {
+
+#ifndef HMPT_CAMPAIGN_PATH
+#define HMPT_CAMPAIGN_PATH ""
+#endif
+#ifndef HMPT_ANALYZE_PATH
+#define HMPT_ANALYZE_PATH ""
+#endif
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CampaignCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fs::remove_all(store_); }
+  void TearDown() override {
+    fs::remove_all(store_);
+    std::remove(out_.c_str());
+    std::remove(json_.c_str());
+    std::remove(campaign_file_.c_str());
+  }
+
+  int run(const std::string& args) {
+    const std::string cmd = std::string(HMPT_CAMPAIGN_PATH) + " " + args +
+                            " > " + out_ + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  /// The acceptance matrix: 3 workloads x 2 platforms x 3 strategies.
+  std::string matrix_flags() const {
+    return "--workload mg --workload stream:array_gb=1,iterations=2 "
+           "--workload pointer-chase:window_gb=1,accesses=1e8 "
+           "--platform xeon-max --platform spr-cxl "
+           "--strategy exhaustive --strategy estimator --strategy online "
+           "--reps 1 --out " +
+           store_;
+  }
+
+  const std::string store_ = "/tmp/hmpt_campaign_cli_store";
+  const std::string out_ = "/tmp/hmpt_campaign_cli.out";
+  const std::string json_ = "/tmp/hmpt_campaign_cli.json";
+  const std::string campaign_file_ = "/tmp/hmpt_campaign_cli.campaign";
+};
+
+TEST_F(CampaignCliTest, RunsResumesAndReproducesRunsCsv) {
+  // Cold campaign: all 18 scenarios execute.
+  ASSERT_EQ(run(matrix_flags() + " --jobs 0"), 0) << slurp(out_);
+  std::string out = slurp(out_);
+  EXPECT_NE(out.find("campaign: 18 scenarios"), std::string::npos) << out;
+  EXPECT_NE(out.find("executed 18, cached 0, failed 0"), std::string::npos)
+      << out;
+  const std::string cold_csv = slurp(store_ + "/runs.csv");
+  ASSERT_FALSE(cold_csv.empty());
+  EXPECT_FALSE(slurp(store_ + "/summary.json").empty());
+
+  // Resume: zero executions, byte-identical runs.csv.
+  ASSERT_EQ(run(matrix_flags() + " --resume"), 0) << slurp(out_);
+  out = slurp(out_);
+  EXPECT_NE(out.find("executed 0, cached 18, failed 0"), std::string::npos)
+      << out;
+  EXPECT_EQ(slurp(store_ + "/runs.csv"), cold_csv);
+}
+
+TEST_F(CampaignCliTest, DryRunPrintsThePlanWithoutExecuting) {
+  ASSERT_EQ(run(matrix_flags() + " --dry-run"), 0) << slurp(out_);
+  const std::string dry = slurp(out_);
+  EXPECT_NE(dry.find("dry run: nothing executed"), std::string::npos);
+  // No store writes: the outcome directory was never even created.
+  EXPECT_FALSE(fs::exists(fs::path(store_) / "outcomes"));
+
+  // The scenario listing of the dry run is exactly the plan a real run
+  // prints before executing.
+  const auto plan_of = [](const std::string& text) {
+    return text.substr(0, text.find("\n\n"));
+  };
+  const std::string dry_plan = plan_of(dry);
+  EXPECT_NE(dry_plan.find("fingerprint"), std::string::npos);
+  ASSERT_EQ(run(matrix_flags()), 0) << slurp(out_);
+  EXPECT_EQ(plan_of(slurp(out_)), dry_plan);
+}
+
+TEST_F(CampaignCliTest, CampaignFileDrivesTheMatrix) {
+  {
+    std::ofstream os(campaign_file_);
+    os << "# test campaign\n"
+          "workload mg\n"
+          "platform spr-cxl\n"
+          "strategy estimator\n"
+          "strategy online\n"
+          "reps 1\n";
+  }
+  ASSERT_EQ(run(campaign_file_ + " --out " + store_), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("campaign: 2 scenarios"), std::string::npos)
+      << slurp(out_);
+
+  // Flags widen the declared campaign (one more strategy = one more run).
+  ASSERT_EQ(run(campaign_file_ + " --strategy exhaustive --resume --out " +
+                store_),
+            0)
+      << slurp(out_);
+  EXPECT_NE(slurp(out_).find("executed 1, cached 2"), std::string::npos)
+      << slurp(out_);
+}
+
+TEST_F(CampaignCliTest, KeepGoingReportsFailuresInExitCode) {
+  const std::string flags =
+      "--workload recorded:path=/nonexistent.profile --workload mg "
+      "--strategy estimator --reps 1 --keep-going --out " +
+      store_;
+  EXPECT_NE(run(flags), 0);
+  const std::string out = slurp(out_);
+  EXPECT_NE(out.find("failed recorded:path=/nonexistent.profile"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("executed 1, cached 0, failed 1"), std::string::npos)
+      << out;
+}
+
+TEST_F(CampaignCliTest, ListingsAndUsage) {
+  ASSERT_EQ(run("--list-workloads"), 0);
+  EXPECT_NE(slurp(out_).find("kwave"), std::string::npos);
+  ASSERT_EQ(run("--list-platforms"), 0);
+  EXPECT_NE(slurp(out_).find("spr-cxl"), std::string::npos);
+  EXPECT_EQ(run("--help"), 0);
+
+  EXPECT_NE(run("--frobnicate"), 0);
+  // Declaration errors are usage errors: exit 1 + the usage text, distinct
+  // from the exit-2 of scenarios that fail while running.
+  EXPECT_EQ(WEXITSTATUS(
+                run("--workload mg --strategy frobnicate --out " + store_)),
+            1);
+  EXPECT_NE(slurp(out_).find("usage:"), std::string::npos);
+  EXPECT_NE(run("--workload mg --platform frobnicate --out " + store_), 0);
+  EXPECT_NE(run("--workload mg --jobs -1 --out " + store_), 0);
+  EXPECT_NE(run("--workload mg --reps 0 --out " + store_), 0);
+  EXPECT_NE(run("--workload mg --top-k 0 --out " + store_), 0);
+  EXPECT_NE(run("--out " + store_), 0);  // no workloads declared
+}
+
+// ----------------------------------------------- hmpt_analyze satellites
+
+class AnalyzeJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto simulator = hmpt::sim::MachineSimulator::paper_platform();
+    const auto app = hmpt::workloads::make_mg_model(simulator);
+    hmpt::workloads::save_workload(profile_, *app.workload);
+  }
+  void TearDown() override {
+    std::remove(profile_.c_str());
+    std::remove(out_.c_str());
+    std::remove(json_.c_str());
+  }
+
+  int run(const std::string& args) {
+    const std::string cmd = std::string(HMPT_ANALYZE_PATH) + " " + args +
+                            " > " + out_ + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  const std::string profile_ = "/tmp/hmpt_analyze_json_test.profile";
+  const std::string out_ = "/tmp/hmpt_analyze_json_test.out";
+  const std::string json_ = "/tmp/hmpt_analyze_json_test.json";
+};
+
+TEST_F(AnalyzeJsonTest, ListsPlatformsAndWorkloads) {
+  ASSERT_EQ(run("--list-platforms"), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("xeon-max (alias spr)"), std::string::npos);
+  ASSERT_EQ(run("--list-workloads"), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("recorded"), std::string::npos);
+}
+
+TEST_F(AnalyzeJsonTest, JsonFlagWritesARoundTrippableOutcome) {
+  for (const std::string strategy : {"exhaustive", "online"}) {
+    ASSERT_EQ(run(profile_ + " --strategy " + strategy + " --json " + json_),
+              0)
+        << slurp(out_);
+    const std::string text = slurp(json_);
+    ASSERT_FALSE(text.empty());
+    const auto outcome =
+        hmpt::tuner::outcome_from_json(hmpt::Json::parse(text));
+    EXPECT_EQ(outcome.strategy, strategy);
+    EXPECT_EQ(outcome.workload, "NPB:_Multi-Grid");  // profile-sanitised
+    EXPECT_NEAR(outcome.speedup, 2.27, 0.01);
+    // The exhaustive artefact carries the full sweep (like a campaign
+    // scenario's stored outcome); online carries its measured table.
+    if (strategy == "exhaustive") {
+      ASSERT_TRUE(outcome.sweep.has_value());
+      EXPECT_EQ(outcome.sweep->configs.size(), 8u);  // 2^3 on MG
+    } else {
+      EXPECT_FALSE(outcome.configs().empty());
+    }
+    // Serialising the parsed outcome reproduces the file byte-for-byte.
+    EXPECT_EQ(hmpt::tuner::outcome_to_json(outcome).dump(), text);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,487 @@
+// Tests for the campaign engine: workload registry, scenario matrix +
+// fingerprints, outcome JSON round trips, the on-disk outcome store and
+// the resumable CampaignRunner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "campaign/aggregate.h"
+#include "campaign/campaign.h"
+#include "campaign/platforms.h"
+#include "core/outcome_io.h"
+#include "core/session.h"
+#include "workloads/app_models.h"
+#include "workloads/trace_io.h"
+
+namespace hmpt::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Outcomes compare equal iff their (lossless) serialisations agree.
+std::string json_of(const tuner::TuningOutcome& outcome) {
+  return tuner::outcome_to_json(outcome).dump(-1);
+}
+
+/// A fresh store directory per test, removed on scope exit.
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+  }
+  ~StoreDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------- workload specs
+
+TEST(WorkloadSpecTest, ParsesAndCanonicalises) {
+  const auto bare = parse_workload_spec("mg");
+  EXPECT_EQ(bare.name, "mg");
+  EXPECT_TRUE(bare.params.empty());
+  EXPECT_EQ(bare.to_string(), "mg");
+
+  // Parameter order does not matter: to_string() sorts keys, so both
+  // spellings fingerprint (and dedup) identically.
+  const auto a = parse_workload_spec("stream:iterations=4,array_gb=2");
+  const auto b = parse_workload_spec("stream:array_gb=2,iterations=4");
+  EXPECT_EQ(a.to_string(), "stream:array_gb=2,iterations=4");
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_workload_spec(""), Error);
+  EXPECT_THROW(parse_workload_spec(":a=1"), Error);
+  EXPECT_THROW(parse_workload_spec("stream:array_gb"), Error);
+  EXPECT_THROW(parse_workload_spec("stream:=2"), Error);
+  EXPECT_THROW(parse_workload_spec("stream:a=1,a=2"), Error);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(WorkloadRegistryTest, KnowsTheBuiltIns) {
+  const auto names = WorkloadRegistry::instance().names();
+  for (const char* expected :
+       {"mg", "bt", "lu", "sp", "ua", "is", "kwave", "stream",
+        "pointer-chase", "random-sum", "recorded"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+}
+
+TEST(WorkloadRegistryTest, ConstructsParameterisedWorkloads) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  const auto stream = WorkloadRegistry::instance().create(
+      "stream", sim, {{"array_gb", "2"}, {"iterations", "4"}});
+  ASSERT_NE(stream.workload, nullptr);
+  EXPECT_EQ(stream.workload->num_groups(), 3);
+  EXPECT_DOUBLE_EQ(stream.workload->total_bytes(), 3 * 2.0 * GB);
+
+  // Paper app models carry their calibrated execution context.
+  const auto mg = WorkloadRegistry::instance().create("mg", sim);
+  EXPECT_TRUE(mg.context.has_value());
+  EXPECT_EQ(mg.workload->name(), "NPB: Multi-Grid");
+}
+
+TEST(WorkloadRegistryTest, RejectsUnknownNamesAndParameters) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  auto& registry = WorkloadRegistry::instance();
+  EXPECT_THROW(registry.create("frobnicate", sim), Error);
+  EXPECT_THROW(registry.create("stream", sim, {{"arraygb", "2"}}), Error);
+  EXPECT_THROW(registry.create("stream", sim, {{"array_gb", "abc"}}), Error);
+  EXPECT_THROW(registry.create("mg", sim, {{"scale", "-1"}}), Error);
+  EXPECT_THROW(registry.create("recorded", sim), Error);  // needs path
+}
+
+TEST(WorkloadRegistryTest, RecordedWorkloadReplaysAProfileByName) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  const auto app = workloads::make_mg_model(sim);
+  const std::string path =
+      (fs::temp_directory_path() / "hmpt_registry_replay.profile").string();
+  workloads::save_workload(path, *app.workload);
+
+  const auto replayed = WorkloadRegistry::instance().create(
+      "recorded", sim, {{"path", path}});
+  ASSERT_NE(replayed.workload, nullptr);
+  // The replay is lossless: re-serialising the replayed workload
+  // reproduces the profile text byte-for-byte.
+  EXPECT_EQ(workloads::serialize_workload(*replayed.workload),
+            workloads::serialize_workload(*app.workload));
+
+  // And tuning the replayed workload gives the same outcome as tuning
+  // the profile parsed in-process (same groups, same trace, same noise
+  // streams; profile names are sanitised, so compare recorded to
+  // recorded, not to the pre-sanitisation model).
+  const auto tune = [&](const workloads::Workload& w) {
+    auto simulator = sim::MachineSimulator::paper_platform();
+    return tuner::Session::on(simulator)
+        .workload(w)
+        .strategy("estimator")
+        .run();
+  };
+  const auto parsed = workloads::parse_workload(
+      workloads::serialize_workload(*app.workload));
+  EXPECT_EQ(json_of(tune(*replayed.workload)), json_of(tune(parsed)));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- platforms
+
+TEST(PlatformTest, CanonicalisesAliases) {
+  EXPECT_EQ(canonical_platform("spr"), "xeon-max");
+  EXPECT_EQ(canonical_platform("xeon-max"), "xeon-max");
+  EXPECT_EQ(canonical_platform("spr1"), "xeon-max-1s");
+  EXPECT_TRUE(is_platform("spr-cxl"));
+  EXPECT_FALSE(is_platform("frobnicate"));
+  EXPECT_THROW(canonical_platform("frobnicate"), Error);
+  EXPECT_EQ(make_platform("spr-cxl").machine().num_memory_tiers(), 3);
+}
+
+// ----------------------------------------------------------- fingerprints
+
+TEST(ScenarioTest, FingerprintIsStableAndContentAddressed) {
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "exhaustive";
+
+  const std::string base = s.fingerprint();
+  EXPECT_EQ(base.size(), 16u);
+  EXPECT_EQ(base, s.fingerprint());  // deterministic
+
+  // Every semantic field invalidates the fingerprint...
+  for (const auto& mutate : std::vector<std::function<void(Scenario&)>>{
+           [](Scenario& x) { x.workload = parse_workload_spec("mg:scale=2"); },
+           [](Scenario& x) { x.platform = "spr-cxl"; },
+           [](Scenario& x) { x.strategy = "online"; },
+           [](Scenario& x) { x.tiers = 2; },
+           [](Scenario& x) { x.budget_gb = 16.0; },
+           [](Scenario& x) { x.tier_budgets_gb = {{1, 32.0}}; },
+           [](Scenario& x) { x.repetitions = 5; },
+           [](Scenario& x) { x.top_k = 7; }}) {
+    Scenario changed = s;
+    mutate(changed);
+    EXPECT_NE(changed.fingerprint(), base) << changed.canonical();
+  }
+
+  // ...and tier-budget declaration order does not (canonical() sorts).
+  Scenario two_budgets = s;
+  two_budgets.tier_budgets_gb = {{2, 64.0}, {1, 32.0}};
+  Scenario sorted = s;
+  sorted.tier_budgets_gb = {{1, 32.0}, {2, 64.0}};
+  EXPECT_EQ(two_budgets.fingerprint(), sorted.fingerprint());
+}
+
+TEST(ScenarioTest, RecordedProfileContentsAreFingerprinted) {
+  // A recorded workload is the *contents* of its profile: re-recording
+  // the file must invalidate the cached scenario even though the path
+  // (and so the spec text) is unchanged.
+  const std::string path =
+      (fs::temp_directory_path() / "hmpt_fp_profile.profile").string();
+  Scenario s;
+  s.workload = parse_workload_spec("recorded:path=" + path);
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+
+  auto sim = sim::MachineSimulator::paper_platform();
+  workloads::save_workload(path, *workloads::make_mg_model(sim).workload);
+  const std::string fp_mg = s.fingerprint();
+  EXPECT_EQ(fp_mg, s.fingerprint());  // stable while the file is stable
+
+  workloads::save_workload(path, *workloads::make_bt_model(sim).workload);
+  EXPECT_NE(s.fingerprint(), fp_mg);  // contents changed -> cache miss
+
+  std::remove(path.c_str());
+  const std::string fp_missing = s.fingerprint();  // planning never throws
+  EXPECT_NE(fp_missing, fp_mg);
+  EXPECT_EQ(fp_missing, s.fingerprint());
+}
+
+TEST(ScenarioTest, JsonRoundTrips) {
+  Scenario s;
+  s.workload = parse_workload_spec("stream:array_gb=2");
+  s.platform = "spr-cxl";
+  s.strategy = "estimator";
+  s.tiers = 3;
+  s.budget_gb = 16.0;
+  s.tier_budgets_gb = {{2, 64.0}};
+  s.repetitions = 2;
+  s.top_k = 5;
+  const Scenario back = Scenario::from_json(s.to_json());
+  EXPECT_EQ(back.canonical(), s.canonical());
+  EXPECT_EQ(back.fingerprint(), s.fingerprint());
+}
+
+// ----------------------------------------------------------------- matrix
+
+TEST(ScenarioMatrixTest, ExpandsTheCrossProductAndDedups) {
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("mg"),
+                      parse_workload_spec("kwave")};
+  // "spr" is an alias of "xeon-max": the duplicate platform must fold.
+  matrix.platforms = {"xeon-max", "spr", "spr-cxl"};
+  matrix.strategies = {"exhaustive", "online"};
+  const auto scenarios = matrix.expand();
+  EXPECT_EQ(scenarios.size(), 2u * 2u * 2u);
+  for (const auto& s : scenarios)
+    EXPECT_TRUE(s.platform == "xeon-max" || s.platform == "spr-cxl");
+}
+
+TEST(ScenarioMatrixTest, ValidatesEveryAxis) {
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("mg")};
+  matrix.platforms = {"xeon-max"};
+  matrix.strategies = {"exhaustive"};
+  EXPECT_EQ(matrix.expand().size(), 1u);  // the valid baseline
+
+  auto broken = matrix;
+  broken.workloads = {parse_workload_spec("frobnicate")};
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.platforms = {"frobnicate"};
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.strategies = {"frobnicate"};
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.tiers = {1};
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.budgets_gb = {-1.0};
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.repetitions = 0;
+  EXPECT_THROW(broken.expand(), Error);
+  broken = matrix;
+  broken.workloads.clear();
+  EXPECT_THROW(broken.expand(), Error);
+}
+
+TEST(ScenarioMatrixTest, ParsesTheCampaignFileFormat) {
+  const auto matrix = ScenarioMatrix::parse(
+      "# nightly sweep\n"
+      "workload mg\n"
+      "workload stream:array_gb=2,iterations=4   # small STREAM\n"
+      "platform xeon-max\n"
+      "platform spr-cxl\n"
+      "strategy exhaustive\n"
+      "strategy estimator\n"
+      "\n"
+      "tiers 0\n"
+      "budget-gb 0\n"
+      "budget-gb 16\n"
+      "tier-budget-gb 2:64\n"
+      "reps 2\n"
+      "top-k 4\n");
+  EXPECT_EQ(matrix.workloads.size(), 2u);
+  EXPECT_EQ(matrix.platforms.size(), 2u);
+  EXPECT_EQ(matrix.strategies.size(), 2u);
+  EXPECT_EQ(matrix.budgets_gb.size(), 2u);
+  ASSERT_EQ(matrix.tier_budgets_gb.size(), 1u);
+  EXPECT_EQ(matrix.tier_budgets_gb[0].first, 2);
+  EXPECT_EQ(matrix.repetitions, 2);
+  EXPECT_EQ(matrix.top_k, 4);
+  EXPECT_EQ(matrix.expand().size(), 2u * 2u * 2u * 2u);
+
+  // '#' only comments at line start or after whitespace: a '#' inside a
+  // value (e.g. a profile path) is data.
+  const auto hashed = ScenarioMatrix::parse(
+      "workload recorded:path=/data/run#3.profile  # re-recorded\n");
+  ASSERT_EQ(hashed.workloads.size(), 1u);
+  EXPECT_EQ(hashed.workloads[0].params.at("path"), "/data/run#3.profile");
+
+  EXPECT_THROW(ScenarioMatrix::parse("frobnicate mg\n"), Error);
+  EXPECT_THROW(ScenarioMatrix::parse("workload\n"), Error);
+  EXPECT_THROW(ScenarioMatrix::parse("reps two\n"), Error);
+  EXPECT_THROW(ScenarioMatrix::parse("workload mg extra\n"), Error);
+  EXPECT_THROW(ScenarioMatrix::load("/nonexistent/file.campaign"), Error);
+}
+
+// ---------------------------------------------------- outcome round trips
+
+TEST(OutcomeIoTest, OutcomeJsonRoundTripsForEveryStrategy) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  const auto app = workloads::make_mg_model(sim);
+  for (const char* strategy : {"exhaustive", "online", "estimator"}) {
+    auto simulator = sim::MachineSimulator::paper_platform();
+    const auto outcome = tuner::Session::on(simulator)
+                             .workload(app.workload)
+                             .context(app.context)
+                             .strategy(strategy)
+                             .run();
+    const auto back = tuner::outcome_from_json(
+        Json::parse(tuner::outcome_to_json(outcome).dump()));
+    EXPECT_EQ(json_of(back), json_of(outcome)) << strategy;
+    // The parsed outcome is a working TuningOutcome, not just a blob: the
+    // human-readable report regenerates identically.
+    EXPECT_EQ(back.to_text(), outcome.to_text()) << strategy;
+    EXPECT_EQ(back.sweep.has_value(), std::string(strategy) == "exhaustive");
+  }
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(OutcomeStoreTest, SavesLoadsAndInvalidates) {
+  StoreDir dir("hmpt_store_test");
+  const OutcomeStore store(dir.path());
+
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+  s.repetitions = 1;
+  EXPECT_FALSE(store.contains(s));
+  EXPECT_EQ(store.load(s), std::nullopt);
+
+  const auto outcome = CampaignRunner::execute(s);
+  store.save(s, outcome);
+  EXPECT_TRUE(store.contains(s));
+  const auto loaded = store.load(s);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(outcome));
+
+  // A different scenario misses even though one outcome is stored.
+  Scenario other = s;
+  other.repetitions = 2;
+  EXPECT_FALSE(store.contains(other));
+
+  // A corrupt file must fail loudly, not silently re-run.
+  {
+    std::ofstream os(store.path_for(s));
+    os << "{ not json";
+  }
+  EXPECT_THROW(store.load(s), Error);
+}
+
+// ----------------------------------------------------------------- runner
+
+class CampaignRunnerTest : public ::testing::Test {
+ protected:
+  /// The acceptance-criteria matrix: 3 workloads x {xeon-max, spr-cxl} x
+  /// {exhaustive, estimator, online} = 18 scenarios.
+  static std::vector<Scenario> scenarios() {
+    ScenarioMatrix matrix;
+    matrix.workloads = {
+        parse_workload_spec("mg"),
+        parse_workload_spec("stream:array_gb=1,iterations=2"),
+        parse_workload_spec("pointer-chase:accesses=1e8,window_gb=1")};
+    matrix.platforms = {"xeon-max", "spr-cxl"};
+    matrix.strategies = {"exhaustive", "estimator", "online"};
+    matrix.repetitions = 1;
+    return matrix.expand();
+  }
+};
+
+TEST_F(CampaignRunnerTest, DryRunPlansWithoutExecuting) {
+  StoreDir dir("hmpt_campaign_dry");
+  CampaignOptions options;
+  options.output_dir = dir.path();
+  options.dry_run = true;
+
+  const auto scenario_list = scenarios();
+  ASSERT_GE(scenario_list.size(), 12u);
+  const auto result = CampaignRunner(options).run(scenario_list);
+  EXPECT_EQ(result.planned, static_cast<int>(scenario_list.size()));
+  EXPECT_EQ(result.executed, 0);
+  EXPECT_TRUE(result.ok());
+  // Nothing was stored — a dry run never even creates the directories —
+  // and the dry-run plan is exactly the real plan.
+  EXPECT_FALSE(fs::exists(fs::path(dir.path()) / "outcomes"));
+  EXPECT_EQ(plan_table(scenario_list).to_text(),
+            plan_table(scenarios()).to_text());
+}
+
+TEST_F(CampaignRunnerTest, ResumeSkipsEverythingAndReproducesArtifacts) {
+  StoreDir dir("hmpt_campaign_resume");
+  CampaignOptions options;
+  options.output_dir = dir.path();
+  options.scenario_jobs = 4;
+
+  const auto scenario_list = scenarios();
+  const auto cold = CampaignRunner(options).run(scenario_list);
+  EXPECT_EQ(cold.executed, static_cast<int>(scenario_list.size()));
+  EXPECT_EQ(cold.cached, 0);
+  ASSERT_TRUE(cold.ok());
+
+  const auto paths = write_artifacts(cold, options.output_dir);
+  ASSERT_EQ(paths.size(), 2u);
+  std::ifstream csv(paths[0]);
+  std::stringstream cold_csv;
+  cold_csv << csv.rdbuf();
+  ASSERT_FALSE(cold_csv.str().empty());
+
+  // Re-run with resume: zero executions, every outcome served from the
+  // store, byte-identical runs.csv.
+  options.resume = true;
+  options.scenario_jobs = 1;  // different concurrency must not matter
+  const auto warm = CampaignRunner(options).run(scenario_list);
+  EXPECT_EQ(warm.executed, 0);
+  EXPECT_EQ(warm.cached, static_cast<int>(scenario_list.size()));
+  EXPECT_EQ(runs_table(warm).to_csv(), cold_csv.str());
+  for (std::size_t i = 0; i < scenario_list.size(); ++i)
+    EXPECT_EQ(json_of(warm.runs[i].outcome), json_of(cold.runs[i].outcome));
+}
+
+TEST_F(CampaignRunnerTest, ConcurrencyDoesNotChangeResults) {
+  StoreDir dir_serial("hmpt_campaign_serial");
+  StoreDir dir_parallel("hmpt_campaign_parallel");
+  const auto scenario_list = scenarios();
+
+  CampaignOptions serial;
+  serial.output_dir = dir_serial.path();
+  serial.scenario_jobs = 1;
+  CampaignOptions parallel;
+  parallel.output_dir = dir_parallel.path();
+  parallel.scenario_jobs = 0;  // all hardware threads
+
+  const auto a = CampaignRunner(serial).run(scenario_list);
+  const auto b = CampaignRunner(parallel).run(scenario_list);
+  EXPECT_EQ(runs_table(a).to_csv(), runs_table(b).to_csv());
+  EXPECT_EQ(summary_json(a).at("executed").as_number(),
+            summary_json(b).at("executed").as_number());
+}
+
+TEST_F(CampaignRunnerTest, ErrorPolicyKeepGoingVsFailFast) {
+  // "recorded" with a missing file passes matrix validation (the name is
+  // registered) but throws when the factory runs — a realistic mid-
+  // campaign failure.
+  Scenario bad;
+  bad.workload = parse_workload_spec("recorded:path=/nonexistent.profile");
+  bad.platform = "xeon-max";
+  bad.strategy = "estimator";
+  bad.repetitions = 1;
+  Scenario good;
+  good.workload = parse_workload_spec("mg");
+  good.platform = "xeon-max";
+  good.strategy = "estimator";
+  good.repetitions = 1;
+
+  StoreDir dir("hmpt_campaign_errors");
+  CampaignOptions options;
+  options.output_dir = dir.path();
+  options.keep_going = true;
+  const auto result = CampaignRunner(options).run({bad, good});
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_EQ(result.executed, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.runs[0].status, ScenarioRun::Status::Failed);
+  EXPECT_FALSE(result.runs[0].error.empty());
+  EXPECT_EQ(result.runs[1].status, ScenarioRun::Status::Executed);
+  // The failure is recorded in summary.json for post-mortems.
+  const auto summary = summary_json(result);
+  EXPECT_EQ(summary.at("failed").as_number(), 1.0);
+
+  options.keep_going = false;
+  EXPECT_THROW(CampaignRunner(options).run({bad, good}), Error);
+}
+
+}  // namespace
+}  // namespace hmpt::campaign

@@ -1,0 +1,105 @@
+// Tests for common/json — the value model, writer and parser behind the
+// campaign outcome store and the bench trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace hmpt {
+namespace {
+
+TEST(JsonTest, BuildsAndDumpsAllKinds) {
+  JsonObject o;
+  o["null"] = Json();
+  o["flag"] = Json(true);
+  o["count"] = Json(42);
+  o["ratio"] = Json(0.5);
+  o["name"] = Json("campaign");
+  o["list"] = Json(JsonArray{Json(1), Json(2)});
+  const Json doc(std::move(o));
+
+  EXPECT_EQ(doc.dump(-1),
+            "{\"null\":null,\"flag\":true,\"count\":42,\"ratio\":0.5,"
+            "\"name\":\"campaign\",\"list\":[1,2]}");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonObject o;
+  o["zebra"] = Json(1);
+  o["alpha"] = Json(2);
+  const Json doc(std::move(o));
+  EXPECT_EQ(doc.dump(-1), "{\"zebra\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, ParseRoundTripsDump) {
+  JsonObject inner;
+  inner["text"] = Json("line\nbreak \"quoted\" back\\slash");
+  inner["tiny"] = Json(1e-17);
+  inner["negative"] = Json(-3.25);
+  JsonObject o;
+  o["inner"] = Json(std::move(inner));
+  o["items"] = Json(JsonArray{Json(false), Json(), Json("x")});
+  const Json doc(std::move(o));
+
+  for (const int indent : {-1, 0, 2, 4}) {
+    const Json reparsed = Json::parse(doc.dump(indent));
+    EXPECT_EQ(reparsed.dump(-1), doc.dump(-1)) << "indent " << indent;
+  }
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  // The outcome store relies on exact double round trips: a resumed
+  // campaign must reproduce byte-identical artefacts from parsed values.
+  for (const double value :
+       {1.0 / 3.0, 6.02214076e23, -2.5e-13, 1e15, 123456789.125, 0.0}) {
+    const Json parsed = Json::parse(Json(value).dump(-1));
+    EXPECT_EQ(parsed.as_number(), value);
+  }
+}
+
+TEST(JsonTest, ControlCharactersEscape) {
+  const Json doc(std::string("bell\x07tab\t"));
+  EXPECT_EQ(doc.dump(-1), "\"bell\\u0007tab\\t\"");
+  EXPECT_EQ(Json::parse(doc.dump(-1)).as_string(), doc.as_string());
+}
+
+TEST(JsonTest, AccessorsEnforceKinds) {
+  const Json doc = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(doc.as_array(), Error);
+  EXPECT_THROW(doc.at("a").as_string(), Error);
+  EXPECT_THROW(doc.at("missing"), Error);
+  EXPECT_EQ(doc.number_or("a", 7.0), 1.0);
+  EXPECT_EQ(doc.number_or("missing", 7.0), 7.0);
+  EXPECT_EQ(doc.string_or("missing", "fallback"), "fallback");
+}
+
+TEST(JsonTest, ParserRejectsGarbage) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1,}", "[1]]", "nan", "\"bad\\q\""}) {
+    EXPECT_THROW(Json::parse(text), Error) << "'" << text << "'";
+  }
+}
+
+TEST(JsonTest, CopiesAreDeep) {
+  JsonObject o;
+  o["list"] = Json(JsonArray{Json(1)});
+  Json a(std::move(o));
+  Json b = a;
+  // Mutating the copy must not alias the original.
+  JsonObject o2;
+  o2["list"] = Json(JsonArray{Json(1), Json(2)});
+  b = Json(std::move(o2));
+  EXPECT_EQ(a.at("list").as_array().size(), 1u);
+  EXPECT_EQ(b.at("list").as_array().size(), 2u);
+}
+
+TEST(JsonTest, NonFiniteNumbersRefuseToSerialise) {
+  EXPECT_THROW(Json(std::nan("")).dump(), Error);
+  EXPECT_THROW(Json(INFINITY).dump(), Error);
+}
+
+}  // namespace
+}  // namespace hmpt

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -15,6 +16,7 @@
 #include "workloads/pointer_chase.h"
 #include "workloads/random_access.h"
 #include "workloads/stream.h"
+#include "workloads/trace_io.h"
 
 namespace hmpt::workloads {
 namespace {
@@ -322,6 +324,55 @@ TEST_F(AppModelTest, SyntheticAppRoundTripsTimeFractions) {
   const double t = sim_.time_trace(
       wl->trace(), sim::Placement::uniform(1, PoolKind::DDR), ctx);
   EXPECT_NEAR(t, runtime, runtime * 1e-6);
+}
+
+// ---------------------------------------------------------------- trace_io
+
+TEST(TraceIoTest, ProfileRoundTripsLosslessly) {
+  // Serialise -> parse -> serialise must be a fixed point: the profile
+  // format stores doubles at 17 significant digits, so a recorded
+  // workload replays with bit-identical traffic.
+  auto sim = sim::MachineSimulator::paper_platform();
+  for (const auto& app : paper_benchmark_suite(sim)) {
+    const std::string text = serialize_workload(*app.workload);
+    const RecordedWorkload parsed = parse_workload(text);
+    EXPECT_EQ(serialize_workload(parsed), text) << app.name;
+
+    // Groups survive exactly (labels sanitised, bytes bit-identical).
+    const auto original = app.workload->groups();
+    const auto round = parsed.groups();
+    ASSERT_EQ(round.size(), original.size()) << app.name;
+    for (std::size_t g = 0; g < original.size(); ++g)
+      EXPECT_EQ(round[g].bytes, original[g].bytes) << app.name;
+
+    // And so does the trace, stream for stream.
+    const auto a = app.workload->trace();
+    const auto b = parsed.trace();
+    ASSERT_EQ(b.phases.size(), a.phases.size()) << app.name;
+    for (std::size_t p = 0; p < a.phases.size(); ++p) {
+      EXPECT_EQ(b.phases[p].flops, a.phases[p].flops);
+      EXPECT_EQ(b.phases[p].vectorized, a.phases[p].vectorized);
+      ASSERT_EQ(b.phases[p].streams.size(), a.phases[p].streams.size());
+      for (std::size_t s = 0; s < a.phases[p].streams.size(); ++s) {
+        EXPECT_EQ(b.phases[p].streams[s].group, a.phases[p].streams[s].group);
+        EXPECT_EQ(b.phases[p].streams[s].bytes_read,
+                  a.phases[p].streams[s].bytes_read);
+        EXPECT_EQ(b.phases[p].streams[s].bytes_written,
+                  a.phases[p].streams[s].bytes_written);
+      }
+    }
+  }
+}
+
+TEST(TraceIoTest, FileRoundTripMatchesStringRoundTrip) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  const auto app = make_kwave_model(sim);
+  const std::string path = "/tmp/hmpt_trace_io_test.profile";
+  save_workload(path, *app.workload);
+  const RecordedWorkload loaded = load_workload(path);
+  EXPECT_EQ(serialize_workload(loaded), serialize_workload(*app.workload));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_workload(path), hmpt::Error);  // gone again
 }
 
 }  // namespace

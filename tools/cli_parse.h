@@ -1,0 +1,51 @@
+// cli_parse.h — strict numeric flag parsing shared by the hmpt CLIs.
+//
+// Both tools reject garbage ("--reps abc") and out-of-range values with
+// exit 1 after printing their usage text, instead of silently
+// misconfiguring the run via atoi()-style truncation. `usage` is the
+// tool's usage printer, invoked before exiting.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+
+namespace hmpt::cli {
+
+inline int parse_int(const std::string& flag, const char* text,
+                     const std::function<void()>& usage) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not an integer: '" << text << "'\n";
+  } else if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+  } else {
+    return static_cast<int>(value);
+  }
+  usage();
+  std::exit(1);
+}
+
+inline double parse_double(const std::string& flag, const char* text,
+                           const std::function<void()>& usage) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not a number: '" << text << "'\n";
+  } else if (errno == ERANGE || !std::isfinite(value)) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+  } else {
+    return value;
+  }
+  usage();
+  std::exit(1);
+}
+
+}  // namespace hmpt::cli

@@ -5,10 +5,16 @@
 // platform with the selected strategy, prints the analysis, and optionally
 // writes the recommended shim placement plan for the next run:
 //
-//   hmpt_analyze <profile> [--platform spr|spr1|spr-cxl|knl]
-//                [--strategy NAME] [--tiers K] [--budget-gb N]
-//                [--tier-budget-gb T:N] [--threshold F] [--reps N]
-//                [--top-k N] [--jobs N] [--plan-out FILE] [--csv]
+//   hmpt_analyze <profile> [--platform NAME] [--strategy NAME]
+//                [--tiers K] [--budget-gb N] [--tier-budget-gb T:N]
+//                [--threshold F] [--reps N] [--top-k N] [--jobs N]
+//                [--plan-out FILE] [--json FILE] [--csv]
+//                [--list-platforms] [--list-workloads]
+//
+// Platforms come from the campaign catalogue (--list-platforms) and
+// workload names from the campaign registry (--list-workloads); --json
+// writes the TuningOutcome with the campaign serializer, so a single
+// analysis emits the same artefact a campaign scenario stores.
 //
 // The default "exhaustive" strategy prints the full paper-style report
 // (detailed + summary views); every other registered strategy prints the
@@ -26,8 +32,12 @@
 #include <utility>
 #include <vector>
 
+#include "campaign/platforms.h"
+#include "campaign/workload_registry.h"
+#include "cli_parse.h"
 #include "common/units.h"
 #include "core/driver.h"
+#include "core/outcome_io.h"
 #include "core/session.h"
 #include "simmem/simulator.h"
 #include "workloads/trace_io.h"
@@ -38,13 +48,16 @@ void usage(const char* argv0) {
   std::string strategies;
   for (const auto& name : hmpt::tuner::StrategyRegistry::instance().names())
     strategies += (strategies.empty() ? "" : "|") + name;
+  std::string platforms;
+  for (const auto& name : hmpt::campaign::platform_names())
+    platforms += (platforms.empty() ? "" : "|") + name;
   std::cerr
       << "usage: " << argv0 << " <profile> [options]\n"
-      << "  --platform spr|spr1|spr-cxl|knl\n"
-      << "                            platform model (default spr: dual\n"
-      << "                            Xeon Max 9468; spr1: one socket;\n"
-      << "                            spr-cxl: one socket + CXL expander\n"
-      << "                            [3 tiers]; knl: KNL-like)\n"
+      << "  --platform " << platforms << "\n"
+      << "                            platform model (default spr =\n"
+      << "                            xeon-max, the dual-socket paper\n"
+      << "                            platform; --list-platforms for the\n"
+      << "                            full catalogue with aliases)\n"
       << "  --strategy " << strategies << "\n"
       << "                            search method (default exhaustive)\n"
       << "  --tiers K                 memory tiers to search (K >= 2, at\n"
@@ -67,44 +80,20 @@ void usage(const char* argv0) {
       << "                            default; results are bit-identical\n"
       << "                            at any job count)\n"
       << "  --plan-out FILE           write the recommended shim plan\n"
-      << "  --csv                     also print the summary-view CSV\n";
+      << "  --json FILE               write the TuningOutcome as JSON (the\n"
+      << "                            campaign outcome format)\n"
+      << "  --csv                     also print the summary-view CSV\n"
+      << "  --list-platforms          print the platform catalogue, exit\n"
+      << "  --list-workloads          print the workload registry, exit\n";
 }
 
-/// Parse a full numeric argument; exits 1 with usage on garbage like
-/// "--reps abc" instead of silently misconfiguring the run via atoi(0).
 double parse_double(const char* argv0, const std::string& flag,
                     const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0') {
-    std::cerr << flag << ": not a number: '" << text << "'\n";
-    usage(argv0);
-    std::exit(1);
-  }
-  if (errno == ERANGE || !std::isfinite(value)) {
-    std::cerr << flag << ": out of range: '" << text << "'\n";
-    usage(argv0);
-    std::exit(1);
-  }
-  return value;
+  return hmpt::cli::parse_double(flag, text, [argv0] { usage(argv0); });
 }
 
 int parse_int(const char* argv0, const std::string& flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0') {
-    std::cerr << flag << ": not an integer: '" << text << "'\n";
-    usage(argv0);
-    std::exit(1);
-  }
-  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
-    std::cerr << flag << ": out of range: '" << text << "'\n";
-    usage(argv0);
-    std::exit(1);
-  }
-  return static_cast<int>(value);
+  return hmpt::cli::parse_int(flag, text, [argv0] { usage(argv0); });
 }
 
 [[noreturn]] void bad_value(const char* argv0, const std::string& message) {
@@ -126,6 +115,7 @@ int main(int argc, char** argv) {
   std::string platform = "spr";
   std::string strategy = "exhaustive";
   std::string plan_out;
+  std::string json_out;
   double budget_gb = 0.0;
   std::vector<std::pair<int, double>> tier_budgets_gb;
   double threshold = 0.9;
@@ -171,7 +161,16 @@ int main(int argc, char** argv) {
     else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
     else if (arg == "--jobs") jobs = parse_int(argv[0], arg, next());
     else if (arg == "--plan-out") plan_out = next();
+    else if (arg == "--json") json_out = next();
     else if (arg == "--csv") csv = true;
+    else if (arg == "--list-platforms") {
+      std::cout << campaign::platform_catalog_text();
+      return 0;
+    }
+    else if (arg == "--list-workloads") {
+      std::cout << campaign::WorkloadRegistry::instance().list_text();
+      return 0;
+    }
     else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -203,17 +202,7 @@ int main(int argc, char** argv) {
     bad_value(argv[0], "unknown strategy: " + strategy);
 
   try {
-    auto simulator = [&]() -> sim::MachineSimulator {
-      if (platform == "spr") return sim::MachineSimulator::paper_platform();
-      if (platform == "spr1")
-        return sim::MachineSimulator::paper_platform_single();
-      if (platform == "spr-cxl")
-        return sim::MachineSimulator::cxl_tiered_platform();
-      if (platform == "knl")
-        return sim::MachineSimulator(topo::knl_like_flat_snc4(),
-                                     sim::knl_like_calibration());
-      raise("unknown platform: " + platform);
-    }();
+    auto simulator = campaign::make_platform(platform);
 
     // Tier flags must name tiers the selected platform actually searches —
     // a silently ignored budget is worse than an error.
@@ -240,6 +229,7 @@ int main(int argc, char** argv) {
     // additionally gets the full paper-style report from the Driver, whose
     // analysis is built on the same strategy layer.
     sim::Placement plan_placement;
+    tuner::TuningOutcome run_outcome;  ///< what --json serialises
     if (strategy == "exhaustive") {
       tuner::DriverOptions options;
       options.experiment.repetitions = reps;
@@ -256,9 +246,13 @@ int main(int argc, char** argv) {
             gb * GB;
       }
       tuner::Driver driver(simulator, simulator.full_machine(), options);
-      const auto report = driver.analyze(workload);
+      auto report = driver.analyze(workload);
       plan_placement = report.space.placement(report.recommended.mask);
       std::cout << report.to_text();
+      run_outcome = std::move(report.outcome);
+      // The driver keeps the sweep outside its embedded outcome; the JSON
+      // artefact should carry it like a campaign scenario's outcome does.
+      run_outcome.sweep = std::move(report.sweep);
       if (csv) {
         std::cout << "\nsummary view CSV:\n"
                   << report.summary_view.table.to_csv();
@@ -274,9 +268,10 @@ int main(int argc, char** argv) {
                          .jobs(jobs);
       for (const auto& [tier, gb] : tier_budgets_gb)
         session.tier_budget_gb(tier, gb);
-      const auto outcome = session.run();
+      auto outcome = session.run();
       plan_placement = outcome.chosen_placement;
       std::cout << outcome.to_text();
+      run_outcome = outcome;
       if (csv) {
         Table table({"config", "speedup", "hbm_usage"});
         for (const auto& c : outcome.configs())
@@ -305,6 +300,17 @@ int main(int argc, char** argv) {
       }
       os << plan.serialize();
       std::cout << "\nplacement plan written to " << plan_out << '\n';
+    }
+
+    if (!json_out.empty()) {
+      std::ofstream os(json_out);
+      os << tuner::outcome_to_json(run_outcome).dump();
+      os.flush();
+      if (!os.good()) {
+        std::cerr << "cannot write JSON to " << json_out << '\n';
+        return 2;
+      }
+      std::cout << "\noutcome JSON written to " << json_out << '\n';
     }
   } catch (const std::exception& e) {
     std::cerr << "analysis failed: " << e.what() << '\n';

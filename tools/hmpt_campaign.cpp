@@ -1,0 +1,251 @@
+// hmpt_campaign — scenario-matrix sweeps with a resumable outcome store.
+//
+// Expands a campaign (workloads × platforms × strategies × tiers ×
+// budgets), declared in a campaign file and/or via repeatable flags, into
+// a deduplicated scenario list and runs every scenario through the tuner,
+// persisting each outcome as JSON under the output directory:
+//
+//   hmpt_campaign [<campaign-file>]
+//                 [--workload NAME[:k=v,...]]... [--platform NAME]...
+//                 [--strategy NAME]... [--tiers K]... [--budget-gb N]...
+//                 [--tier-budget-gb T:N]... [--reps N] [--top-k N]
+//                 [--out DIR] [--resume] [--dry-run] [--keep-going]
+//                 [--jobs N] [--measure-jobs N] [--quiet]
+//                 [--list-workloads] [--list-platforms]
+//
+// --resume skips every scenario whose fingerprint is already stored (a
+// re-run of a finished campaign executes nothing and reproduces runs.csv
+// byte-for-byte); --dry-run prints the same scenario plan a real run
+// starts with and exits. Flags default missing axes: platform xeon-max,
+// strategy exhaustive.
+//
+// Exit codes: 0 success, 1 bad usage, 2 campaign failure (including any
+// failed scenario under --keep-going).
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.h"
+#include "campaign/campaign.h"
+#include "campaign/platforms.h"
+#include "cli_parse.h"
+#include "common/units.h"
+
+namespace {
+
+using namespace hmpt;
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [<campaign-file>] [options]\n"
+      << "  --workload NAME[:k=v,...]  add a workload (repeatable; see\n"
+      << "                             --list-workloads)\n"
+      << "  --platform NAME            add a platform (repeatable; default\n"
+      << "                             xeon-max; see --list-platforms)\n"
+      << "  --strategy NAME            add a strategy (repeatable; default\n"
+      << "                             exhaustive)\n"
+      << "  --tiers K                  add a tier count (repeatable;\n"
+      << "                             default 0 = platform native)\n"
+      << "  --budget-gb N              add an HBM budget (repeatable;\n"
+      << "                             default 0 = full machine)\n"
+      << "  --tier-budget-gb T:N       tier T capacity cap, all scenarios\n"
+      << "                             (repeatable)\n"
+      << "  --reps N                   measurement repetitions (default 3)\n"
+      << "  --top-k N                  estimator: configs to measure\n"
+      << "                             (default 3)\n"
+      << "  --out DIR                  outcome store + artefacts (default\n"
+      << "                             campaign-out)\n"
+      << "  --resume                   skip scenarios already stored\n"
+      << "  --dry-run                  print the scenario plan, run nothing\n"
+      << "  --keep-going               record failures and continue\n"
+      << "                             (default: fail fast)\n"
+      << "  --jobs N                   concurrent scenarios (N >= 0;\n"
+      << "                             0 = all hardware threads; default 1)\n"
+      << "  --measure-jobs N           measurement threads per scenario\n"
+      << "                             (default 1)\n"
+      << "  --quiet                    suppress per-scenario progress\n"
+      << "  --list-workloads           print the workload registry and exit\n"
+      << "  --list-platforms           print the platform catalogue and exit\n";
+}
+
+int parse_int(const char* argv0, const std::string& flag, const char* text) {
+  return hmpt::cli::parse_int(flag, text, [argv0] { usage(argv0); });
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const char* text) {
+  return hmpt::cli::parse_double(flag, text, [argv0] { usage(argv0); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_file;
+  campaign::ScenarioMatrix flags;  // axes added by CLI flags
+  campaign::CampaignOptions options;
+  int reps = -1;    // -1 = not set on the command line
+  int top_k = -1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      try {
+        flags.workloads.push_back(campaign::parse_workload_spec(next()));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    }
+    else if (arg == "--platform") flags.platforms.emplace_back(next());
+    else if (arg == "--strategy") flags.strategies.emplace_back(next());
+    else if (arg == "--tiers")
+      flags.tiers.push_back(parse_int(argv[0], arg, next()));
+    else if (arg == "--budget-gb")
+      flags.budgets_gb.push_back(parse_double(argv[0], arg, next()));
+    else if (arg == "--tier-budget-gb") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--tier-budget-gb expects T:N (e.g. 2:64)\n";
+        usage(argv[0]);
+        return 1;
+      }
+      flags.tier_budgets_gb.emplace_back(
+          parse_int(argv[0], arg, spec.substr(0, colon).c_str()),
+          parse_double(argv[0], arg, spec.substr(colon + 1).c_str()));
+    }
+    else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
+    else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
+    else if (arg == "--out") options.output_dir = next();
+    else if (arg == "--resume") options.resume = true;
+    else if (arg == "--dry-run") options.dry_run = true;
+    else if (arg == "--keep-going") options.keep_going = true;
+    else if (arg == "--jobs")
+      options.scenario_jobs = parse_int(argv[0], arg, next());
+    else if (arg == "--measure-jobs")
+      options.measure_jobs = parse_int(argv[0], arg, next());
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--list-workloads") {
+      std::cout << campaign::WorkloadRegistry::instance().list_text();
+      return 0;
+    }
+    else if (arg == "--list-platforms") {
+      std::cout << campaign::platform_catalog_text();
+      return 0;
+    }
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    } else if (campaign_file.empty()) {
+      campaign_file = arg;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (options.scenario_jobs < 0 || options.measure_jobs < 0) {
+    std::cerr << "--jobs/--measure-jobs must be >= 0\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if ((reps != -1 && reps < 1) || (top_k != -1 && top_k < 1)) {
+    std::cerr << "--reps/--top-k must be >= 1\n";
+    usage(argv[0]);
+    return 1;
+  }
+
+  // Declaring the campaign (file parse, axis validation, expansion) is
+  // usage territory: errors exit 1 with the usage text, like bad flags.
+  // Only failures while actually running scenarios exit 2.
+  std::vector<campaign::Scenario> scenarios;
+  try {
+    // The campaign file provides the base matrix; flags append to its
+    // axes, so "hmpt_campaign nightly.campaign --platform knl" widens the
+    // declared campaign by one platform.
+    campaign::ScenarioMatrix matrix;
+    if (!campaign_file.empty())
+      matrix = campaign::ScenarioMatrix::load(campaign_file);
+    matrix.workloads.insert(matrix.workloads.end(), flags.workloads.begin(),
+                            flags.workloads.end());
+    matrix.platforms.insert(matrix.platforms.end(), flags.platforms.begin(),
+                            flags.platforms.end());
+    matrix.strategies.insert(matrix.strategies.end(),
+                             flags.strategies.begin(),
+                             flags.strategies.end());
+    matrix.tiers.insert(matrix.tiers.end(), flags.tiers.begin(),
+                        flags.tiers.end());
+    matrix.budgets_gb.insert(matrix.budgets_gb.end(),
+                             flags.budgets_gb.begin(),
+                             flags.budgets_gb.end());
+    matrix.tier_budgets_gb.insert(matrix.tier_budgets_gb.end(),
+                                  flags.tier_budgets_gb.begin(),
+                                  flags.tier_budgets_gb.end());
+    if (reps != -1) matrix.repetitions = reps;
+    if (top_k != -1) matrix.top_k = top_k;
+    if (matrix.platforms.empty()) matrix.platforms = {"xeon-max"};
+    if (matrix.strategies.empty()) matrix.strategies = {"exhaustive"};
+    scenarios = matrix.expand();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    usage(argv[0]);
+    return 1;
+  }
+
+  std::cout << "campaign: " << scenarios.size() << " scenarios\n"
+            << campaign::plan_table(scenarios).to_text();
+  if (options.dry_run) {
+    std::cout << "\ndry run: nothing executed\n";
+    return 0;
+  }
+  std::cout << "\n";
+
+  try {
+    const campaign::CampaignRunner runner(options);
+    const auto result = runner.run(
+        scenarios, [&](std::size_t index, const campaign::ScenarioRun& run) {
+          if (quiet) return;
+          std::cout << "[" << index + 1 << "/" << scenarios.size() << "] "
+                    << campaign::to_string(run.status) << " "
+                    << run.scenario.label();
+          if (run.status == campaign::ScenarioRun::Status::Executed ||
+              run.status == campaign::ScenarioRun::Status::Cached)
+            std::cout << " — " << cell(run.outcome.speedup, 2) << "x";
+          if (run.status == campaign::ScenarioRun::Status::Failed)
+            std::cout << " — " << run.error;
+          std::cout << "\n";
+        });
+
+    const auto paths =
+        campaign::write_artifacts(result, options.output_dir);
+    std::cout << "\nranked scenarios:\n"
+              << campaign::ranked_table(result).to_text();
+    std::cout << "\nexecuted " << result.executed << ", cached "
+              << result.cached << ", failed " << result.failed << " of "
+              << result.runs.size() << " scenarios in "
+              << cell(result.seconds, 2) << " s\n";
+    for (const auto& path : paths) std::cout << "wrote " << path << "\n";
+    std::cout << "outcome store: " << runner.store().directory()
+              << "/outcomes/\n";
+    return result.ok() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "campaign failed: " << e.what() << '\n';
+    return 2;
+  }
+}
