@@ -2,13 +2,18 @@
 // hit-rate of its outcome store.
 //
 // Runs a fixed scenario matrix (paper workloads × platforms × all three
-// strategies) three ways and reports each as a throughput:
+// strategies) several ways and reports each as a throughput:
 //
-//   cold     empty store, every scenario executes and is persisted
-//   resume   same campaign again with resume: every scenario must load
-//            from the store (hit-rate 1.0; anything less is a fingerprint
-//            instability bug)
-//   dry-run  plan-only pass (matrix expansion + fingerprinting)
+//   cold        empty store, every scenario executes and is persisted
+//   resume      same campaign again with resume: every scenario must load
+//               from the store (hit-rate 1.0; anything less is a
+//               fingerprint instability bug)
+//   dry-run     plan-only pass (matrix expansion + fingerprinting)
+//   shard-cold  the same campaign as 3 disjoint --shard slices, each into
+//               its own store with a manifest
+//   merge       hmpt_merge's engine unioning the 3 shard stores; the
+//               merged runs.csv/summary.json must match the unsharded
+//               cold run byte-for-byte
 //
 // Results go to stdout (CSV + table) and to a JSON file (default
 // BENCH_campaign.json) so CI can accumulate the trajectory.
@@ -27,6 +32,7 @@
 #include "bench_util.h"
 #include "campaign/aggregate.h"
 #include "campaign/campaign.h"
+#include "campaign/merge.h"
 #include "common/json.h"
 #include "common/thread_pool.h"
 
@@ -121,7 +127,7 @@ int main(int argc, char** argv) {
     return result;
   };
 
-  timed("cold", options);
+  const auto cold = timed("cold", options);
   auto resume_options = options;
   resume_options.resume = true;
   const auto warm = timed("resume", resume_options);
@@ -133,6 +139,54 @@ int main(int argc, char** argv) {
       static_cast<double>(warm.cached) /
       static_cast<double>(scenarios.size());
 
+  // Shard-and-merge: the same campaign as three disjoint slices, each
+  // executing into its own store with a shard manifest, then merged.
+  const int kShards = 3;
+  std::vector<std::string> shard_dirs;
+  {
+    const auto start = Clock::now();
+    Phase phase;
+    phase.name = "shard-cold";
+    for (int i = 1; i <= kShards; ++i) {
+      campaign::CampaignOptions shard_options = options;
+      shard_options.output_dir =
+          options.output_dir + "-shard" + std::to_string(i);
+      std::filesystem::remove_all(shard_options.output_dir);
+      const campaign::ShardSpec spec{i, kShards};
+      const auto result = campaign::CampaignRunner(shard_options)
+                              .run(campaign::shard_scenarios(scenarios, spec));
+      campaign::make_manifest(scenarios, spec, result)
+          .save(shard_options.output_dir);
+      phase.executed += result.executed;
+      shard_dirs.push_back(shard_options.output_dir);
+    }
+    phase.seconds = seconds_since(start);
+    phase.scenarios_per_sec =
+        static_cast<double>(scenarios.size()) / phase.seconds;
+    phases.push_back(phase);
+  }
+  const std::string merged_dir = options.output_dir + "-merged";
+  std::filesystem::remove_all(merged_dir);
+  const auto merge_start = Clock::now();
+  campaign::MergeStats merge_stats;
+  const auto merged =
+      campaign::merge_shards(shard_dirs, merged_dir, &merge_stats);
+  {
+    Phase phase;
+    phase.name = "merge";
+    phase.seconds = seconds_since(merge_start);
+    phase.scenarios_per_sec =
+        static_cast<double>(scenarios.size()) / phase.seconds;
+    phase.cached = merged.cached;
+    phases.push_back(phase);
+  }
+  // The whole point of the merge: artefacts identical to the unsharded run.
+  const bool merged_matches_cold =
+      campaign::runs_table(merged).to_csv() ==
+          campaign::runs_table(cold).to_csv() &&
+      campaign::summary_json(merged).dump() ==
+          campaign::summary_json(cold).dump();
+
   Table table({"phase", "scenarios/s", "seconds", "executed", "cached"});
   for (const auto& phase : phases)
     table.add_row({phase.name, cell(phase.scenarios_per_sec, 1),
@@ -142,6 +196,10 @@ int main(int argc, char** argv) {
   std::cout << table.to_text();
   std::cout << "\nresume hit-rate: " << cell(hit_rate, 3)
             << " (1.000 = every scenario served from the store)\n";
+  std::cout << "merged == unsharded artefacts: "
+            << (merged_matches_cold ? "yes" : "NO — MERGE BUG") << " ("
+            << merge_stats.outcomes_merged << " outcome files from "
+            << merge_stats.shards << " shards)\n";
 
   JsonObject doc;
   doc["bench"] = Json(std::string("campaign"));
@@ -149,6 +207,8 @@ int main(int argc, char** argv) {
   doc["jobs"] = Json(jobs);
   doc["quick"] = Json(quick);
   doc["resume_hit_rate"] = Json(hit_rate);
+  doc["shards"] = Json(kShards);
+  doc["merged_matches_cold"] = Json(merged_matches_cold);
   JsonArray phase_array;
   for (const auto& phase : phases) {
     JsonObject p;
@@ -168,5 +228,5 @@ int main(int argc, char** argv) {
   os << Json(std::move(doc)).dump();
   std::cout << "wrote " << json_path << "\n";
 
-  return hit_rate == 1.0 ? 0 : 1;
+  return (hit_rate == 1.0 && merged_matches_cold) ? 0 : 1;
 }

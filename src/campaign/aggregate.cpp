@@ -17,6 +17,13 @@ bool has_outcome(const ScenarioRun& run) {
          run.status == ScenarioRun::Status::Cached;
 }
 
+/// The content address captured when the scenario ran; recomputed only
+/// for hand-built results that never went through a runner or merge.
+std::string fingerprint_of(const ScenarioRun& run) {
+  return run.fingerprint.empty() ? run.scenario.fingerprint()
+                                 : run.fingerprint;
+}
+
 std::string budget_text(const Scenario& s) {
   std::string out = cell(s.budget_gb, 1);
   for (const auto& [tier, gb] : s.tier_budgets_gb) {
@@ -49,7 +56,7 @@ Table runs_table(const CampaignResult& result) {
     if (!has_outcome(run)) continue;
     const auto& s = run.scenario;
     const auto& o = run.outcome;
-    table.add_row({s.fingerprint(), s.workload.to_string(), s.platform,
+    table.add_row({fingerprint_of(run), s.workload.to_string(), s.platform,
                    s.strategy, std::to_string(s.tiers), budget_text(s),
                    std::to_string(s.repetitions),
                    tuner::mask_label(o.chosen_mask, o.num_groups,
@@ -89,6 +96,36 @@ Table ranked_table(const CampaignResult& result) {
 }
 
 Json summary_json(const CampaignResult& result) {
+  int with_outcome = 0;
+  int failed = 0;
+  std::vector<std::string> fingerprints;
+  for (const auto& run : result.runs) {
+    fingerprints.push_back(fingerprint_of(run));
+    if (has_outcome(run)) ++with_outcome;
+    if (run.status == ScenarioRun::Status::Failed) ++failed;
+  }
+
+  JsonObject o;
+  o["campaign"] = Json(campaign_fingerprint(fingerprints));
+  o["scenarios"] = Json(static_cast<int>(result.runs.size()));
+  o["with_outcome"] = Json(with_outcome);
+  o["failed"] = Json(failed);
+
+  JsonArray runs;
+  for (const auto& run : result.runs) {
+    JsonObject r;
+    r["fingerprint"] = Json(fingerprint_of(run));
+    r["scenario"] = run.scenario.to_json();
+    if (has_outcome(run)) r["speedup"] = Json(run.outcome.speedup);
+    if (run.status == ScenarioRun::Status::Failed)
+      r["error"] = Json(run.error);
+    runs.push_back(Json(std::move(r)));
+  }
+  o["runs"] = Json(std::move(runs));
+  return Json(std::move(o));
+}
+
+Json status_json(const CampaignResult& result) {
   JsonObject o;
   o["scenarios"] = Json(static_cast<int>(result.runs.size()));
   o["executed"] = Json(result.executed);
@@ -100,13 +137,10 @@ Json summary_json(const CampaignResult& result) {
   JsonArray runs;
   for (const auto& run : result.runs) {
     JsonObject r;
-    r["fingerprint"] = Json(run.scenario.fingerprint());
-    r["scenario"] = run.scenario.to_json();
+    r["fingerprint"] = Json(fingerprint_of(run));
     r["status"] = Json(std::string(to_string(run.status)));
-    if (has_outcome(run)) {
-      r["speedup"] = Json(run.outcome.speedup);
+    if (run.status == ScenarioRun::Status::Executed)
       r["seconds"] = Json(run.seconds);
-    }
     if (run.status == ScenarioRun::Status::Failed)
       r["error"] = Json(run.error);
     runs.push_back(Json(std::move(r)));
@@ -135,7 +169,8 @@ std::vector<std::string> write_artifacts(const CampaignResult& result,
   };
 
   return {write("runs.csv", runs_table(result).to_csv()),
-          write("summary.json", summary_json(result).dump())};
+          write("summary.json", summary_json(result).dump()),
+          write("status.json", status_json(result).dump())};
 }
 
 }  // namespace hmpt::campaign

@@ -1,13 +1,16 @@
 // aggregate.h — campaign-wide views of a finished CampaignResult.
 //
-// Three artefacts per campaign, all derived deterministically from the
-// per-scenario outcomes so a resumed campaign reproduces them
-// byte-for-byte:
+// Artefacts per campaign, split by stability. runs.csv and summary.json
+// are derived *deterministically* from the per-scenario outcomes — the
+// same bytes whether the campaign ran cold, resumed, or as N merged
+// shards — while everything execution-dependent (statuses, wall times)
+// lives in status.json, which is expected to differ between runs:
 //   * runs.csv      one row per scenario with the headline numbers
-//                   (machine-readable; stable across --resume, so status
-//                   columns live in summary.json instead),
-//   * summary.json  campaign totals + per-scenario records including run
-//                   status and errors,
+//                   (machine-readable, matrix order),
+//   * summary.json  campaign fingerprint + totals + per-scenario records
+//                   (scenario, speedup, recorded error) — deterministic,
+//   * status.json   executed/cached counts, per-run status and wall
+//                   times — the volatile run log,
 //   * a ranked text table (common/table) for the terminal, best speedup
 //                   first.
 #pragma once
@@ -33,11 +36,22 @@ Table runs_table(const CampaignResult& result);
 /// label for determinism).
 Table ranked_table(const CampaignResult& result);
 
-/// Campaign totals + per-scenario status records (including failures).
+/// Campaign fingerprint + totals + per-scenario records. Deterministic:
+/// contains nothing that depends on *how* the outcomes were obtained
+/// (cold, resumed or merged from shards), so a merged campaign's
+/// summary.json is byte-identical to the unsharded run's. Failures appear
+/// with their recorded error message.
 Json summary_json(const CampaignResult& result);
 
-/// Write runs.csv and summary.json under `output_dir`; returns the paths
-/// written. Per-scenario outcome JSONs are already in the store.
+/// The volatile run log: executed/cached/failed/planned counts, campaign
+/// wall time, and per-run status + seconds. Deliberately separate from
+/// summary.json so the deterministic artefacts stay comparable across
+/// resume and shard merges.
+Json status_json(const CampaignResult& result);
+
+/// Write runs.csv, summary.json and status.json under `output_dir`;
+/// returns the paths written. Per-scenario outcome JSONs are already in
+/// the store.
 std::vector<std::string> write_artifacts(const CampaignResult& result,
                                          const std::string& output_dir);
 

@@ -83,6 +83,7 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
   const auto run_one = [&](std::size_t i) {
     ScenarioRun run;
     run.scenario = scenarios[i];
+    run.fingerprint = run.scenario.fingerprint();
 
     if (options_.dry_run) {
       run.status = ScenarioRun::Status::Planned;

@@ -12,6 +12,10 @@
 // Results come back in scenario order whatever the concurrency, so
 // aggregation (runs.csv, ranked summaries) is deterministic and a resumed
 // campaign reproduces its artefacts byte-for-byte.
+//
+// Scaling beyond one process: shard_scenarios (scenario.h) deals the
+// campaign into disjoint slices, each run by its own CampaignRunner with
+// its own store, and merge.h reassembles the stores losslessly.
 #pragma once
 
 #include <functional>
@@ -47,23 +51,34 @@ struct ScenarioRun {
     Failed,    ///< threw; error holds the message (keep-going only)
   };
 
-  Scenario scenario;
+  Scenario scenario;             ///< what ran (or would run)
+  /// Content address captured when the scenario ran. Aggregation and
+  /// manifests use this stored string, never a recomputed hash, so a
+  /// recorded-profile file changing on disk after the run cannot re-key
+  /// a finished scenario. Empty only for hand-built results (aggregation
+  /// then falls back to recomputing).
+  std::string fingerprint;
   Status status = Status::Planned;
   tuner::TuningOutcome outcome;  ///< valid for Executed/Cached
   std::string error;             ///< valid for Failed
   double seconds = 0.0;          ///< wall time of the execution (0 otherwise)
 };
 
+/// The status's artefact spelling ("planned"/"executed"/"cached"/"failed").
 const char* to_string(ScenarioRun::Status status);
 
+/// Everything a campaign run (or a shard merge) produced, in scenario
+/// order whatever the concurrency — aggregation over it is deterministic.
 struct CampaignResult {
   std::vector<ScenarioRun> runs;  ///< scenario order
-  int executed = 0;
-  int cached = 0;
-  int failed = 0;
-  int planned = 0;
-  double seconds = 0.0;  ///< campaign wall time
+  int executed = 0;               ///< ran fresh and were stored
+  int cached = 0;                 ///< served from the outcome store
+  int failed = 0;                 ///< recorded failures (keep-going)
+  int planned = 0;                ///< dry-run entries
+  double seconds = 0.0;           ///< campaign wall time
 
+  /// True when no scenario failed (planned/cached/executed all count as
+  /// success).
   bool ok() const { return failed == 0; }
 };
 
@@ -74,9 +89,13 @@ using ScenarioCallback =
 
 class CampaignRunner {
  public:
+  /// Validates the options (job counts); opening the underlying store
+  /// writes nothing until the first outcome is saved.
   explicit CampaignRunner(CampaignOptions options);
 
+  /// The options this runner was built with.
   const CampaignOptions& options() const { return options_; }
+  /// The outcome store under options().output_dir.
   const OutcomeStore& store() const { return store_; }
 
   /// Execute (or plan, or resume) the scenario list.

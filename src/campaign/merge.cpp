@@ -1,0 +1,329 @@
+#include "campaign/merge.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/outcome_io.h"
+
+namespace hmpt::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) raise("cannot read " + path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Atomic write (temp + rename), the same discipline as OutcomeStore.
+void spill(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os.good()) raise("cannot write " + tmp);
+    os << bytes;
+    os.flush();
+    if (!os.good()) raise("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    raise("cannot finalise " + path + ": " + ec.message());
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- ShardManifest
+
+const char* to_string(ShardEntryStatus status) {
+  switch (status) {
+    case ShardEntryStatus::Complete: return "complete";
+    case ShardEntryStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+ShardEntryStatus shard_entry_status_from(const std::string& text) {
+  if (text == "complete") return ShardEntryStatus::Complete;
+  if (text == "failed") return ShardEntryStatus::Failed;
+  raise("unknown shard entry status: '" + text + "'");
+}
+
+Json ShardManifest::to_json() const {
+  JsonObject o;
+  o["format_version"] = Json(format_version);
+  o["campaign"] = Json(campaign);
+  JsonObject spec;
+  spec["index"] = Json(shard.index);
+  spec["count"] = Json(shard.count);
+  o["shard"] = Json(std::move(spec));
+  JsonArray order;
+  for (const auto& fp : campaign_order) order.push_back(Json(fp));
+  o["campaign_order"] = Json(std::move(order));
+  JsonArray scenario_array;
+  for (const auto& entry : entries) {
+    JsonObject e;
+    e["fingerprint"] = Json(entry.fingerprint);
+    e["scenario"] = entry.scenario.to_json();
+    e["status"] = Json(std::string(to_string(entry.status)));
+    if (entry.status == ShardEntryStatus::Failed)
+      e["error"] = Json(entry.error);
+    scenario_array.push_back(Json(std::move(e)));
+  }
+  o["scenarios"] = Json(std::move(scenario_array));
+  return Json(std::move(o));
+}
+
+ShardManifest ShardManifest::from_json(const Json& json) {
+  ShardManifest manifest;
+  manifest.format_version =
+      static_cast<int>(json.at("format_version").as_number());
+  manifest.campaign = json.at("campaign").as_string();
+  const Json& spec = json.at("shard");
+  manifest.shard.index = static_cast<int>(spec.at("index").as_number());
+  manifest.shard.count = static_cast<int>(spec.at("count").as_number());
+  HMPT_REQUIRE(manifest.shard.count >= 1 && manifest.shard.index >= 1 &&
+                   manifest.shard.index <= manifest.shard.count,
+               "manifest shard spec out of range");
+  for (const Json& fp : json.at("campaign_order").as_array())
+    manifest.campaign_order.push_back(fp.as_string());
+  for (const Json& e : json.at("scenarios").as_array()) {
+    Entry entry;
+    entry.fingerprint = e.at("fingerprint").as_string();
+    entry.scenario = Scenario::from_json(e.at("scenario"));
+    entry.status = shard_entry_status_from(e.at("status").as_string());
+    if (entry.status == ShardEntryStatus::Failed)
+      entry.error = e.at("error").as_string();
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+std::string ShardManifest::path_in(const std::string& store_dir) {
+  return (fs::path(store_dir) / kManifestName).string();
+}
+
+void ShardManifest::save(const std::string& store_dir) const {
+  std::error_code ec;
+  fs::create_directories(store_dir, ec);
+  if (ec)
+    raise("cannot create shard store at " + store_dir + ": " + ec.message());
+  spill(path_in(store_dir), to_json().dump());
+}
+
+ShardManifest ShardManifest::load(const std::string& store_dir) {
+  const std::string path = path_in(store_dir);
+  std::ifstream is(path);
+  if (!is.good())
+    raise("no shard manifest at " + path +
+          " (not a shard outcome store, or the shard run never finished)");
+  try {
+    return from_json(Json::parse(slurp(path)));
+  } catch (const std::exception& e) {
+    raise("corrupt shard manifest " + path + ": " + e.what());
+  }
+}
+
+ShardManifest make_manifest(const std::vector<Scenario>& campaign_scenarios,
+                            const ShardSpec& shard,
+                            const CampaignResult& result) {
+  ShardManifest manifest;
+  manifest.campaign = campaign_fingerprint(campaign_scenarios);
+  manifest.shard = shard;
+  for (const auto& s : campaign_scenarios)
+    manifest.campaign_order.push_back(s.fingerprint());
+  for (const auto& run : result.runs) {
+    ShardManifest::Entry entry;
+    entry.fingerprint = run.fingerprint.empty() ? run.scenario.fingerprint()
+                                                : run.fingerprint;
+    entry.scenario = run.scenario;
+    switch (run.status) {
+      case ScenarioRun::Status::Executed:
+      case ScenarioRun::Status::Cached:
+        entry.status = ShardEntryStatus::Complete;
+        break;
+      case ScenarioRun::Status::Failed:
+        entry.status = ShardEntryStatus::Failed;
+        entry.error = run.error;
+        break;
+      case ScenarioRun::Status::Planned:
+        raise("cannot write a shard manifest for a dry run — plans leave "
+              "no outcomes to merge");
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+// ------------------------------------------------------------ merge_shards
+
+CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
+                            const std::string& output_dir,
+                            MergeStats* stats) {
+  HMPT_REQUIRE(!shard_dirs.empty(), "merge needs at least one shard dir");
+  HMPT_REQUIRE(!output_dir.empty(), "merge needs an output dir");
+
+  // 1. Load and cross-validate the manifests: one campaign, one shard
+  //    count, one campaign order; indices exactly 1..N.
+  std::vector<ShardManifest> manifests;
+  for (const auto& dir : shard_dirs)
+    manifests.push_back(ShardManifest::load(dir));
+  const ShardManifest& ref = manifests.front();
+  std::set<int> indices;
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const ShardManifest& m = manifests[i];
+    HMPT_REQUIRE(m.format_version == kFingerprintVersion,
+                 "shard " + shard_dirs[i] + " has manifest format version " +
+                     std::to_string(m.format_version) + ", this tool speaks " +
+                     std::to_string(kFingerprintVersion));
+    if (m.campaign != ref.campaign)
+      raise("shard " + shard_dirs[i] + " belongs to campaign " + m.campaign +
+            ", but " + shard_dirs[0] + " to campaign " + ref.campaign +
+            " — these shards are from different campaigns");
+    HMPT_REQUIRE(m.shard.count == ref.shard.count,
+                 "shard " + shard_dirs[i] + " declares " +
+                     std::to_string(m.shard.count) + " shards, expected " +
+                     std::to_string(ref.shard.count));
+    HMPT_REQUIRE(m.campaign_order == ref.campaign_order,
+                 "shard " + shard_dirs[i] +
+                     " disagrees on the campaign scenario order");
+    if (!indices.insert(m.shard.index).second)
+      raise("shard index " + std::to_string(m.shard.index) +
+            " appears twice (" + shard_dirs[i] + ")");
+  }
+  HMPT_REQUIRE(static_cast<int>(manifests.size()) == ref.shard.count,
+               "campaign " + ref.campaign + " has " +
+                   std::to_string(ref.shard.count) + " shards, got " +
+                   std::to_string(manifests.size()) + " to merge");
+
+  // 2. The slices must be pairwise disjoint and cover the campaign.
+  struct Owner {
+    std::size_t shard;  ///< index into manifests/shard_dirs
+    const ShardManifest::Entry* entry;
+  };
+  std::map<std::string, Owner> owners;
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    for (const auto& entry : manifests[i].entries) {
+      const auto [it, inserted] =
+          owners.emplace(entry.fingerprint, Owner{i, &entry});
+      if (!inserted)
+        raise("scenario " + entry.fingerprint + " is claimed by both " +
+              shard_dirs[it->second.shard] + " and " + shard_dirs[i] +
+              " — shards must be disjoint");
+    }
+  }
+  const std::set<std::string> campaign_set(ref.campaign_order.begin(),
+                                           ref.campaign_order.end());
+  for (const auto& fp : ref.campaign_order)
+    if (owners.find(fp) == owners.end())
+      raise("scenario " + fp + " belongs to campaign " + ref.campaign +
+            " but no shard ran it — merge needs every shard of the "
+            "campaign");
+  for (const auto& [fp, owner] : owners)
+    if (campaign_set.find(fp) == campaign_set.end())
+      raise("shard " + shard_dirs[owner.shard] + " ran scenario " + fp +
+            " which is not part of campaign " + ref.campaign);
+
+  // 3. Union the content-addressed outcome stores, restricted to the
+  //    campaign's fingerprints (shard directories may be reused stores
+  //    holding outcomes of other campaigns — those are left alone). Every
+  //    store is probed for every fingerprint: identical bytes merge
+  //    silently (content addressing at work); *different* bytes for the
+  //    same fingerprint are a determinism bug or a foreign store and
+  //    fail the merge.
+  std::error_code ec;
+  const fs::path merged_outcomes = fs::path(output_dir) / "outcomes";
+  fs::create_directories(merged_outcomes, ec);
+  if (ec)
+    raise("cannot create merged store at " + output_dir + ": " +
+          ec.message());
+  int merged_files = 0;
+  for (const auto& fp : ref.campaign_order) {
+    const std::string name = fp + ".json";
+    std::string bytes;
+    std::string source;
+    for (const auto& dir : shard_dirs) {
+      const fs::path path = fs::path(dir) / "outcomes" / name;
+      if (!fs::exists(path, ec)) continue;
+      const std::string candidate = slurp(path.string());
+      if (source.empty()) {
+        bytes = candidate;
+        source = path.string();
+      } else if (candidate != bytes) {
+        raise("conflicting outcomes for fingerprint " + fp + ": " +
+              path.string() + " differs from " + source +
+              " — same scenario, different results (determinism bug or "
+              "stores from different experiments)");
+      }
+    }
+    if (source.empty()) continue;  // failed scenario: no outcome anywhere
+    const fs::path dest = merged_outcomes / name;
+    if (fs::exists(dest, ec)) {
+      if (slurp(dest.string()) != bytes)
+        raise("conflicting outcomes for fingerprint " + fp + ": " + source +
+              " differs from the copy already merged into " + dest.string());
+      continue;  // identical bytes: already merged
+    }
+    spill(dest.string(), bytes);
+    ++merged_files;
+  }
+
+  // 4. Reconstruct the campaign-ordered result from the merged store (and
+  //    the manifests, for failures). Loading by the *stored* fingerprint
+  //    string keeps the merge exact even when a recorded profile changed
+  //    on disk after its shard ran.
+  CampaignResult result;
+  for (const auto& fp : ref.campaign_order) {
+    const Owner& owner = owners.at(fp);
+    ScenarioRun run;
+    run.scenario = owner.entry->scenario;
+    run.fingerprint = fp;  // the stored content address, never re-hashed
+    if (owner.entry->status == ShardEntryStatus::Failed) {
+      run.status = ScenarioRun::Status::Failed;
+      run.error = owner.entry->error;
+      ++result.failed;
+    } else {
+      const fs::path path = merged_outcomes / (fp + ".json");
+      if (!fs::exists(path, ec))
+        raise("shard " + shard_dirs[owner.shard] + " marks scenario " + fp +
+              " complete but its outcome file is missing");
+      try {
+        const Json doc = Json::parse(slurp(path.string()));
+        HMPT_REQUIRE(static_cast<int>(
+                         doc.at("format_version").as_number()) ==
+                         kFingerprintVersion,
+                     "outcome format version mismatch");
+        HMPT_REQUIRE(doc.at("fingerprint").as_string() == fp,
+                     "outcome file is keyed by a different fingerprint");
+        run.outcome = tuner::outcome_from_json(doc.at("outcome"));
+      } catch (const std::exception& e) {
+        raise("corrupt outcome file " + path.string() + ": " + e.what());
+      }
+      run.status = ScenarioRun::Status::Cached;
+      ++result.cached;
+    }
+    result.runs.push_back(std::move(run));
+  }
+
+  if (stats) {
+    stats->campaign = ref.campaign;
+    stats->shards = static_cast<int>(manifests.size());
+    stats->scenarios = static_cast<int>(ref.campaign_order.size());
+    stats->outcomes_merged = merged_files;
+    stats->failed = result.failed;
+  }
+  return result;
+}
+
+}  // namespace hmpt::campaign

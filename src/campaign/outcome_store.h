@@ -26,8 +26,10 @@ class OutcomeStore {
   /// a store writes nothing.
   explicit OutcomeStore(std::string directory);
 
+  /// The store's root directory (outcomes live under <dir>/outcomes/).
   const std::string& directory() const { return directory_; }
-  /// The on-disk path of a scenario's outcome file.
+  /// The on-disk path of a scenario's outcome file:
+  /// <dir>/outcomes/<fingerprint>.json.
   std::string path_for(const Scenario& scenario) const;
 
   bool contains(const Scenario& scenario) const;

@@ -166,6 +166,77 @@ Scenario Scenario::from_json(const Json& json) {
   return s;
 }
 
+// ------------------------------------------------------ campaign / shards
+
+std::string campaign_fingerprint(const std::vector<Scenario>& scenarios) {
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(scenarios.size());
+  for (const auto& s : scenarios) fingerprints.push_back(s.fingerprint());
+  return campaign_fingerprint(fingerprints);
+}
+
+std::string campaign_fingerprint(
+    const std::vector<std::string>& fingerprints) {
+  std::string text = "campaign-v" + std::to_string(kFingerprintVersion);
+  for (const auto& fp : fingerprints) text += "|" + fp;
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(text)));
+  return buf;
+}
+
+std::string ShardSpec::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const auto slash = text.find('/');
+  HMPT_REQUIRE(slash != std::string::npos,
+               "shard spec must be i/N (e.g. 2/3), got '" + text + "'");
+  const auto as_int = [&](const std::string& part) {
+    try {
+      std::size_t used = 0;
+      const int v = std::stoi(part, &used);
+      HMPT_REQUIRE(used == part.size(), "trailing text");
+      return v;
+    } catch (const std::exception&) {
+      raise("shard spec must be i/N (e.g. 2/3), got '" + text + "'");
+    }
+  };
+  ShardSpec shard;
+  shard.index = as_int(text.substr(0, slash));
+  shard.count = as_int(text.substr(slash + 1));
+  HMPT_REQUIRE(shard.count >= 1 && shard.index >= 1 &&
+                   shard.index <= shard.count,
+               "shard spec needs 1 <= i <= N, got '" + text + "'");
+  return shard;
+}
+
+std::vector<Scenario> shard_scenarios(const std::vector<Scenario>& scenarios,
+                                      const ShardSpec& shard) {
+  HMPT_REQUIRE(shard.count >= 1 && shard.index >= 1 &&
+                   shard.index <= shard.count,
+               "shard needs 1 <= index <= count");
+  // Order by fingerprint — a content address, so every process computes
+  // the same order whatever the declaration spelled — then deal ranks
+  // round-robin: rank r goes to shard (r mod count) + 1.
+  std::vector<std::size_t> order(scenarios.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::string> fingerprints(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    fingerprints[i] = scenarios[i].fingerprint();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return fingerprints[a] < fingerprints[b];
+            });
+
+  std::vector<Scenario> out;
+  for (std::size_t rank = static_cast<std::size_t>(shard.index - 1);
+       rank < order.size(); rank += static_cast<std::size_t>(shard.count))
+    out.push_back(scenarios[order[rank]]);
+  return out;
+}
+
 // ---------------------------------------------------------- ScenarioMatrix
 
 std::vector<Scenario> ScenarioMatrix::expand() const {

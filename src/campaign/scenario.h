@@ -26,16 +26,18 @@
 
 namespace hmpt::campaign {
 
+/// One fully-specified tuning run. Every field below is part of the
+/// content address (fingerprint) except where noted; see canonical().
 struct Scenario {
-  WorkloadSpec workload;
-  std::string platform;  ///< canonical name (see canonical_platform)
-  std::string strategy;
+  WorkloadSpec workload;  ///< registry name + sorted parameters
+  std::string platform;   ///< canonical name (see canonical_platform)
+  std::string strategy;   ///< StrategyRegistry name (e.g. "estimator")
   int tiers = 0;          ///< 0 = the platform's native tier count
   double budget_gb = 0.0; ///< HBM budget; 0 = full machine HBM
   /// Per-tier budgets (tier, GB), kept sorted by tier.
   std::vector<std::pair<int, double>> tier_budgets_gb;
-  int repetitions = 3;
-  int top_k = 3;
+  int repetitions = 3;    ///< measurement repetitions per configuration
+  int top_k = 3;          ///< estimator strategy: configs to measure
 
   /// Human-readable id, e.g. "mg/spr-cxl/estimator".
   std::string label() const;
@@ -45,6 +47,8 @@ struct Scenario {
   /// 16-hex-digit FNV-1a hash of canonical().
   std::string fingerprint() const;
 
+  /// Lossless serialisation: from_json(to_json()) preserves canonical()
+  /// and so the fingerprint (covered by tests).
   Json to_json() const;
   static Scenario from_json(const Json& json);
 };
@@ -53,15 +57,56 @@ struct Scenario {
 /// stale caches invalidate instead of replaying wrong results.
 inline constexpr int kFingerprintVersion = 1;
 
+/// Fingerprint of a whole campaign: the FNV-1a hash (16 hex digits) of the
+/// matrix-ordered scenario fingerprints. Two campaign invocations share a
+/// campaign fingerprint iff they would produce the same scenario list in
+/// the same order — which is exactly when their shards may be merged into
+/// one set of artefacts (`runs.csv`/`summary.json` are matrix-ordered, so
+/// order is part of the identity).
+std::string campaign_fingerprint(const std::vector<Scenario>& scenarios);
+/// Same hash over already-computed scenario fingerprints — for callers
+/// holding the content addresses captured at run time (aggregation,
+/// merge), which must not re-hash scenarios whose recorded-profile files
+/// may have changed since.
+std::string campaign_fingerprint(const std::vector<std::string>& fingerprints);
+
+/// Which slice of a campaign one process runs: shard `index` of `count`,
+/// 1-based ("2/3" = the second of three shards). The default 1/1 is the
+/// whole campaign.
+struct ShardSpec {
+  int index = 1;
+  int count = 1;
+
+  /// True for the trivial 1/1 shard (an unsharded run).
+  bool is_whole() const { return count == 1; }
+  /// "index/count", the spelling `parse_shard_spec` accepts.
+  std::string to_string() const;
+};
+
+/// Parse "i/N" (1 <= i <= N); throws hmpt::Error on anything else.
+ShardSpec parse_shard_spec(const std::string& text);
+
+/// Deterministically partition a campaign across `shard.count` processes:
+/// the scenario list is ordered by fingerprint and rank r (0-based) goes
+/// to shard (r mod count) + 1. Shards are pairwise disjoint, their union
+/// is exactly `scenarios`, and — because fingerprints are content
+/// addresses — the partition is stable across processes, declaration
+/// order, alias spellings and --resume. The returned subset is in
+/// fingerprint order.
+std::vector<Scenario> shard_scenarios(const std::vector<Scenario>& scenarios,
+                                      const ShardSpec& shard);
+
+/// The declarative cross product a campaign file and/or CLI flags build
+/// up; expand() turns it into the validated, deduplicated scenario list.
 struct ScenarioMatrix {
-  std::vector<WorkloadSpec> workloads;
+  std::vector<WorkloadSpec> workloads;  ///< axis: registry workload specs
   std::vector<std::string> platforms;   ///< any alias; canonicalised on expand
-  std::vector<std::string> strategies;
+  std::vector<std::string> strategies;  ///< axis: StrategyRegistry names
   std::vector<int> tiers;               ///< empty = {0}
   std::vector<double> budgets_gb;       ///< empty = {0}
   std::vector<std::pair<int, double>> tier_budgets_gb;  ///< applied to all
-  int repetitions = 3;
-  int top_k = 3;
+  int repetitions = 3;                  ///< single-valued, all scenarios
+  int top_k = 3;                        ///< single-valued, all scenarios
 
   /// Cross product in declaration order, deduplicated by fingerprint.
   /// Validates every axis (known workloads/platforms/strategies, sane

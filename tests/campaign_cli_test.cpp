@@ -19,6 +19,9 @@ namespace {
 #ifndef HMPT_CAMPAIGN_PATH
 #define HMPT_CAMPAIGN_PATH ""
 #endif
+#ifndef HMPT_MERGE_PATH
+#define HMPT_MERGE_PATH ""
+#endif
 #ifndef HMPT_ANALYZE_PATH
 #define HMPT_ANALYZE_PATH ""
 #endif
@@ -34,16 +37,29 @@ std::string slurp(const std::string& path) {
 
 class CampaignCliTest : public ::testing::Test {
  protected:
-  void SetUp() override { fs::remove_all(store_); }
+  void SetUp() override { remove_stores(); }
   void TearDown() override {
-    fs::remove_all(store_);
+    remove_stores();
     std::remove(out_.c_str());
     std::remove(json_.c_str());
     std::remove(campaign_file_.c_str());
   }
 
+  void remove_stores() {
+    fs::remove_all(store_);
+    for (int i = 1; i <= 3; ++i)
+      fs::remove_all(store_ + "-shard" + std::to_string(i));
+    fs::remove_all(store_ + "-merged");
+  }
+
   int run(const std::string& args) {
     const std::string cmd = std::string(HMPT_CAMPAIGN_PATH) + " " + args +
+                            " > " + out_ + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  int run_merge(const std::string& args) {
+    const std::string cmd = std::string(HMPT_MERGE_PATH) + " " + args +
                             " > " + out_ + " 2>&1";
     return std::system(cmd.c_str());
   }
@@ -157,6 +173,60 @@ TEST_F(CampaignCliTest, ListingsAndUsage) {
   EXPECT_NE(run("--workload mg --reps 0 --out " + store_), 0);
   EXPECT_NE(run("--workload mg --top-k 0 --out " + store_), 0);
   EXPECT_NE(run("--out " + store_), 0);  // no workloads declared
+}
+
+TEST_F(CampaignCliTest, ShardedRunsMergeToTheUnshardedArtifacts) {
+  // Reference: the whole 18-scenario campaign in one process.
+  ASSERT_EQ(run(matrix_flags() + " --jobs 0 --quiet"), 0) << slurp(out_);
+  const std::string whole_csv = slurp(store_ + "/runs.csv");
+  const std::string whole_summary = slurp(store_ + "/summary.json");
+  ASSERT_FALSE(whole_csv.empty());
+  // Every real run writes a (1/1) shard manifest next to its outcomes.
+  EXPECT_TRUE(fs::exists(store_ + "/shard.manifest.json"));
+
+  // The same campaign as three --shard slices, each into its own store.
+  std::string shard_dirs;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string dir = store_ + "-shard" + std::to_string(i);
+    const std::string flags = matrix_flags();
+    const auto out_pos = flags.find("--out");
+    const std::string sharded =
+        flags.substr(0, out_pos) + "--out " + dir + " --shard " +
+        std::to_string(i) + "/3 --jobs 0 --quiet";
+    ASSERT_EQ(run(sharded), 0) << slurp(out_);
+    EXPECT_NE(slurp(out_).find("shard " + std::to_string(i) + "/3: 6 "),
+              std::string::npos)
+        << slurp(out_);
+    EXPECT_TRUE(fs::exists(dir + "/shard.manifest.json"));
+    shard_dirs += " " + dir;
+  }
+
+  // Merging a strict subset of the shards fails loudly...
+  const std::string merged = store_ + "-merged";
+  EXPECT_NE(run_merge("--out " + merged + " " + store_ + "-shard1"), 0);
+  EXPECT_NE(slurp(out_).find("merge failed"), std::string::npos)
+      << slurp(out_);
+
+  // ...while all three merge into artefacts byte-identical to the
+  // unsharded run's.
+  ASSERT_EQ(run_merge("--out " + merged + shard_dirs), 0) << slurp(out_);
+  EXPECT_NE(slurp(out_).find("merged 3 shards, 18 scenarios"),
+            std::string::npos)
+      << slurp(out_);
+  EXPECT_EQ(slurp(merged + "/runs.csv"), whole_csv);
+  EXPECT_EQ(slurp(merged + "/summary.json"), whole_summary);
+
+  // Merging is idempotent: a second merge over the same shards into the
+  // same directory re-validates the identical bytes and succeeds.
+  ASSERT_EQ(run_merge("--out " + merged + shard_dirs), 0) << slurp(out_);
+  EXPECT_EQ(slurp(merged + "/runs.csv"), whole_csv);
+
+  // Bad usage exits 1.
+  EXPECT_EQ(WEXITSTATUS(run_merge("")), 1);
+  EXPECT_EQ(WEXITSTATUS(run_merge(shard_dirs)), 1);  // no --out
+  // A bad --shard spec on hmpt_campaign is a usage error too.
+  EXPECT_EQ(WEXITSTATUS(run(matrix_flags() + " --shard 4/3")), 1);
+  EXPECT_EQ(WEXITSTATUS(run(matrix_flags() + " --shard 0/0")), 1);
 }
 
 // ----------------------------------------------- hmpt_analyze satellites

@@ -1,0 +1,512 @@
+// Tests for campaign sharding and the merge layer: shard-spec parsing,
+// partition disjointness/coverage on fuzzed matrices, shard-manifest
+// round trips, merge validation (campaign fingerprint, shard count,
+// coverage), conflicting-outcome detection, and the headline guarantee —
+// N merged shards reproduce the unsharded artefacts byte for byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "campaign/aggregate.h"
+#include "campaign/campaign.h"
+#include "campaign/merge.h"
+#include "workloads/app_models.h"
+#include "workloads/trace_io.h"
+
+namespace hmpt::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// A fresh directory per test, removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------------- shard spec
+
+TEST(ShardSpecTest, ParsesAndRejects) {
+  EXPECT_EQ(parse_shard_spec("1/1").index, 1);
+  EXPECT_EQ(parse_shard_spec("1/1").count, 1);
+  EXPECT_TRUE(parse_shard_spec("1/1").is_whole());
+  const auto two_of_three = parse_shard_spec("2/3");
+  EXPECT_EQ(two_of_three.index, 2);
+  EXPECT_EQ(two_of_three.count, 3);
+  EXPECT_FALSE(two_of_three.is_whole());
+  EXPECT_EQ(two_of_three.to_string(), "2/3");
+
+  for (const char* bad :
+       {"", "3", "0/3", "4/3", "-1/3", "1/0", "1/-2", "a/b", "1/3x", "/3",
+        "1/"})
+    EXPECT_THROW(parse_shard_spec(bad), Error) << bad;
+}
+
+// -------------------------------------------------------------- partition
+
+TEST(ShardPartitionTest, DisjointnessAndCoverageOnFuzzedMatrices) {
+  const std::vector<std::string> workloads = {
+      "mg", "bt", "lu", "sp", "ua", "is", "kwave",
+      "stream:array_gb=1", "pointer-chase:window_gb=1", "random-sum"};
+  const std::vector<std::string> platforms = {"xeon-max", "xeon-max-1s",
+                                              "spr-cxl", "knl"};
+  const std::vector<std::string> strategies = {"exhaustive", "estimator",
+                                               "online"};
+
+  std::mt19937 rng(20260726);
+  const auto pick = [&](const std::vector<std::string>& axis, int max_n) {
+    std::vector<std::string> out;
+    const int n =
+        1 + static_cast<int>(rng() % static_cast<unsigned>(max_n));
+    std::sample(axis.begin(), axis.end(), std::back_inserter(out),
+                static_cast<std::size_t>(n), rng);
+    return out;
+  };
+
+  for (int trial = 0; trial < 12; ++trial) {
+    ScenarioMatrix matrix;
+    for (const auto& w : pick(workloads, 4))
+      matrix.workloads.push_back(parse_workload_spec(w));
+    matrix.platforms = pick(platforms, 3);
+    matrix.strategies = pick(strategies, 3);
+    if (rng() % 2) matrix.budgets_gb = {0.0, 16.0};
+    matrix.repetitions = 1 + static_cast<int>(rng() % 3);
+    const auto full = matrix.expand();
+
+    std::set<std::string> full_fps;
+    for (const auto& s : full) full_fps.insert(s.fingerprint());
+
+    // Including a count larger than the scenario list: trailing shards
+    // are legitimately empty and the union must still be exact.
+    for (const int count : {1, 2, 3, 5, static_cast<int>(full.size()) + 2}) {
+      std::set<std::string> seen;
+      std::size_t total = 0;
+      std::size_t min_size = full.size();
+      std::size_t max_size = 0;
+      for (int index = 1; index <= count; ++index) {
+        const auto slice = shard_scenarios(full, {index, count});
+        min_size = std::min(min_size, slice.size());
+        max_size = std::max(max_size, slice.size());
+        total += slice.size();
+        std::string previous;
+        for (const auto& s : slice) {
+          // Disjoint across shards...
+          EXPECT_TRUE(seen.insert(s.fingerprint()).second)
+              << "duplicate " << s.fingerprint() << " at count " << count;
+          // ...and each slice is in fingerprint order.
+          EXPECT_LT(previous, s.fingerprint());
+          previous = s.fingerprint();
+        }
+      }
+      // The union of the N shards is exactly the full scenario list.
+      EXPECT_EQ(total, full.size()) << "count " << count;
+      EXPECT_EQ(seen, full_fps) << "count " << count;
+      // Round-robin dealing balances to within one scenario.
+      EXPECT_LE(max_size - min_size, 1u) << "count " << count;
+    }
+  }
+}
+
+TEST(ShardPartitionTest, StableAcrossDeclarationOrderAndAliases) {
+  ScenarioMatrix a;
+  a.workloads = {parse_workload_spec("mg"), parse_workload_spec("bt")};
+  a.platforms = {"xeon-max", "spr-cxl"};
+  a.strategies = {"estimator", "online"};
+
+  // Same campaign, different declaration order and an alias spelling.
+  ScenarioMatrix b;
+  b.workloads = {parse_workload_spec("bt"), parse_workload_spec("mg")};
+  b.platforms = {"spr-cxl", "spr"};
+  b.strategies = {"online", "estimator"};
+
+  for (int index = 1; index <= 3; ++index) {
+    const auto slice_a = shard_scenarios(a.expand(), {index, 3});
+    const auto slice_b = shard_scenarios(b.expand(), {index, 3});
+    ASSERT_EQ(slice_a.size(), slice_b.size());
+    for (std::size_t i = 0; i < slice_a.size(); ++i)
+      EXPECT_EQ(slice_a[i].fingerprint(), slice_b[i].fingerprint());
+  }
+}
+
+TEST(CampaignFingerprintTest, HashesTheOrderedScenarioList) {
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("mg"), parse_workload_spec("bt")};
+  matrix.platforms = {"xeon-max"};
+  matrix.strategies = {"estimator"};
+  const auto scenarios = matrix.expand();
+
+  const std::string fp = campaign_fingerprint(scenarios);
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp, campaign_fingerprint(scenarios));  // deterministic
+
+  // Order is part of the identity (artefacts are matrix-ordered)...
+  auto reversed = scenarios;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NE(campaign_fingerprint(reversed), fp);
+  // ...and so is every scenario.
+  auto shrunk = scenarios;
+  shrunk.pop_back();
+  EXPECT_NE(campaign_fingerprint(shrunk), fp);
+}
+
+// --------------------------------------------------------------- manifest
+
+TEST(ShardManifestTest, JsonRoundTripsLosslessly) {
+  ShardManifest manifest;
+  manifest.campaign = "00112233aabbccdd";
+  manifest.shard = {2, 3};
+  manifest.campaign_order = {"aaaa", "bbbb", "cccc"};
+
+  ShardManifest::Entry ok;
+  ok.fingerprint = "bbbb";
+  ok.scenario.workload = parse_workload_spec("mg");
+  ok.scenario.platform = "xeon-max";
+  ok.scenario.strategy = "estimator";
+  ok.status = ShardEntryStatus::Complete;
+  ShardManifest::Entry failed;
+  failed.fingerprint = "cccc";
+  failed.scenario.workload =
+      parse_workload_spec("recorded:path=/nonexistent.profile");
+  failed.scenario.platform = "xeon-max";
+  failed.scenario.strategy = "online";
+  failed.status = ShardEntryStatus::Failed;
+  failed.error = "cannot read profile";
+  manifest.entries = {ok, failed};
+
+  const auto back = ShardManifest::from_json(manifest.to_json());
+  EXPECT_EQ(back.to_json().dump(), manifest.to_json().dump());
+  EXPECT_EQ(back.shard.index, 2);
+  EXPECT_EQ(back.shard.count, 3);
+  EXPECT_EQ(back.entries[1].error, "cannot read profile");
+
+  // Save/load round trip through the store directory.
+  TempDir dir("hmpt_manifest_roundtrip");
+  manifest.save(dir.path());
+  const auto loaded = ShardManifest::load(dir.path());
+  EXPECT_EQ(loaded.to_json().dump(), manifest.to_json().dump());
+
+  // Missing and corrupt manifests fail loudly.
+  TempDir empty("hmpt_manifest_missing");
+  EXPECT_THROW(ShardManifest::load(empty.path()), Error);
+  {
+    fs::create_directories(empty.path());
+    std::ofstream os(ShardManifest::path_in(empty.path()));
+    os << "{ not json";
+  }
+  EXPECT_THROW(ShardManifest::load(empty.path()), Error);
+}
+
+TEST(ShardManifestTest, MakeManifestRefusesDryRuns) {
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("mg")};
+  matrix.platforms = {"xeon-max"};
+  matrix.strategies = {"estimator"};
+  const auto scenarios = matrix.expand();
+
+  CampaignResult planned;
+  planned.runs.resize(1);
+  planned.runs[0].scenario = scenarios[0];
+  planned.runs[0].status = ScenarioRun::Status::Planned;
+  EXPECT_THROW(make_manifest(scenarios, {1, 1}, planned), Error);
+}
+
+// ------------------------------------------------------------------ merge
+
+/// Shared fixture: a small real campaign (4 scenarios, reps 1) run whole
+/// and as shards, with every store under one temp root.
+class MergeTest : public ::testing::Test {
+ protected:
+  static std::vector<Scenario> scenarios() {
+    ScenarioMatrix matrix;
+    matrix.workloads = {parse_workload_spec("mg"),
+                        parse_workload_spec("stream:array_gb=1,iterations=2")};
+    matrix.platforms = {"xeon-max"};
+    matrix.strategies = {"estimator", "online"};
+    matrix.repetitions = 1;
+    return matrix.expand();
+  }
+
+  /// Run one shard of the campaign into `dir` and leave its manifest.
+  static CampaignResult run_shard(const std::vector<Scenario>& full,
+                                  const ShardSpec& shard,
+                                  const std::string& dir,
+                                  bool keep_going = false) {
+    CampaignOptions options;
+    options.output_dir = dir;
+    options.keep_going = keep_going;
+    const auto result =
+        CampaignRunner(options).run(shard_scenarios(full, shard));
+    make_manifest(full, shard, result).save(dir);
+    return result;
+  }
+};
+
+TEST_F(MergeTest, ThreeShardsReproduceUnshardedArtifactsByteForByte) {
+  TempDir root("hmpt_merge_bytes");
+  const auto full = scenarios();
+
+  // Unsharded reference run (matrix order, as hmpt_campaign runs it).
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  const auto cold = CampaignRunner(whole).run(full);
+  ASSERT_TRUE(cold.ok());
+  write_artifacts(cold, whole.output_dir);
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 3; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 3}, shard_dirs.back()).ok());
+  }
+
+  MergeStats stats;
+  const auto merged =
+      merge_shards(shard_dirs, root.path() + "/merged", &stats);
+  EXPECT_EQ(stats.shards, 3);
+  EXPECT_EQ(stats.scenarios, static_cast<int>(full.size()));
+  EXPECT_EQ(stats.outcomes_merged, static_cast<int>(full.size()));
+  EXPECT_EQ(stats.campaign, campaign_fingerprint(full));
+  EXPECT_EQ(merged.cached, static_cast<int>(full.size()));
+  EXPECT_EQ(merged.failed, 0);
+
+  // The acceptance criterion: byte-identical deterministic artefacts.
+  write_artifacts(merged, root.path() + "/merged");
+  EXPECT_EQ(slurp(root.path() + "/merged/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/merged/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+
+  // The merged store holds every outcome file, byte-identical to the
+  // unsharded store's copy (content addressing is honest).
+  for (const auto& s : full) {
+    const std::string name = s.fingerprint() + ".json";
+    EXPECT_EQ(slurp(root.path() + "/merged/outcomes/" + name),
+              slurp(whole.output_dir + "/outcomes/" + name));
+  }
+
+  // A single unsharded store (1/1 manifest) merges too — artefact
+  // regeneration from outcomes alone.
+  make_manifest(full, {1, 1}, cold).save(whole.output_dir);
+  const auto regenerated =
+      merge_shards({whole.output_dir}, root.path() + "/regen");
+  write_artifacts(regenerated, root.path() + "/regen");
+  EXPECT_EQ(slurp(root.path() + "/regen/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/regen/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+}
+
+TEST_F(MergeTest, ValidatesManifestsBeforeTouchingAnything) {
+  TempDir root("hmpt_merge_validate");
+  const auto full = scenarios();
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // Not enough shards: the campaign declares 2, one given.
+  EXPECT_THROW(merge_shards({shard_dirs[0]}, root.path() + "/m1"), Error);
+  // The same shard twice: duplicate index.
+  EXPECT_THROW(
+      merge_shards({shard_dirs[0], shard_dirs[0]}, root.path() + "/m2"),
+      Error);
+  // A directory without a manifest.
+  fs::create_directories(root.path() + "/not_a_store");
+  EXPECT_THROW(merge_shards({shard_dirs[0], root.path() + "/not_a_store"},
+                            root.path() + "/m3"),
+               Error);
+
+  // A shard of a *different* campaign (different reps => different
+  // fingerprints): campaign fingerprint mismatch.
+  ScenarioMatrix other_matrix;
+  other_matrix.workloads = {parse_workload_spec("mg"),
+                            parse_workload_spec(
+                                "stream:array_gb=1,iterations=2")};
+  other_matrix.platforms = {"xeon-max"};
+  other_matrix.strategies = {"estimator", "online"};
+  other_matrix.repetitions = 2;
+  const auto other = other_matrix.expand();
+  const std::string foreign = root.path() + "/foreign";
+  ASSERT_TRUE(run_shard(other, {2, 2}, foreign).ok());
+  EXPECT_THROW(merge_shards({shard_dirs[0], foreign}, root.path() + "/m4"),
+               Error);
+}
+
+TEST_F(MergeTest, DetectsConflictingOutcomesForTheSameFingerprint) {
+  TempDir root("hmpt_merge_conflict");
+  const auto full = scenarios();
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // Plant a *different* outcome for a shard-1 fingerprint inside shard
+  // 2's store: same content address, different bytes. The union must
+  // fail loudly — this is either a determinism bug or a foreign store,
+  // and silently preferring either copy would corrupt the campaign.
+  std::string victim;
+  for (const auto& file :
+       fs::directory_iterator(shard_dirs[0] + "/outcomes"))
+    if (file.path().extension() == ".json") {
+      victim = file.path().filename().string();
+      break;
+    }
+  ASSERT_FALSE(victim.empty());
+  std::string tampered = slurp(shard_dirs[0] + "/outcomes/" + victim);
+  tampered += " ";  // same JSON meaning, different bytes
+  {
+    std::ofstream os(shard_dirs[1] + "/outcomes/" + victim,
+                     std::ios::binary);
+    os << tampered;
+  }
+
+  try {
+    merge_shards(shard_dirs, root.path() + "/merged");
+    FAIL() << "conflicting outcomes must not merge";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("conflicting outcomes"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(MergeTest, StoredFingerprintsSurviveProfileChangesOnTheMergeHost) {
+  TempDir root("hmpt_merge_recorded");
+
+  // A campaign over a recorded profile: its fingerprint hashes the
+  // profile *contents*, which exist at run time...
+  const std::string profile = root.path() + "/run.profile";
+  fs::create_directories(root.path());
+  {
+    auto sim = sim::MachineSimulator::paper_platform();
+    workloads::save_workload(profile,
+                             *workloads::make_mg_model(sim).workload);
+  }
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("recorded:path=" + profile)};
+  matrix.platforms = {"xeon-max"};
+  matrix.strategies = {"estimator", "online"};
+  matrix.repetitions = 1;
+  const auto full = matrix.expand();
+
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  auto cold = CampaignRunner(whole).run(full);
+  ASSERT_TRUE(cold.ok());
+  write_artifacts(cold, whole.output_dir);
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // ...but is gone by the time the merge runs (a different host, or the
+  // profile was re-recorded). Manifests and run results carry the
+  // fingerprints as stored strings, so the merge still validates and
+  // the merged artefacts still match the unsharded run byte for byte.
+  fs::remove(profile);
+  const auto merged = merge_shards(shard_dirs, root.path() + "/merged");
+  write_artifacts(merged, root.path() + "/merged");
+  EXPECT_EQ(slurp(root.path() + "/merged/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/merged/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+}
+
+TEST_F(MergeTest, ForeignOutcomesInReusedStoresAreLeftAlone) {
+  TempDir root("hmpt_merge_foreign");
+  const auto full = scenarios();
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // Reused store directories legitimately hold outcomes of *other*
+  // campaigns. Plant contradictory stale files in both stores: outside
+  // the campaign they must neither leak into the merged store nor
+  // trigger conflict detection.
+  for (int i = 0; i < 2; ++i) {
+    std::ofstream os(shard_dirs[i] + "/outcomes/feedfacefeedface.json");
+    os << "stale bytes from another campaign " << i;
+  }
+
+  MergeStats stats;
+  const auto merged =
+      merge_shards(shard_dirs, root.path() + "/merged", &stats);
+  EXPECT_EQ(merged.cached, static_cast<int>(full.size()));
+  EXPECT_EQ(stats.outcomes_merged, static_cast<int>(full.size()));
+  EXPECT_FALSE(fs::exists(root.path() +
+                          "/merged/outcomes/feedfacefeedface.json"));
+}
+
+TEST_F(MergeTest, FailedScenariosAreReproducedFromTheManifests) {
+  TempDir root("hmpt_merge_failures");
+
+  // A campaign where one scenario fails at execute time ("recorded" with
+  // a missing profile passes planning), run whole with keep-going and as
+  // two shards with keep-going.
+  ScenarioMatrix matrix;
+  matrix.workloads = {parse_workload_spec("mg"),
+                      parse_workload_spec(
+                          "recorded:path=/nonexistent.profile")};
+  matrix.platforms = {"xeon-max"};
+  matrix.strategies = {"estimator", "online"};
+  matrix.repetitions = 1;
+  const auto full = matrix.expand();
+
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  whole.keep_going = true;
+  const auto cold = CampaignRunner(whole).run(full);
+  EXPECT_EQ(cold.failed, 2);
+  write_artifacts(cold, whole.output_dir);
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    run_shard(full, {i, 2}, shard_dirs.back(), /*keep_going=*/true);
+  }
+
+  MergeStats stats;
+  const auto merged =
+      merge_shards(shard_dirs, root.path() + "/merged", &stats);
+  EXPECT_EQ(stats.failed, 2);
+  EXPECT_EQ(merged.failed, 2);
+
+  // Failures (with their recorded error text) land in the merged summary
+  // exactly as the unsharded run wrote them.
+  write_artifacts(merged, root.path() + "/merged");
+  EXPECT_EQ(slurp(root.path() + "/merged/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+  EXPECT_EQ(slurp(root.path() + "/merged/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+}
+
+}  // namespace
+}  // namespace hmpt::campaign

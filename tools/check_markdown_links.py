@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Walks every *.md file under the repository root (skipping build trees and
+.git), extracts inline links/images `[text](target)`, and verifies that
+each repo-relative target exists. For targets inside markdown files —
+`docs/CLI.md#campaign-files` or a bare `#section` — the fragment is
+checked against the target file's headings using GitHub's slug rules, so
+a renamed section breaks the build just like a renamed file.
+
+External links (http/https/mailto) are deliberately not fetched: CI must
+not fail on someone else's outage. Fenced code blocks are ignored, so
+shell snippets containing `[...](...)`-shaped text cannot false-positive.
+
+Usage: check_markdown_links.py [ROOT]     (default: the repo containing
+                                           this script)
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link is
+reported as file:line: target).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".github", "node_modules"}
+SKIP_PREFIXES = ("build",)  # build/, build-asan/, ...
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to
+    hyphens; repeated slugs get -1, -2, ... suffixes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep their text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    slug = "".join(
+        c for c in text.lower() if c.isalnum() or c in " -_"
+    ).replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def non_fenced_lines(path):
+    """(line_number, line) pairs outside fenced code blocks."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                yield number, line
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        seen = {}
+        slugs = set()
+        for _, line in non_fenced_lines(path):
+            match = HEADING.match(line)
+            if match:
+                slugs.add(github_slug(match.group(1), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check(root):
+    dead = []
+    anchor_cache = {}
+    for path in markdown_files(root):
+        for number, line in non_fenced_lines(path):
+            for match in INLINE_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target, _, fragment = target.partition("#")
+                if target:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), target)
+                    )
+                    if not os.path.exists(resolved):
+                        dead.append((path, number, match.group(1)))
+                        continue
+                else:
+                    resolved = path  # pure-anchor link into this file
+                if fragment and resolved.lower().endswith(".md"):
+                    if fragment not in anchors_of(resolved, anchor_cache):
+                        dead.append((path, number, match.group(1)))
+    return dead
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    dead = check(root)
+    for path, number, target in dead:
+        print(f"{os.path.relpath(path, root)}:{number}: dead link: {target}")
+    if dead:
+        print(f"{len(dead)} dead markdown link(s)", file=sys.stderr)
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,8 @@
 //                 [--workload NAME[:k=v,...]]... [--platform NAME]...
 //                 [--strategy NAME]... [--tiers K]... [--budget-gb N]...
 //                 [--tier-budget-gb T:N]... [--reps N] [--top-k N]
-//                 [--out DIR] [--resume] [--dry-run] [--keep-going]
-//                 [--jobs N] [--measure-jobs N] [--quiet]
+//                 [--out DIR] [--shard I/N] [--resume] [--dry-run]
+//                 [--keep-going] [--jobs N] [--measure-jobs N] [--quiet]
 //                 [--list-workloads] [--list-platforms]
 //
 // --resume skips every scenario whose fingerprint is already stored (a
@@ -18,6 +18,13 @@
 // byte-for-byte); --dry-run prints the same scenario plan a real run
 // starts with and exits. Flags default missing axes: platform xeon-max,
 // strategy exhaustive.
+//
+// --shard I/N runs the I-th of N deterministic slices of the campaign
+// (fingerprint-ordered, round-robin — disjoint, stable under --resume and
+// across hosts). Every real run writes a shard.manifest.json next to its
+// outcomes (an unsharded run is the 1/1 shard); hmpt_merge validates N
+// such stores against the campaign fingerprint and reproduces the
+// unsharded artefacts byte-for-byte.
 //
 // Exit codes: 0 success, 1 bad usage, 2 campaign failure (including any
 // failed scenario under --keep-going).
@@ -31,6 +38,7 @@
 
 #include "campaign/aggregate.h"
 #include "campaign/campaign.h"
+#include "campaign/merge.h"
 #include "campaign/platforms.h"
 #include "cli_parse.h"
 #include "common/units.h"
@@ -59,6 +67,9 @@ void usage(const char* argv0) {
       << "                             (default 3)\n"
       << "  --out DIR                  outcome store + artefacts (default\n"
       << "                             campaign-out)\n"
+      << "  --shard I/N                run the I-th of N deterministic\n"
+      << "                             slices of the campaign (1-based;\n"
+      << "                             merge the stores with hmpt_merge)\n"
       << "  --resume                   skip scenarios already stored\n"
       << "  --dry-run                  print the scenario plan, run nothing\n"
       << "  --keep-going               record failures and continue\n"
@@ -87,6 +98,7 @@ int main(int argc, char** argv) {
   std::string campaign_file;
   campaign::ScenarioMatrix flags;  // axes added by CLI flags
   campaign::CampaignOptions options;
+  campaign::ShardSpec shard;  // default 1/1 = the whole campaign
   int reps = -1;    // -1 = not set on the command line
   int top_k = -1;
   bool quiet = false;
@@ -130,6 +142,15 @@ int main(int argc, char** argv) {
     else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
     else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
     else if (arg == "--out") options.output_dir = next();
+    else if (arg == "--shard") {
+      try {
+        shard = campaign::parse_shard_spec(next());
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    }
     else if (arg == "--resume") options.resume = true;
     else if (arg == "--dry-run") options.dry_run = true;
     else if (arg == "--keep-going") options.keep_going = true;
@@ -208,8 +229,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << "campaign: " << scenarios.size() << " scenarios\n"
-            << campaign::plan_table(scenarios).to_text();
+  // The slice this process runs: the whole campaign (the default 1/1
+  // shard keeps the scenario list in matrix order, so artefacts are
+  // unchanged), or a deterministic fingerprint-ordered partition.
+  const std::vector<campaign::Scenario> slice =
+      shard.is_whole() ? scenarios
+                       : campaign::shard_scenarios(scenarios, shard);
+
+  std::cout << "campaign: " << scenarios.size() << " scenarios";
+  if (!shard.is_whole())
+    std::cout << " (fingerprint "
+              << campaign::campaign_fingerprint(scenarios) << "), shard "
+              << shard.to_string() << ": " << slice.size() << " scenarios";
+  std::cout << "\n" << campaign::plan_table(slice).to_text();
   if (options.dry_run) {
     std::cout << "\ndry run: nothing executed\n";
     return 0;
@@ -219,9 +251,9 @@ int main(int argc, char** argv) {
   try {
     const campaign::CampaignRunner runner(options);
     const auto result = runner.run(
-        scenarios, [&](std::size_t index, const campaign::ScenarioRun& run) {
+        slice, [&](std::size_t index, const campaign::ScenarioRun& run) {
           if (quiet) return;
-          std::cout << "[" << index + 1 << "/" << scenarios.size() << "] "
+          std::cout << "[" << index + 1 << "/" << slice.size() << "] "
                     << campaign::to_string(run.status) << " "
                     << run.scenario.label();
           if (run.status == campaign::ScenarioRun::Status::Executed ||
@@ -232,6 +264,11 @@ int main(int argc, char** argv) {
           std::cout << "\n";
         });
 
+    // Every real run leaves a manifest so its store can be validated and
+    // merged (an unsharded run is the 1/1 shard of its own campaign).
+    campaign::make_manifest(scenarios, shard, result)
+        .save(options.output_dir);
+
     const auto paths =
         campaign::write_artifacts(result, options.output_dir);
     std::cout << "\nranked scenarios:\n"
@@ -241,6 +278,9 @@ int main(int argc, char** argv) {
               << result.runs.size() << " scenarios in "
               << cell(result.seconds, 2) << " s\n";
     for (const auto& path : paths) std::cout << "wrote " << path << "\n";
+    std::cout << "wrote "
+              << campaign::ShardManifest::path_in(options.output_dir)
+              << "\n";
     std::cout << "outcome store: " << runner.store().directory()
               << "/outcomes/\n";
     return result.ok() ? 0 : 2;

@@ -1,0 +1,100 @@
+// hmpt_merge — merge sharded campaign outcome stores into one campaign.
+//
+// The inverse of `hmpt_campaign --shard i/N`: takes the N shard store
+// directories, validates their shard.manifest.json files against one
+// another (same campaign fingerprint, shard count and scenario order;
+// indices exactly 1..N; disjoint slices covering the campaign), unions
+// the content-addressed outcome files into the output store — failing
+// loudly when two stores hold different outcomes for the same
+// fingerprint — and writes runs.csv / summary.json byte-for-byte
+// identical to what an unsharded run of the same campaign writes:
+//
+//   hmpt_merge --out DIR SHARD_DIR [SHARD_DIR...] [--quiet]
+//
+// An unsharded store (hmpt_campaign writes a 1/1 manifest) merges too, so
+// "merge one store into a fresh directory" doubles as artefact
+// regeneration from outcomes alone.
+//
+// Exit codes: 0 success (even when shards recorded failed scenarios —
+// they are faithfully reproduced in the merged summary), 1 bad usage,
+// 2 merge failure (missing/mismatched manifests, incomplete coverage,
+// conflicting outcomes).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.h"
+#include "campaign/merge.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --out DIR SHARD_DIR [SHARD_DIR...]\n"
+      << "  --out DIR   merged outcome store + artefacts (required)\n"
+      << "  --quiet     only print errors and the artefact paths\n"
+      << "\n"
+      << "Each SHARD_DIR is the --out directory of one `hmpt_campaign\n"
+      << "--shard i/N` run (it must contain shard.manifest.json). All N\n"
+      << "shards of the campaign are required; the merged runs.csv and\n"
+      << "summary.json are byte-identical to an unsharded run's.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmpt;
+
+  std::string output_dir;
+  std::vector<std::string> shard_dirs;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 1;
+      }
+      output_dir = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    } else {
+      shard_dirs.push_back(arg);
+    }
+  }
+  if (output_dir.empty() || shard_dirs.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    campaign::MergeStats stats;
+    const auto result = campaign::merge_shards(shard_dirs, output_dir,
+                                               &stats);
+    const auto paths = campaign::write_artifacts(result, output_dir);
+
+    if (!quiet) {
+      std::cout << "campaign " << stats.campaign << ": merged "
+                << stats.shards << " shard" << (stats.shards == 1 ? "" : "s")
+                << ", " << stats.scenarios << " scenarios ("
+                << stats.outcomes_merged << " outcome files copied, "
+                << stats.failed << " recorded failures)\n";
+      std::cout << "\nranked scenarios:\n"
+                << campaign::ranked_table(result).to_text() << "\n";
+    }
+    for (const auto& path : paths) std::cout << "wrote " << path << "\n";
+    std::cout << "merged outcome store: " << output_dir << "/outcomes/\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "merge failed: " << e.what() << '\n';
+    return 2;
+  }
+}
