@@ -1,6 +1,12 @@
 #include "campaign/outcome_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -29,9 +35,10 @@ bool OutcomeStore::contains(const Scenario& scenario) const {
   return fs::exists(path_for(scenario), ec) && !ec;
 }
 
-std::optional<tuner::TuningOutcome> OutcomeStore::load(
-    const Scenario& scenario) const {
-  const std::string path = path_for(scenario);
+namespace {
+
+std::optional<tuner::TuningOutcome> load_outcome_file(
+    const std::string& path, const std::string& fingerprint) {
   std::ifstream is(path);
   if (!is.good()) return std::nullopt;
   std::stringstream buffer;
@@ -41,7 +48,7 @@ std::optional<tuner::TuningOutcome> OutcomeStore::load(
     HMPT_REQUIRE(static_cast<int>(doc.at("format_version").as_number()) ==
                      kFingerprintVersion,
                  "outcome format version mismatch");
-    HMPT_REQUIRE(doc.at("fingerprint").as_string() == scenario.fingerprint(),
+    HMPT_REQUIRE(doc.at("fingerprint").as_string() == fingerprint,
                  "outcome fingerprint mismatch");
     return tuner::outcome_from_json(doc.at("outcome"));
   } catch (const std::exception& e) {
@@ -49,6 +56,60 @@ std::optional<tuner::TuningOutcome> OutcomeStore::load(
           " (delete it to re-run the scenario)");
   }
 }
+
+}  // namespace
+
+std::optional<tuner::TuningOutcome> OutcomeStore::load(
+    const Scenario& scenario) const {
+  return load_outcome_file(path_for(scenario), scenario.fingerprint());
+}
+
+std::optional<tuner::TuningOutcome> OutcomeStore::load_by_fingerprint(
+    const std::string& fingerprint) const {
+  const std::string path =
+      (fs::path(directory_) / "outcomes" / (fingerprint + ".json")).string();
+  return load_outcome_file(path, fingerprint);
+}
+
+namespace {
+
+/// Write `data` to a fresh file at `path` and fsync it before returning,
+/// so the bytes are durable before any rename/link publishes the name.
+void write_durable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    raise("cannot write outcome file " + path + ": " +
+          std::strerror(errno));
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      raise("short write to outcome file " + path + ": " +
+            std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    raise("cannot fsync outcome file " + path + ": " + std::strerror(err));
+  }
+  if (::close(fd) != 0)
+    raise("cannot close outcome file " + path + ": " + std::strerror(errno));
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
 
 void OutcomeStore::save(const Scenario& scenario,
                         const tuner::TuningOutcome& outcome) const {
@@ -65,22 +126,37 @@ void OutcomeStore::save(const Scenario& scenario,
   doc["fingerprint"] = Json(scenario.fingerprint());
   doc["scenario"] = scenario.to_json();
   doc["outcome"] = tuner::outcome_to_json(outcome);
+  const std::string payload = Json(std::move(doc)).dump();
 
+  // The scratch name is unique per writer (pid + process-wide counter), so
+  // concurrent savers of the same fingerprint never clobber each other's
+  // temp file; the payload is fsynced before the name is published.
+  static std::atomic<std::uint64_t> scratch_counter{0};
   const std::string path = path_for(scenario);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp);
-    if (!os.good()) raise("cannot write outcome file: " + tmp);
-    os << Json(std::move(doc)).dump();
-    os.flush();
-    if (!os.good()) raise("short write to outcome file: " + tmp);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(scratch_counter.fetch_add(1));
+  write_durable(tmp, payload);
+
+  // Publish with link(2), which atomically fails with EEXIST when another
+  // writer got there first: outcomes are content-addressed, so the loser
+  // compares bytes — an identical outcome is a silent no-op (the normal
+  // same-fingerprint race), a differing one is a determinism violation
+  // that must fail loudly rather than silently pick a winner.
+  if (::link(tmp.c_str(), path.c_str()) == 0) {
+    ::unlink(tmp.c_str());
+    return;
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    raise("cannot finalise outcome file " + path + ": " + ec.message());
+  const int link_errno = errno;
+  if (link_errno != EEXIST) {
+    ::unlink(tmp.c_str());
+    raise("cannot finalise outcome file " + path + ": " +
+          std::strerror(link_errno));
   }
+  ::unlink(tmp.c_str());
+  if (slurp_file(path) != payload)
+    raise("conflicting outcome for fingerprint " + scenario.fingerprint() +
+          ": " + path +
+          " already holds a different result (delete it to re-run)");
 }
 
 }  // namespace hmpt::campaign

@@ -6,9 +6,13 @@
 // asks contains()/load() before executing, and anything that changes the
 // experiment (workload parameters, platform, strategy, tier count,
 // budgets, repetitions, top-k, the format version) changes the
-// fingerprint and so misses the cache. Writes go through a temp file +
-// rename, so a campaign killed mid-save never leaves a half-written
-// outcome for the next --resume to trust.
+// fingerprint and so misses the cache. Writes go through an fsynced
+// unique temp file published by an atomic link, so a campaign killed
+// mid-save never leaves a half-written outcome for the next --resume to
+// trust, and concurrent writers of one fingerprint (a daemon worker
+// racing a batch run, two attached clients) are safe: the first complete
+// write wins, identical bytes are a silent no-op, differing bytes fail
+// loudly instead of silently picking a winner.
 #pragma once
 
 #include <optional>
@@ -36,7 +40,14 @@ class OutcomeStore {
   /// Load a cached outcome; nullopt when absent. Throws hmpt::Error on a
   /// present-but-corrupt file (a silent miss would silently re-run).
   std::optional<tuner::TuningOutcome> load(const Scenario& scenario) const;
-  /// Persist a finished scenario (overwrites any previous outcome).
+  /// Load by content address alone (the daemon's `result <fingerprint>`
+  /// path, where no Scenario is in hand); nullopt when absent, throws on
+  /// a corrupt or mis-keyed file like load().
+  std::optional<tuner::TuningOutcome> load_by_fingerprint(
+      const std::string& fingerprint) const;
+  /// Persist a finished scenario. First complete write of a fingerprint
+  /// wins; a racing identical write is a silent no-op, a differing one
+  /// throws hmpt::Error (see the file comment).
   void save(const Scenario& scenario,
             const tuner::TuningOutcome& outcome) const;
 

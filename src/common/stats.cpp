@@ -76,6 +76,105 @@ double Summary::ci95_halfwidth() const {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(count()));
 }
 
+P2Quantile::P2Quantile(double q) : q_(q) {
+  HMPT_REQUIRE(q > 0.0 && q < 1.0, "P2Quantile quantile must be in (0, 1)");
+  increment_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    // Bootstrap: the first five observations are the markers themselves.
+    heights_[count_ - 1] = x;
+    std::sort(heights_.begin(), heights_.begin() + count_);
+    return;
+  }
+
+  // Locate the cell [heights_[k], heights_[k+1]) holding x, stretching the
+  // extreme markers when x falls outside the observed range.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+  // Nudge the three interior markers toward their desired positions by
+  // piecewise-parabolic (P²) interpolation, falling back to linear when
+  // the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double parabolic =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ > 5) return heights_[2];
+  // Exact small-sample quantile over the sorted bootstrap markers, with
+  // the same linear interpolation Summary::percentile uses.
+  const std::size_t n = count_;
+  if (n == 1) return heights_[0];
+  const double rank = q_ * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return heights_[lo] * (1.0 - frac) + heights_[hi] * frac;
+}
+
+void QuantileTracker::add(double x) {
+  running_.add(x);
+  p50_.add(x);
+  p95_.add(x);
+  p99_.add(x);
+}
+
+void ConcurrentQuantileTracker::add(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracker_.add(x);
+}
+
+ConcurrentQuantileTracker::Snapshot ConcurrentQuantileTracker::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.count = tracker_.count();
+  snap.mean = tracker_.mean();
+  snap.min = tracker_.min();
+  snap.max = tracker_.max();
+  snap.p50 = tracker_.p50();
+  snap.p95 = tracker_.p95();
+  snap.p99 = tracker_.p99();
+  return snap;
+}
+
 LinearFit fit_linear(const std::vector<double>& x,
                      const std::vector<double>& y) {
   HMPT_REQUIRE(x.size() == y.size(), "fit_linear size mismatch");

@@ -1,0 +1,54 @@
+#include "service/latency_store.h"
+
+#include <algorithm>
+
+namespace hmpt::service {
+
+void LatencyStore::record(const std::string& scenario_class,
+                          double seconds) {
+  ConcurrentQuantileTracker* tracker = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracker = &classes_[scenario_class];
+  }
+  // Map nodes are stable; the per-tracker lock serialises the adds.
+  tracker->add(seconds);
+  overall_.add(seconds);
+}
+
+std::vector<LatencyStore::ClassStats> LatencyStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ClassStats> out;
+  out.reserve(classes_.size());
+  for (const auto& [name, tracker] : classes_)
+    out.push_back({name, tracker.snapshot()});
+  return out;
+}
+
+ConcurrentQuantileTracker::Snapshot LatencyStore::overall() const {
+  return overall_.snapshot();
+}
+
+double LatencyStore::estimate_seconds(
+    const std::string& scenario_class) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = classes_.find(scenario_class);
+    if (it != classes_.end()) {
+      const auto snap = it->second.snapshot();
+      if (snap.count > 0) return snap.p50;
+    }
+  }
+  const auto snap = overall_.snapshot();
+  return snap.count > 0 ? snap.p50 : 0.0;
+}
+
+double LatencyStore::eta_seconds(std::size_t backlog, int workers) const {
+  const auto snap = overall_.snapshot();
+  if (snap.count == 0 || backlog == 0) return 0.0;
+  const auto lanes = static_cast<std::size_t>(std::max(workers, 1));
+  const std::size_t waves = (backlog + lanes - 1) / lanes;
+  return static_cast<double>(waves) * snap.p50;
+}
+
+}  // namespace hmpt::service

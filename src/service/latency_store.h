@@ -1,0 +1,54 @@
+// latency_store.h — per-scenario-class execution-latency tracking.
+//
+// The daemon's `stats` endpoint and queue-ETA estimates need "how long
+// does this kind of job take" over an unbounded completion stream, so the
+// store keeps one O(1)-memory ConcurrentQuantileTracker (streaming P²
+// p50/p95/p99, common/stats) per scenario class plus one overall tracker.
+// A scenario's class is its label() — workload/platform/strategy — which
+// groups exactly the scenarios whose run times are comparable.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace hmpt::service {
+
+class LatencyStore {
+ public:
+  struct ClassStats {
+    std::string scenario_class;
+    ConcurrentQuantileTracker::Snapshot latency;
+  };
+
+  /// Record one completed execution (seconds of provider wall time).
+  /// Thread-safe; workers call this as jobs land.
+  void record(const std::string& scenario_class, double seconds);
+
+  /// Snapshot of every class seen so far, ordered by class name so the
+  /// `stats` response is deterministic for a given history.
+  std::vector<ClassStats> snapshot() const;
+
+  /// Overall (all classes) latency snapshot.
+  ConcurrentQuantileTracker::Snapshot overall() const;
+
+  /// Expected seconds for one job of `scenario_class`: the class p50 when
+  /// the class has completions, else the overall p50, else 0 (no history).
+  double estimate_seconds(const std::string& scenario_class) const;
+
+  /// Rough queue ETA: `backlog` jobs (queued + running) drained by
+  /// `workers` lanes at the overall median job latency. 0 without history.
+  double eta_seconds(std::size_t backlog, int workers) const;
+
+ private:
+  // ConcurrentQuantileTracker locks per tracker; this mutex only guards
+  // the map shape (class creation and snapshot iteration).
+  mutable std::mutex mutex_;
+  std::map<std::string, ConcurrentQuantileTracker> classes_;
+  ConcurrentQuantileTracker overall_;
+};
+
+}  // namespace hmpt::service

@@ -1,0 +1,384 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+
+namespace hmpt::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cached: return "cached";
+    case JobState::Failed: return "failed";
+    case JobState::Canceled: return "canceled";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) {
+  return state != JobState::Queued && state != JobState::Running;
+}
+
+Scheduler::Scheduler(ExecutionProvider& provider,
+                     campaign::OutcomeStore store, SchedulerOptions options)
+    : provider_(provider),
+      store_(std::move(store)),
+      options_(options) {
+  HMPT_REQUIRE(options_.workers >= 1, "scheduler needs >= 1 worker");
+  HMPT_REQUIRE(options_.max_in_flight >= 1,
+               "max_in_flight must be >= 1");
+  HMPT_REQUIRE(options_.max_queue >= 1, "max_queue must be >= 1");
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Unblock waiters: whatever is still queued will never run.
+    for (const auto& job : queue_) {
+      job->status.state = JobState::Canceled;
+      ++tallies_.canceled;
+      for (ClientId owner : job->owners) release_owner(owner);
+      job->owners.clear();
+    }
+    queue_.clear();
+  }
+  dispatch_.notify_all();
+  terminal_.notify_all();
+  if (pump_.joinable()) pump_.join();
+}
+
+void Scheduler::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  // Each parallel_for index is one long-lived worker lane pulling jobs
+  // until shutdown; the pump thread is the pool's calling lane.
+  pump_ = std::thread([this] {
+    pool_->parallel_for(static_cast<std::size_t>(options_.workers),
+                        [this](std::size_t) { worker_loop(); });
+  });
+}
+
+Scheduler::ClientId Scheduler::new_client() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_client_++;
+}
+
+void Scheduler::client_gone(ClientId client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [fingerprint, job] : jobs_) {
+    (void)fingerprint;
+    if (!is_terminal(job->status.state)) job->owners.erase(client);
+  }
+  in_flight_.erase(client);
+}
+
+std::size_t Scheduler::in_flight_of(ClientId client) const {
+  const auto it = in_flight_.find(client);
+  return it == in_flight_.end() ? 0 : it->second;
+}
+
+void Scheduler::charge_owner(ClientId client) { ++in_flight_[client]; }
+
+void Scheduler::release_owner(ClientId client) {
+  const auto it = in_flight_.find(client);
+  if (it == in_flight_.end()) return;
+  if (it->second <= 1)
+    in_flight_.erase(it);
+  else
+    --it->second;
+}
+
+JobStatus Scheduler::submit(ClientId client,
+                            const campaign::Scenario& scenario,
+                            int priority) {
+  const std::string fingerprint = scenario.fingerprint();
+  std::optional<JobStatus> cached_event;
+  JobStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || stopping_)
+      raise("draining: the scheduler is not admitting new work");
+
+    const auto it = jobs_.find(fingerprint);
+    if (it != jobs_.end() && !is_terminal(it->second->status.state)) {
+      // Dedup: attach this client to the in-flight twin.
+      auto& job = it->second;
+      if (job->owners.insert(client).second) {
+        if (in_flight_of(client) >= static_cast<std::size_t>(
+                                        options_.max_in_flight)) {
+          job->owners.erase(client);
+          raise("busy: client has " + std::to_string(in_flight_of(client)) +
+                " jobs in flight (max " +
+                std::to_string(options_.max_in_flight) + ")");
+        }
+        charge_owner(client);
+      }
+      return job->status;
+    }
+    if (it != jobs_.end() &&
+        (it->second->status.state == JobState::Done ||
+         it->second->status.state == JobState::Cached)) {
+      // Finished earlier in this process: a cache hit for this submit.
+      snapshot = it->second->status;
+      snapshot.state = JobState::Cached;
+      return snapshot;
+    }
+    // Unknown (or Failed/Canceled, which resubmission retries): consult
+    // the content-addressed store first — a hit is answered with zero
+    // re-execution.
+    if (it == jobs_.end() && store_.contains(scenario)) {
+      auto job = std::make_shared<Job>();
+      job->scenario = scenario;
+      job->status.fingerprint = fingerprint;
+      job->status.label = scenario.label();
+      job->status.state = JobState::Cached;
+      jobs_[fingerprint] = job;
+      ++tallies_.cached;
+      ++notifying_;
+      snapshot = job->status;
+      cached_event = snapshot;
+    } else {
+      if (queue_.size() >= options_.max_queue)
+        raise("busy: queue is full (" +
+              std::to_string(options_.max_queue) + " jobs)");
+      if (in_flight_of(client) >=
+          static_cast<std::size_t>(options_.max_in_flight))
+        raise("busy: client has " + std::to_string(in_flight_of(client)) +
+              " jobs in flight (max " +
+              std::to_string(options_.max_in_flight) + ")");
+      auto job = std::make_shared<Job>();
+      job->sequence = next_sequence_++;
+      job->priority = priority;
+      job->scenario = scenario;
+      job->status.fingerprint = fingerprint;
+      job->status.label = scenario.label();
+      job->status.state = JobState::Queued;
+      job->status.priority = priority;
+      job->owners.insert(client);
+      charge_owner(client);
+      jobs_[fingerprint] = job;
+      queue_.push_back(job);
+      snapshot = job->status;
+    }
+  }
+  if (cached_event.has_value()) {
+    // Store hits never reach a worker, so the completion event that watch
+    // subscribers rely on is synthesised here.
+    terminal_.notify_all();
+    notify_subscribers(*cached_event);
+    finished_notifying();
+  } else {
+    dispatch_.notify_one();
+  }
+  return snapshot;
+}
+
+std::shared_ptr<Scheduler::Job> Scheduler::next_job() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  dispatch_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+  if (stopping_) return nullptr;
+
+  // Highest priority first, FIFO (lowest sequence) within a priority.
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    if ((*it)->priority > (*best)->priority ||
+        ((*it)->priority == (*best)->priority &&
+         (*it)->sequence < (*best)->sequence))
+      best = it;
+  }
+  auto job = *best;
+  queue_.erase(best);
+  job->status.state = JobState::Running;
+  ++running_;
+  return job;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    const auto job = next_job();
+    if (!job) return;
+
+    const auto start = Clock::now();
+    try {
+      const auto outcome = provider_.run(job->scenario);
+      store_.save(job->scenario, outcome);
+      const double seconds = seconds_since(start);
+      latency_.record(job->status.label, seconds);
+      finish_job(job, JobState::Done, {}, seconds);
+    } catch (const std::exception& e) {
+      finish_job(job, JobState::Failed, e.what(), seconds_since(start));
+    } catch (...) {
+      finish_job(job, JobState::Failed, "unknown provider error",
+                 seconds_since(start));
+    }
+  }
+}
+
+void Scheduler::finish_job(const std::shared_ptr<Job>& job, JobState state,
+                           const std::string& error, double seconds) {
+  JobStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->status.state = state;
+    job->status.error = error;
+    job->status.seconds = seconds;
+    --running_;
+    if (state == JobState::Done) ++tallies_.done;
+    if (state == JobState::Failed) ++tallies_.failed;
+    ++notifying_;
+    for (ClientId owner : job->owners) release_owner(owner);
+    job->owners.clear();
+    snapshot = job->status;
+  }
+  terminal_.notify_all();
+  notify_subscribers(snapshot);
+  finished_notifying();
+}
+
+void Scheduler::notify_subscribers(const JobStatus& status) {
+  // Callbacks are serialised and run outside mutex_, so a subscriber may
+  // freely call back into the scheduler (status(), outcome(), ...).
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  for (auto& [token, callback] : subscribers_) {
+    (void)token;
+    if (callback) callback(status);
+  }
+}
+
+void Scheduler::finished_notifying() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --notifying_;
+  }
+  terminal_.notify_all();
+}
+
+std::optional<JobStatus> Scheduler::status(
+    const std::string& fingerprint) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(fingerprint);
+    if (it != jobs_.end()) return it->second->status;
+  }
+  // Not a job of this process — but a previous run may have stored it.
+  if (store_.load_by_fingerprint(fingerprint).has_value()) {
+    JobStatus status;
+    status.fingerprint = fingerprint;
+    status.state = JobState::Cached;
+    return status;
+  }
+  return std::nullopt;
+}
+
+std::optional<JobStatus> Scheduler::wait(const std::string& fingerprint) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = jobs_.find(fingerprint);
+    if (it == jobs_.end()) {
+      lock.unlock();
+      return status(fingerprint);  // store-only (or unknown)
+    }
+    if (is_terminal(it->second->status.state)) return it->second->status;
+    if (stopping_) return it->second->status;
+    terminal_.wait(lock);
+  }
+}
+
+std::optional<tuner::TuningOutcome> Scheduler::outcome(
+    const std::string& fingerprint) const {
+  // Workers save before marking Done, so the store is authoritative for
+  // every terminal job — no separate in-memory result cache to bound.
+  return store_.load_by_fingerprint(fingerprint);
+}
+
+bool Scheduler::cancel(const std::string& fingerprint) {
+  JobStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(fingerprint);
+    if (it == jobs_.end() ||
+        it->second->status.state != JobState::Queued)
+      return false;
+    auto& job = it->second;
+    queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+    job->status.state = JobState::Canceled;
+    ++tallies_.canceled;
+    ++notifying_;
+    for (ClientId owner : job->owners) release_owner(owner);
+    job->owners.clear();
+    snapshot = job->status;
+  }
+  terminal_.notify_all();
+  notify_subscribers(snapshot);
+  finished_notifying();
+  return true;
+}
+
+SchedulerCounts Scheduler::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerCounts counts = tallies_;
+  counts.queued = queue_.size();
+  counts.running = running_;
+  counts.draining = draining_ || stopping_;
+  return counts;
+}
+
+std::uint64_t Scheduler::subscribe(CompletionCallback callback) {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  const std::uint64_t token = next_subscriber_++;
+  subscribers_[token] = std::move(callback);
+  return token;
+}
+
+void Scheduler::unsubscribe(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(subscriber_mutex_);
+  subscribers_.erase(token);
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  terminal_.wait(lock, [&] {
+    return (queue_.empty() && running_ == 0 && notifying_ == 0) ||
+           stopping_;
+  });
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_ || stopping_;
+}
+
+void Scheduler::shutdown() {
+  bool was_started = false;
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    was_started = started_;
+  }
+  dispatch_.notify_all();
+  terminal_.notify_all();
+  if (was_started && pump_.joinable()) pump_.join();
+}
+
+}  // namespace hmpt::service

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <thread>
 
 #include "campaign/aggregate.h"
 #include "campaign/campaign.h"
@@ -359,6 +361,79 @@ TEST(OutcomeStoreTest, SavesLoadsAndInvalidates) {
     os << "{ not json";
   }
   EXPECT_THROW(store.load(s), Error);
+}
+
+TEST(OutcomeStoreTest, LoadsByFingerprintAlone) {
+  StoreDir dir("hmpt_store_by_fp");
+  const OutcomeStore store(dir.path());
+
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+  s.repetitions = 1;
+  EXPECT_EQ(store.load_by_fingerprint(s.fingerprint()), std::nullopt);
+
+  const auto outcome = CampaignRunner::execute(s);
+  store.save(s, outcome);
+  const auto loaded = store.load_by_fingerprint(s.fingerprint());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(outcome));
+}
+
+TEST(OutcomeStoreTest, ConcurrentIdenticalSavesBothSucceed) {
+  StoreDir dir("hmpt_store_race");
+  const OutcomeStore store(dir.path());
+
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+  s.repetitions = 1;
+  const auto outcome = CampaignRunner::execute(s);
+
+  // Two writers racing the same fingerprint with the same bytes: the
+  // loser of the atomic publish must notice the winner wrote identical
+  // content and return silently (daemon workers + a concurrent batch run
+  // share stores this way).
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 2; ++t)
+    writers.emplace_back([&] {
+      try {
+        store.save(s, outcome);
+      } catch (const Error&) {
+        ++failures;
+      }
+    });
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto loaded = store.load(s);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(outcome));
+}
+
+TEST(OutcomeStoreTest, ConflictingSaveForSameFingerprintThrows) {
+  StoreDir dir("hmpt_store_conflict");
+  const OutcomeStore store(dir.path());
+
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+  s.repetitions = 1;
+  const auto outcome = CampaignRunner::execute(s);
+  store.save(s, outcome);
+
+  // Same fingerprint, different bytes: a silent overwrite (or silent
+  // drop) would poison the cache, so this must fail loudly.
+  auto tampered = outcome;
+  tampered.speedup += 1.0;
+  EXPECT_THROW(store.save(s, tampered), Error);
+  // The first write survives untouched.
+  const auto loaded = store.load(s);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(outcome));
 }
 
 // ----------------------------------------------------------------- runner

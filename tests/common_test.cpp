@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/chart.h"
 #include "common/error.h"
@@ -233,6 +235,106 @@ TEST(RngTest, ExponentialMeanMatchesRate) {
   RunningStats s;
   for (int i = 0; i < 20000; ++i) s.add(rng.next_exponential(0.5));
   EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+// -------------------------------------------------------------- p2 quantile
+// The P² estimator must agree with the sample-retaining Summary within a
+// small relative tolerance across distribution shapes — that is the whole
+// contract that lets the daemon's latency stats run in O(1) memory.
+void expect_p2_tracks_summary(const std::vector<double>& samples,
+                              double tolerance) {
+  Summary summary;
+  QuantileTracker tracker;
+  for (const double x : samples) {
+    summary.add(x);
+    tracker.add(x);
+  }
+  const double spread = summary.max() - summary.min();
+  EXPECT_NEAR(tracker.p50(), summary.percentile(50.0), tolerance * spread);
+  EXPECT_NEAR(tracker.p95(), summary.percentile(95.0), tolerance * spread);
+  EXPECT_NEAR(tracker.p99(), summary.percentile(99.0), tolerance * spread);
+}
+
+TEST(P2QuantileTest, FewerThanFiveSamplesIsExact) {
+  P2Quantile p2(0.5);
+  Summary summary;
+  for (const double x : {3.0, 1.0, 4.0}) {
+    p2.add(x);
+    summary.add(x);
+  }
+  EXPECT_DOUBLE_EQ(p2.value(), summary.percentile(50.0));
+}
+
+TEST(P2QuantileTest, UniformSamplesMatchSummary) {
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.next_double());
+  expect_p2_tracks_summary(samples, 0.02);
+}
+
+TEST(P2QuantileTest, GaussianSamplesMatchSummary) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(rng.next_gaussian(10.0, 2.0));
+  expect_p2_tracks_summary(samples, 0.02);
+}
+
+TEST(P2QuantileTest, ExponentialSamplesMatchSummary) {
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(rng.next_exponential(0.5));
+  // Heavy right tail: p99 of an exponential is noisy even for Summary,
+  // so allow a wider band than the smooth distributions.
+  expect_p2_tracks_summary(samples, 0.05);
+}
+
+TEST(P2QuantileTest, BimodalSamplesMatchSummary) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(rng.next_double() < 0.5
+                          ? rng.next_gaussian(1.0, 0.1)
+                          : rng.next_gaussian(9.0, 0.1));
+  // The p50 of a balanced bimodal sits in the near-empty valley between
+  // the modes, the hardest case for a five-marker sketch.
+  expect_p2_tracks_summary(samples, 0.25);
+}
+
+TEST(P2QuantileTest, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), Error);
+  EXPECT_THROW(P2Quantile(1.0), Error);
+}
+
+TEST(QuantileTrackerTest, TracksCountMeanMinMax) {
+  QuantileTracker tracker;
+  for (const double x : {4.0, 2.0, 6.0}) tracker.add(x);
+  EXPECT_EQ(tracker.count(), 3u);
+  EXPECT_DOUBLE_EQ(tracker.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.min(), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.max(), 6.0);
+}
+
+TEST(ConcurrentQuantileTrackerTest, ThreadedAddsAllLand) {
+  ConcurrentQuantileTracker tracker;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&tracker, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i)
+        tracker.add(rng.next_double());
+    });
+  for (auto& thread : threads) thread.join();
+  const auto snapshot = tracker.snapshot();
+  EXPECT_EQ(snapshot.count, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(snapshot.mean, 0.5, 0.02);
+  EXPECT_NEAR(snapshot.p50, 0.5, 0.05);
+  EXPECT_NEAR(snapshot.p95, 0.95, 0.05);
+  EXPECT_GE(snapshot.max, snapshot.p99);
+  EXPECT_LE(snapshot.min, snapshot.p50);
 }
 
 // ------------------------------------------------------------------- error

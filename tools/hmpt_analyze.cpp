@@ -40,6 +40,7 @@
 #include "core/outcome_io.h"
 #include "core/session.h"
 #include "simmem/simulator.h"
+#include "version.h"
 #include "workloads/trace_io.h"
 
 namespace {
@@ -169,6 +170,10 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--list-workloads") {
       std::cout << campaign::WorkloadRegistry::instance().list_text();
+      return 0;
+    }
+    else if (arg == "--version") {
+      cli::print_version("hmpt_analyze");
       return 0;
     }
     else if (arg == "--help" || arg == "-h") {

@@ -42,6 +42,7 @@
 #include "campaign/platforms.h"
 #include "cli_parse.h"
 #include "common/units.h"
+#include "version.h"
 
 namespace {
 
@@ -165,6 +166,10 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--list-platforms") {
       std::cout << campaign::platform_catalog_text();
+      return 0;
+    }
+    else if (arg == "--version") {
+      cli::print_version("hmpt_campaign");
       return 0;
     }
     else if (arg == "--help" || arg == "-h") {

@@ -25,6 +25,7 @@
 
 #include "campaign/aggregate.h"
 #include "campaign/merge.h"
+#include "version.h"
 
 namespace {
 
@@ -59,6 +60,9 @@ int main(int argc, char** argv) {
       output_dir = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--version") {
+      hmpt::cli::print_version("hmpt_merge");
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

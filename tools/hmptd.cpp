@@ -1,0 +1,143 @@
+// hmptd — the tuning-as-a-service daemon.
+//
+// Serves the NDJSON protocol (docs/SERVICE.md) over a Unix-domain socket
+// (--socket PATH, the default transport) or loopback TCP (--port N; port
+// 0 lets the kernel pick and prints the choice), executing submitted
+// scenarios on a bounded worker pool and persisting every outcome in the
+// same content-addressed store hmpt_campaign writes — a scenario tuned
+// through the daemon is byte-identical on disk to the batch run, and a
+// resubmit is answered from the store without re-execution.
+//
+//   hmptd (--socket PATH | --port N) [--host ADDR] [--workers N]
+//         [--store DIR] [--max-in-flight N] [--max-queue N]
+//         [--measure-jobs N] [--quiet]
+//
+// Runs in the foreground until a `shutdown` request or SIGINT/SIGTERM;
+// both paths drain in-flight work before exiting. Exit codes: 0 clean
+// shutdown, 1 bad usage, 2 runtime failure (e.g. the bind failed).
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "cli_parse.h"
+#include "service/daemon.h"
+#include "version.h"
+
+namespace {
+
+using namespace hmpt;
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " (--socket PATH | --port N) [options]\n"
+      << "  --socket PATH       listen on a Unix-domain socket\n"
+      << "  --port N            listen on loopback TCP (0 = kernel-picked)\n"
+      << "  --host ADDR         TCP bind address (default 127.0.0.1)\n"
+      << "  --workers N         scheduler worker pool size (default 1)\n"
+      << "  --store DIR         outcome store + artefact directory\n"
+      << "                      (default hmptd-out)\n"
+      << "  --max-in-flight N   per-client incomplete-job cap (default 256)\n"
+      << "  --max-queue N       global queued-job capacity (default 4096)\n"
+      << "  --measure-jobs N    measurement threads per scenario (default 1)\n"
+      << "  --quiet             suppress startup/shutdown messages\n"
+      << "  --version           print the tool version and exit\n";
+}
+
+// Signal handlers may only touch lock-free state; the main loop polls
+// this flag and routes it into Daemon::request_shutdown.
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int) { g_signal = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::DaemonOptions options;
+  bool port_set = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    const auto parse = [&](const char* text) {
+      return cli::parse_int(arg, text, [&] { usage(argv[0]); });
+    };
+    if (arg == "--socket") options.endpoint.unix_path = next();
+    else if (arg == "--port") {
+      options.endpoint.port = parse(next());
+      port_set = true;
+    }
+    else if (arg == "--host") options.endpoint.host = next();
+    else if (arg == "--workers") options.workers = parse(next());
+    else if (arg == "--store") options.store_dir = next();
+    else if (arg == "--max-in-flight")
+      options.max_in_flight = parse(next());
+    else if (arg == "--max-queue") {
+      const int queue = parse(next());
+      if (queue < 1) {
+        std::cerr << "--max-queue must be >= 1\n";
+        usage(argv[0]);
+        return 1;
+      }
+      options.max_queue = static_cast<std::size_t>(queue);
+    }
+    else if (arg == "--measure-jobs") options.measure_jobs = parse(next());
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--version") {
+      cli::print_version("hmptd");
+      return 0;
+    }
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (options.endpoint.is_unix() == port_set) {
+    std::cerr << (port_set ? "--socket and --port are mutually exclusive\n"
+                           : "one of --socket or --port is required\n");
+    usage(argv[0]);
+    return 1;
+  }
+  if (options.workers < 1 || options.max_in_flight < 1 ||
+      options.measure_jobs < 1 ||
+      (port_set && (options.endpoint.port < 0 ||
+                    options.endpoint.port > 65535))) {
+    std::cerr << "--workers/--max-in-flight/--measure-jobs must be >= 1"
+                 " and --port in [0, 65535]\n";
+    usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    service::Daemon daemon(options);
+    daemon.start();
+    if (!quiet)
+      std::cout << "hmptd " << cli::kVersion << " listening on "
+                << daemon.endpoint().to_string() << " ("
+                << options.workers << " worker"
+                << (options.workers == 1 ? "" : "s") << ", store "
+                << options.store_dir << ")" << std::endl;
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // Serve until a shutdown request (wait_for returns true) or a
+    // signal; either way the daemon drains before the process exits.
+    while (!daemon.wait_for(200)) {
+      if (g_signal != 0) daemon.request_shutdown();
+    }
+    if (!quiet) std::cout << "hmptd: drained, shut down\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hmptd: " << e.what() << '\n';
+    return 2;
+  }
+}

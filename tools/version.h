@@ -1,0 +1,21 @@
+// version.h — the one version string every hmpt tool reports.
+//
+// All five CLIs (hmpt_analyze, hmpt_campaign, hmpt_merge, hmptd,
+// hmpt_submit) answer `--version` from here, so a mixed-version toolchain
+// is detectable from the command line alone. Bump once per release; the
+// daemon protocol carries its own revision (service/protocol.h) because
+// wire compatibility and tool versioning move at different speeds.
+#pragma once
+
+#include <iostream>
+
+namespace hmpt::cli {
+
+inline constexpr const char* kVersion = "0.6.0";
+
+/// Print "<tool> <version>" to stdout, the whole --version handler.
+inline void print_version(const char* tool) {
+  std::cout << tool << " " << kVersion << "\n";
+}
+
+}  // namespace hmpt::cli
