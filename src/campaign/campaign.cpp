@@ -6,6 +6,7 @@
 
 #include "campaign/platforms.h"
 #include "common/error.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/session.h"
 
@@ -37,6 +38,9 @@ CampaignRunner::CampaignRunner(CampaignOptions options)
                "scenario_jobs must be >= 0 (0 = all hardware threads)");
   HMPT_REQUIRE(options_.measure_jobs >= 0,
                "measure_jobs must be >= 0 (0 = all hardware threads)");
+  HMPT_REQUIRE(options_.attempts >= 1, "attempts must be >= 1");
+  HMPT_REQUIRE(options_.scenario_timeout_s >= 0.0,
+               "scenario_timeout_s must be >= 0 (0 = none)");
 }
 
 tuner::TuningOutcome CampaignRunner::execute(const Scenario& scenario,
@@ -99,11 +103,33 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
           return;
         }
       }
+      // The same failure model the daemon scheduler applies: retry
+      // transient failures with deterministic backoff (the fingerprint
+      // seeds the jitter stream), give each attempt a cooperative
+      // deadline, stop on terminal errors.
+      RetryPolicy policy;
+      policy.max_attempts = options_.attempts;
+      policy.attempt_deadline_s = options_.scenario_timeout_s;
       const auto start = Clock::now();
-      run.outcome = execute(run.scenario, options_.measure_jobs);
+      const auto attempted = attempt_with_retries(
+          policy, stream_of(run.fingerprint),
+          [&](const CancelToken& token) {
+            token.check();
+            auto outcome = execute(run.scenario, options_.measure_jobs);
+            store_.save(run.scenario, outcome);
+            return outcome;
+          });
       run.seconds = seconds_since(start);
-      store_.save(run.scenario, run.outcome);
-      run.status = ScenarioRun::Status::Executed;
+      run.attempts = attempted.attempt_count();
+      if (attempted.ok()) {
+        run.outcome = std::move(*attempted.value);
+        run.status = ScenarioRun::Status::Executed;
+      } else if (attempted.attempts.size() == 1) {
+        raise(attempted.attempts.front().error);
+      } else {
+        raise("after " + std::to_string(run.attempts) +
+              " attempts: " + format_attempts(attempted.attempts));
+      }
     } catch (const std::exception& e) {
       if (!options_.keep_going) throw;  // the pool rethrows to the caller
       run.status = ScenarioRun::Status::Failed;

@@ -41,6 +41,14 @@ struct CampaignOptions {
   /// default keeps one thread per scenario — scenario-level parallelism
   /// composes badly with nested measurement pools.
   int measure_jobs = 1;
+  /// Execution attempts per scenario (>= 1; 1 = fail fast). Transient
+  /// failures are retried with the same deterministic backoff the daemon
+  /// scheduler uses (common/retry); terminal errors never retry.
+  int attempts = 1;
+  /// Per-attempt deadline in seconds; 0 = none. Enforcement is
+  /// cooperative (checked at attempt boundaries): an expired deadline
+  /// fails the attempt and stops further ones.
+  double scenario_timeout_s = 0.0;
 };
 
 struct ScenarioRun {
@@ -62,6 +70,9 @@ struct ScenarioRun {
   tuner::TuningOutcome outcome;  ///< valid for Executed/Cached
   std::string error;             ///< valid for Failed
   double seconds = 0.0;          ///< wall time of the execution (0 otherwise)
+  /// Execution attempts made (retries included); 0 for Planned/Cached.
+  /// Volatile — lands in status.json, never in runs.csv/summary.json.
+  int attempts = 0;
 };
 
 /// The status's artefact spelling ("planned"/"executed"/"cached"/"failed").

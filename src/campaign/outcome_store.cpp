@@ -37,24 +37,53 @@ bool OutcomeStore::contains(const Scenario& scenario) const {
 
 namespace {
 
+/// Parse an outcome file's bytes; false (not a throw) on any damage —
+/// invalid JSON (truncation lands here), version or fingerprint
+/// mismatch, malformed outcome payload.
+bool parse_outcome_payload(const std::string& text,
+                           const std::string& fingerprint,
+                           std::optional<tuner::TuningOutcome>* out) {
+  try {
+    const Json doc = Json::parse(text);
+    HMPT_REQUIRE(static_cast<int>(doc.at("format_version").as_number()) ==
+                     kFingerprintVersion,
+                 "outcome format version mismatch");
+    HMPT_REQUIRE(doc.at("fingerprint").as_string() == fingerprint,
+                 "outcome fingerprint mismatch");
+    auto outcome = tuner::outcome_from_json(doc.at("outcome"));
+    if (out != nullptr) *out = std::move(outcome);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Move a damaged outcome file aside to `<path>.corrupt` so the
+/// fingerprint reads as a miss and the scenario re-executes. A racing
+/// quarantine of the same file (ENOENT) already succeeded; any other
+/// rename failure throws — silently re-reading a corrupt file forever
+/// would be worse than stopping.
+void quarantine(const std::string& path) {
+  const std::string target = path + ".corrupt";
+  if (::rename(path.c_str(), target.c_str()) != 0 && errno != ENOENT)
+    raise("cannot quarantine corrupt outcome file " + path + ": " +
+          std::strerror(errno));
+}
+
 std::optional<tuner::TuningOutcome> load_outcome_file(
     const std::string& path, const std::string& fingerprint) {
   std::ifstream is(path);
   if (!is.good()) return std::nullopt;
   std::stringstream buffer;
   buffer << is.rdbuf();
-  try {
-    const Json doc = Json::parse(buffer.str());
-    HMPT_REQUIRE(static_cast<int>(doc.at("format_version").as_number()) ==
-                     kFingerprintVersion,
-                 "outcome format version mismatch");
-    HMPT_REQUIRE(doc.at("fingerprint").as_string() == fingerprint,
-                 "outcome fingerprint mismatch");
-    return tuner::outcome_from_json(doc.at("outcome"));
-  } catch (const std::exception& e) {
-    raise("corrupt outcome file " + path + ": " + e.what() +
-          " (delete it to re-run the scenario)");
-  }
+  std::optional<tuner::TuningOutcome> outcome;
+  if (parse_outcome_payload(buffer.str(), fingerprint, &outcome))
+    return outcome;
+  // Truncated or otherwise damaged (a crash mid-copy, external
+  // interference): quarantine and report a miss — the caller re-executes
+  // the scenario instead of the whole campaign aborting.
+  quarantine(path);
+  return std::nullopt;
 }
 
 }  // namespace
@@ -140,23 +169,36 @@ void OutcomeStore::save(const Scenario& scenario,
   // Publish with link(2), which atomically fails with EEXIST when another
   // writer got there first: outcomes are content-addressed, so the loser
   // compares bytes — an identical outcome is a silent no-op (the normal
-  // same-fingerprint race), a differing one is a determinism violation
-  // that must fail loudly rather than silently pick a winner.
-  if (::link(tmp.c_str(), path.c_str()) == 0) {
+  // same-fingerprint race), a differing *well-formed* one is a
+  // determinism violation that must fail loudly rather than silently
+  // pick a winner. A differing *damaged* file (truncated by a crash or
+  // external interference) is quarantined and the publish retried once.
+  for (int tries = 0;; ++tries) {
+    if (::link(tmp.c_str(), path.c_str()) == 0) {
+      ::unlink(tmp.c_str());
+      return;
+    }
+    const int link_errno = errno;
+    if (link_errno != EEXIST) {
+      ::unlink(tmp.c_str());
+      raise("cannot finalise outcome file " + path + ": " +
+            std::strerror(link_errno));
+    }
+    const std::string existing = slurp_file(path);
+    if (existing == payload) {
+      ::unlink(tmp.c_str());
+      return;
+    }
+    if (tries == 0 &&
+        !parse_outcome_payload(existing, scenario.fingerprint(), nullptr)) {
+      quarantine(path);
+      continue;
+    }
     ::unlink(tmp.c_str());
-    return;
-  }
-  const int link_errno = errno;
-  if (link_errno != EEXIST) {
-    ::unlink(tmp.c_str());
-    raise("cannot finalise outcome file " + path + ": " +
-          std::strerror(link_errno));
-  }
-  ::unlink(tmp.c_str());
-  if (slurp_file(path) != payload)
     raise("conflicting outcome for fingerprint " + scenario.fingerprint() +
           ": " + path +
           " already holds a different result (delete it to re-run)");
+  }
 }
 
 }  // namespace hmpt::campaign

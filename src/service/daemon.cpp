@@ -18,6 +18,7 @@ JsonObject job_fields(const JobStatus& status) {
   if (!status.label.empty()) fields["label"] = Json(status.label);
   fields["state"] = Json(wire_state(status.state));
   if (!status.error.empty()) fields["error"] = Json(status.error);
+  if (status.attempts > 0) fields["attempts"] = Json(status.attempts);
   return fields;
 }
 
@@ -58,6 +59,7 @@ Daemon::Daemon(DaemonOptions options, ExecutionProvider* provider)
   scheduler_options.workers = options_.workers;
   scheduler_options.max_in_flight = options_.max_in_flight;
   scheduler_options.max_queue = options_.max_queue;
+  scheduler_options.retry = options_.retry;
   scheduler_ = std::make_unique<Scheduler>(
       *provider_, campaign::OutcomeStore(options_.store_dir),
       scheduler_options);
@@ -71,6 +73,28 @@ Daemon::~Daemon() {
 void Daemon::start() {
   HMPT_REQUIRE(!started_, "daemon already started");
   ignore_sigpipe();
+
+  if (!options_.journal_path.empty()) {
+    // Recover before opening the journal for appending: the previous
+    // run's acked-but-unfinished jobs are re-admitted (finished ones are
+    // store hits), then every completion — replayed or fresh — appends a
+    // terminal record.
+    const auto replay = JobJournal::replay(options_.journal_path);
+    journal_ = std::make_unique<JobJournal>(options_.journal_path);
+    journal_token_ = scheduler_->subscribe([this](const JobStatus& status) {
+      try {
+        journal_->record_terminal(status.fingerprint, status.state);
+      } catch (const std::exception&) {
+        // Best-effort: a lost terminal record only costs a redundant
+        // (store-hit) replay on the next restart — never fail the job.
+      }
+    });
+    for (const auto& job : replay.pending) {
+      scheduler_->submit_replay(job.scenario, job.priority, job.limits);
+      ++replayed_jobs_;
+    }
+  }
+
   listener_ = Listener::listen(options_.endpoint);
   bound_ = listener_->endpoint();
   scheduler_->start();
@@ -209,6 +233,10 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& connection,
               Json(static_cast<std::uint64_t>(counts.failed));
           fields["canceled"] =
               Json(static_cast<std::uint64_t>(counts.canceled));
+          fields["retries"] =
+              Json(static_cast<std::uint64_t>(counts.retries));
+          fields["timeouts"] =
+              Json(static_cast<std::uint64_t>(counts.timeouts));
           fields["draining"] = Json(counts.draining);
           connection->send(ok_line(Op::Status, std::move(fields)));
           break;
@@ -237,6 +265,10 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& connection,
         fields["queued"] = Json(static_cast<std::uint64_t>(counts.queued));
         fields["running"] =
             Json(static_cast<std::uint64_t>(counts.running));
+        fields["retries"] =
+            Json(static_cast<std::uint64_t>(counts.retries));
+        fields["timeouts"] =
+            Json(static_cast<std::uint64_t>(counts.timeouts));
         fields["eta_s"] = Json(latency.eta_seconds(
             counts.queued + counts.running, options_.workers));
         fields["overall"] = Json(snapshot_fields(latency.overall()));
@@ -307,13 +339,28 @@ void Daemon::handle_submit(const std::shared_ptr<Connection>& connection,
     campaign_fp = campaign::campaign_fingerprint(scenarios);
   }
 
+  JobLimits limits;
+  limits.deadline_s = request.deadline_s;
+  limits.max_attempts = request.attempts;
+
   JsonArray jobs;
   for (const auto& scenario : scenarios) {
     // An admission rejection mid-campaign aborts the rest: the response
     // reports what was admitted so the client can back off and resubmit
     // the remainder (fingerprints make resubmission idempotent).
-    const auto status =
-        scheduler_->submit(connection->client, scenario, request.priority);
+    bool admitted_new = false;
+    const auto status = scheduler_->submit(connection->client, scenario,
+                                           request.priority, limits,
+                                           &admitted_new);
+    // Durability point: the submit record is fsync'd before the ack. A
+    // journal failure throws — the client gets an error, never an ack
+    // the journal cannot back. (The job may still run; resubmitting is
+    // idempotent via the fingerprint.) Only freshly enqueued jobs are
+    // journaled: an attach is covered by the in-flight job's original
+    // record and a cache hit needs no coverage — journaling either
+    // would strand a submit record no terminal ever balances.
+    if (journal_ != nullptr && admitted_new)
+      journal_->record_submit(scenario, request.priority, limits);
     jobs.push_back(Json(job_fields(status)));
   }
 

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/journal.h"
 #include "service/protocol.h"
 #include "service/scheduler.h"
 #include "service/socket.h"
@@ -41,6 +42,13 @@ struct DaemonOptions {
   int max_in_flight = 256;            ///< per-client admission cap
   std::size_t max_queue = 4096;       ///< global queue capacity
   int measure_jobs = 1;               ///< simulator threads per scenario
+  /// Default failure model for every job (per-job submit overrides
+  /// apply on top); the default is fail-fast (one attempt, no deadline).
+  RetryPolicy retry;
+  /// Crash-safe job journal path; empty = journaling disabled. With a
+  /// journal, every submit is fsync'd before its ack and start() replays
+  /// acked-but-unfinished jobs from a previous (crashed) run.
+  std::string journal_path;
 };
 
 class Daemon {
@@ -72,6 +80,9 @@ class Daemon {
 
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Jobs re-admitted from the journal by start(); 0 without a journal.
+  std::size_t replayed_jobs() const { return replayed_jobs_; }
 
  private:
   /// One accepted client connection, shared with the watch callback.
@@ -106,6 +117,11 @@ class Daemon {
   DaemonOptions options_;
   std::unique_ptr<ExecutionProvider> owned_provider_;
   ExecutionProvider* provider_ = nullptr;
+  /// Declared before scheduler_: completion callbacks write terminal
+  /// records during scheduler teardown, so the journal must die last.
+  std::unique_ptr<JobJournal> journal_;
+  std::uint64_t journal_token_ = 0;
+  std::size_t replayed_jobs_ = 0;
   std::unique_ptr<Scheduler> scheduler_;
   std::optional<Listener> listener_;
   Endpoint bound_;

@@ -1,0 +1,90 @@
+// fault.h — deterministic fault injection for the execution stack.
+//
+// FaultInjectingProvider wraps any ExecutionProvider and injects faults
+// decided *deterministically* per scenario fingerprint: whether a
+// fingerprint is afflicted by a fault kind is a pure function of
+// (spec.seed, fingerprint, kind) — the same spec against the same
+// scenario set always misbehaves identically, so chaos tests are
+// reproducible and a retry budget can be sized to provably drain a
+// campaign. Enabled with `hmptd --fault-spec <spec>`; also usable
+// directly in tests.
+//
+// Spec grammar — comma-separated `key=value` tokens:
+//   seed=<u64>         decision seed (default 0)
+//   fail=<P>:<N>       with probability P per fingerprint, the first N
+//                      attempts throw a transient error, then succeed
+//   timeout=<P>:<N>    with probability P, the first N attempts hang
+//                      cooperatively until the attempt deadline/cancel
+//   slow=<P>:<S>       with probability P, every attempt sleeps S
+//                      seconds (cooperatively) before executing
+//   corrupt=<P>        with probability P, the returned outcome is
+//                      deterministically perturbed — feeding the store's
+//                      conflicting-outcome detection
+//   crash-after=<N>    abort() the process when execution N+1 starts
+//                      (process-wide count). Completed work is in the
+//                      store, so every restart makes progress.
+//
+// Example: `seed=7,fail=0.3:2,timeout=0.2:1`
+//
+// The hang fault parks on the job's CancelToken, so it honours the
+// attempt deadline and scheduler teardown — no detached threads, no
+// leaked workers under sanitizers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/provider.h"
+
+namespace hmpt::service {
+
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  double fail_p = 0.0;
+  int fail_attempts = 1;
+  double timeout_p = 0.0;
+  int timeout_attempts = 1;
+  double slow_p = 0.0;
+  double slow_s = 0.0;
+  double corrupt_p = 0.0;
+  long crash_after = -1;  ///< < 0 = disabled
+
+  /// True when any fault kind is armed.
+  bool any() const;
+
+  /// Parse the grammar above; throws hmpt::Error with the offending
+  /// token on malformed input (unknown key, bad number, P outside
+  /// [0, 1], non-positive N/S).
+  static FaultSpec parse(const std::string& text);
+
+  /// The spec back as canonical text (for logs and `ping`).
+  std::string canonical() const;
+};
+
+class FaultInjectingProvider : public ExecutionProvider {
+ public:
+  /// `inner` must outlive this provider.
+  FaultInjectingProvider(ExecutionProvider& inner, FaultSpec spec);
+
+  std::string name() const override { return inner_.name() + "+faults"; }
+  tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                           const CancelToken& token) override;
+
+  /// Whether the spec afflicts this fingerprint with the given fault
+  /// kind — deterministic, exposed so tests can predict the blast
+  /// radius of a spec without executing anything.
+  enum class Kind { Fail, Timeout, Slow, Corrupt };
+  bool afflicts(const std::string& fingerprint, Kind kind) const;
+
+ private:
+  ExecutionProvider& inner_;
+  FaultSpec spec_;
+  std::mutex mutex_;
+  std::map<std::string, int> attempts_;  ///< per-fingerprint run count
+  std::atomic<long> executions_{0};      ///< process-wide, for crash-after
+};
+
+}  // namespace hmpt::service

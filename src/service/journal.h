@@ -1,0 +1,85 @@
+// journal.h — the crash-safe job journal behind `hmptd --journal`.
+//
+// The durability contract of the daemon: a submit is journaled (appended
+// and fsync'd) *before* it is acked, and every job completion appends a
+// terminal record. After a crash — kill -9 included — restarting with
+// the same `--journal` path replays the file and re-admits exactly the
+// jobs that were acked but never reached a terminal state. Combined with
+// the content-addressed OutcomeStore (finished work is a store hit, so a
+// replayed finished job costs one lookup, not a re-execution), this
+// makes an acked submit impossible to lose.
+//
+// Format: NDJSON, one record per line, append-only.
+//   {"kind":"submit","fingerprint":...,"priority":...,"deadline_s":...,
+//    "attempts":...,"scenario":{...}}       — fsync'd before the ack
+//   {"kind":"terminal","fingerprint":...,"state":"done"|...}
+//
+// Replay rule: a fingerprint is pending — and re-admitted — when it has
+// more submit records than terminal records. Counting (instead of
+// "latest record wins") makes the rule order-independent: a terminal
+// record racing ahead of its submit record within one process, or a
+// resubmit of a fingerprint that failed in an earlier run, both resolve
+// correctly. A torn final line (the crash happened mid-append) is
+// skipped, never fatal: its submit was not acked, so dropping it is
+// correct.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+#include "service/scheduler.h"
+
+namespace hmpt::service {
+
+class JobJournal {
+ public:
+  /// Open (create if missing) the journal for appending. Throws
+  /// hmpt::Error when the file cannot be opened.
+  explicit JobJournal(std::string path);
+  ~JobJournal();
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Append + fsync one submit record. Throws hmpt::Error on any write
+  /// or sync failure — the caller must NOT ack the submit then.
+  void record_submit(const campaign::Scenario& scenario, int priority,
+                     const JobLimits& limits);
+
+  /// Append + fsync one terminal record (done/cached/failed/canceled).
+  /// Throws on write failure; callers on completion paths should catch —
+  /// a failed terminal record only costs a redundant (store-hit) replay.
+  void record_terminal(const std::string& fingerprint, JobState state);
+
+  const std::string& path() const { return path_; }
+
+  /// One journaled job awaiting re-admission.
+  struct ReplayJob {
+    campaign::Scenario scenario;
+    int priority = 0;
+    JobLimits limits;
+  };
+
+  struct Replay {
+    std::vector<ReplayJob> pending;  ///< submit records without terminals
+    std::size_t records = 0;         ///< well-formed records read
+    std::size_t settled = 0;         ///< submits matched by a terminal
+    std::size_t skipped = 0;         ///< torn / malformed lines ignored
+  };
+
+  /// Read a journal file and compute the pending set (see the replay
+  /// rule in the file comment). A missing file is an empty replay, not
+  /// an error; pending jobs come back in first-submission order.
+  static Replay replay(const std::string& path);
+
+ private:
+  void append_synced(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mutex_;  ///< serialises appends (submits race completions)
+};
+
+}  // namespace hmpt::service

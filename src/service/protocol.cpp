@@ -90,6 +90,21 @@ Request parse_request(const std::string& line) {
           raise("field 'priority' must be a number");
         request.priority = static_cast<int>(priority->as_number());
       }
+      const Json* deadline = obj.find("deadline_s");
+      if (deadline != nullptr) {
+        if (deadline->kind() != Json::Kind::Number)
+          raise("field 'deadline_s' must be a number");
+        if (deadline->as_number() <= 0.0)
+          raise("field 'deadline_s' must be > 0");
+        request.deadline_s = deadline->as_number();
+      }
+      const Json* attempts = obj.find("attempts");
+      if (attempts != nullptr) {
+        if (attempts->kind() != Json::Kind::Number)
+          raise("field 'attempts' must be a number");
+        request.attempts = static_cast<int>(attempts->as_number());
+        if (request.attempts < 1) raise("field 'attempts' must be >= 1");
+      }
       break;
     }
     case Op::Status:
@@ -128,6 +143,8 @@ std::string Request::to_line() const {
       else
         obj["campaign"] = Json(campaign_text);
       if (priority != 0) obj["priority"] = Json(priority);
+      if (deadline_s > 0.0) obj["deadline_s"] = Json(deadline_s);
+      if (attempts > 0) obj["attempts"] = Json(attempts);
       break;
     case Op::Status:
       if (!fingerprint.empty()) obj["fingerprint"] = Json(fingerprint);

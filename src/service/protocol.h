@@ -25,7 +25,9 @@
 namespace hmpt::service {
 
 /// Protocol revision, echoed by `ping`; bump on any wire-visible change.
-inline constexpr int kProtocolVersion = 1;
+/// 2: submit carries optional per-job limits ("deadline_s", "attempts");
+///    status/stats surface retry counters and job attempt counts.
+inline constexpr int kProtocolVersion = 2;
 
 /// Every request the daemon understands.
 enum class Op {
@@ -55,6 +57,11 @@ struct Request {
   std::string campaign_text;
   /// Submit: dispatch priority (higher first, FIFO within a priority).
   int priority = 0;
+  /// Submit: total wall-clock budget per job in seconds (attempts plus
+  /// backoff); < 0 = the daemon's default.
+  double deadline_s = -1.0;
+  /// Submit: provider attempt budget per job; 0 = the daemon's default.
+  int attempts = 0;
   /// Status/Result/Cancel: the job's fingerprint (optional for Status).
   std::string fingerprint;
   /// Result: block until the job is terminal instead of failing fast.

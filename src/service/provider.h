@@ -13,9 +13,19 @@
 // TuningOutcome serialisation for a repeated scenario — the store's
 // first-write-wins race handling relies on it), and reports failure by
 // throwing; the scheduler records the exception text as the job error.
+// Errors are classified by message (common/retry): a "terminal:" prefix
+// never retries, anything else is transient and subject to the
+// scheduler's retry policy.
+//
+// Cancellation is cooperative: run() receives the job's CancelToken and
+// should call token.check() at its yield points (between phases, loop
+// heads) and token.sleep_for() instead of raw sleeps, so a timed-out or
+// canceled job stops burning its worker. A provider that never checks
+// simply runs to completion — correctness is unaffected, only latency.
 #pragma once
 
 #include "campaign/scenario.h"
+#include "common/retry.h"
 #include "core/strategy.h"
 
 namespace hmpt::service {
@@ -28,7 +38,10 @@ class ExecutionProvider {
   virtual std::string name() const = 0;
 
   /// Execute one scenario to completion. Thread-safe; throws on failure.
-  virtual tuner::TuningOutcome run(const campaign::Scenario& scenario) = 0;
+  /// `token` carries the job's deadline and cancellation — check it
+  /// cooperatively (see the file comment).
+  virtual tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                                   const CancelToken& token) = 0;
 };
 
 /// The simulator backend: builds the scenario's platform model and tunes
@@ -42,7 +55,8 @@ class SimulatorProvider : public ExecutionProvider {
   explicit SimulatorProvider(int measure_jobs = 1);
 
   std::string name() const override { return "simulator"; }
-  tuner::TuningOutcome run(const campaign::Scenario& scenario) override;
+  tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                           const CancelToken& token) override;
 
  private:
   int measure_jobs_ = 1;

@@ -43,6 +43,7 @@ Scheduler::Scheduler(ExecutionProvider& provider,
   HMPT_REQUIRE(options_.max_in_flight >= 1,
                "max_in_flight must be >= 1");
   HMPT_REQUIRE(options_.max_queue >= 1, "max_queue must be >= 1");
+  options_.retry.validate();
 }
 
 Scheduler::~Scheduler() {
@@ -57,7 +58,15 @@ Scheduler::~Scheduler() {
       job->owners.clear();
     }
     queue_.clear();
+    // Cancel in-flight attempts so cooperative providers stop promptly
+    // and backoff sleeps wake — teardown never waits out a retry
+    // schedule or a hung (deadline-armed) provider.
+    for (auto& [fingerprint, job] : jobs_) {
+      (void)fingerprint;
+      if (job->active_token.has_value()) job->active_token->cancel();
+    }
   }
+  stop_token_.cancel();
   dispatch_.notify_all();
   terminal_.notify_all();
   if (pump_.joinable()) pump_.join();
@@ -108,8 +117,23 @@ void Scheduler::release_owner(ClientId client) {
 
 JobStatus Scheduler::submit(ClientId client,
                             const campaign::Scenario& scenario,
-                            int priority) {
+                            int priority, const JobLimits& limits,
+                            bool* admitted_new) {
+  return admit(client, scenario, priority, limits, /*replay=*/false,
+               admitted_new);
+}
+
+JobStatus Scheduler::submit_replay(const campaign::Scenario& scenario,
+                                   int priority, const JobLimits& limits) {
+  return admit(/*client=*/0, scenario, priority, limits, /*replay=*/true);
+}
+
+JobStatus Scheduler::admit(ClientId client,
+                           const campaign::Scenario& scenario,
+                           int priority, const JobLimits& limits,
+                           bool replay, bool* admitted_new) {
   const std::string fingerprint = scenario.fingerprint();
+  if (admitted_new != nullptr) *admitted_new = false;
   std::optional<JobStatus> cached_event;
   JobStatus snapshot;
   {
@@ -119,9 +143,11 @@ JobStatus Scheduler::submit(ClientId client,
 
     const auto it = jobs_.find(fingerprint);
     if (it != jobs_.end() && !is_terminal(it->second->status.state)) {
-      // Dedup: attach this client to the in-flight twin.
+      // Dedup: attach this client to the in-flight twin. The twin keeps
+      // its original limits — the first submit's deadline/attempt budget
+      // wins for a shared fingerprint.
       auto& job = it->second;
-      if (job->owners.insert(client).second) {
+      if (!replay && job->owners.insert(client).second) {
         if (in_flight_of(client) >= static_cast<std::size_t>(
                                         options_.max_in_flight)) {
           job->owners.erase(client);
@@ -156,27 +182,35 @@ JobStatus Scheduler::submit(ClientId client,
       snapshot = job->status;
       cached_event = snapshot;
     } else {
-      if (queue_.size() >= options_.max_queue)
-        raise("busy: queue is full (" +
-              std::to_string(options_.max_queue) + " jobs)");
-      if (in_flight_of(client) >=
-          static_cast<std::size_t>(options_.max_in_flight))
-        raise("busy: client has " + std::to_string(in_flight_of(client)) +
-              " jobs in flight (max " +
-              std::to_string(options_.max_in_flight) + ")");
+      if (!replay) {
+        // Journal replay is exempt: every acked job must be re-admitted
+        // on restart, however many the journal holds.
+        if (queue_.size() >= options_.max_queue)
+          raise("busy: queue is full (" +
+                std::to_string(options_.max_queue) + " jobs)");
+        if (in_flight_of(client) >=
+            static_cast<std::size_t>(options_.max_in_flight))
+          raise("busy: client has " + std::to_string(in_flight_of(client)) +
+                " jobs in flight (max " +
+                std::to_string(options_.max_in_flight) + ")");
+      }
       auto job = std::make_shared<Job>();
       job->sequence = next_sequence_++;
       job->priority = priority;
       job->scenario = scenario;
+      job->limits = limits;
       job->status.fingerprint = fingerprint;
       job->status.label = scenario.label();
       job->status.state = JobState::Queued;
       job->status.priority = priority;
-      job->owners.insert(client);
-      charge_owner(client);
+      if (!replay) {
+        job->owners.insert(client);
+        charge_owner(client);
+      }
       jobs_[fingerprint] = job;
       queue_.push_back(job);
       snapshot = job->status;
+      if (admitted_new != nullptr) *admitted_new = true;
     }
   }
   if (cached_event.has_value()) {
@@ -215,31 +249,73 @@ void Scheduler::worker_loop() {
   for (;;) {
     const auto job = next_job();
     if (!job) return;
-
-    const auto start = Clock::now();
-    try {
-      const auto outcome = provider_.run(job->scenario);
-      store_.save(job->scenario, outcome);
-      const double seconds = seconds_since(start);
-      latency_.record(job->status.label, seconds);
-      finish_job(job, JobState::Done, {}, seconds);
-    } catch (const std::exception& e) {
-      finish_job(job, JobState::Failed, e.what(), seconds_since(start));
-    } catch (...) {
-      finish_job(job, JobState::Failed, "unknown provider error",
-                 seconds_since(start));
-    }
+    run_job(job);
   }
 }
 
+void Scheduler::run_job(const std::shared_ptr<Job>& job) {
+  // Resolve the effective policy: the scheduler default, with the job's
+  // submit-time overrides (attempt budget / total deadline) applied.
+  RetryPolicy policy = options_.retry;
+  if (job->limits.max_attempts > 0)
+    policy.max_attempts = job->limits.max_attempts;
+  if (job->limits.deadline_s >= 0.0)
+    policy.total_deadline_s = job->limits.deadline_s;
+
+  const auto start = Clock::now();
+  const auto attempted = attempt_with_retries(
+      policy, stream_of(job->status.fingerprint),
+      [&](const CancelToken& token) {
+        {
+          // Publish the live attempt's token so teardown can cancel a
+          // running (possibly deadline-parked) provider.
+          std::lock_guard<std::mutex> lock(mutex_);
+          job->active_token = token;
+          if (stopping_) job->active_token->cancel();
+        }
+        const auto outcome = provider_.run(job->scenario, token);
+        store_.save(job->scenario, outcome);
+        return 0;  // the store holds the outcome; the value is unused
+      },
+      &stop_token_);
+  const double seconds = seconds_since(start);
+  const int attempts = attempted.attempt_count();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->active_token.reset();
+    if (attempts > 1)
+      tallies_.retries += static_cast<std::size_t>(attempts - 1);
+    for (const auto& record : attempted.attempts)
+      if (record.error.find("timeout:") != std::string::npos)
+        ++tallies_.timeouts;
+  }
+
+  if (attempted.ok()) {
+    latency_.record(job->status.label, seconds);
+    finish_job(job, JobState::Done, {}, seconds, attempts);
+    return;
+  }
+  std::string error;
+  if (attempted.attempts.size() == 1) {
+    error = attempted.attempts.front().error;
+  } else {
+    error = "after " + std::to_string(attempts) +
+            " attempts: " + format_attempts(attempted.attempts);
+  }
+  finish_job(job, JobState::Failed, error, seconds, attempts);
+}
+
 void Scheduler::finish_job(const std::shared_ptr<Job>& job, JobState state,
-                           const std::string& error, double seconds) {
+                           const std::string& error, double seconds,
+                           int attempts) {
   JobStatus snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job->status.state = state;
     job->status.error = error;
     job->status.seconds = seconds;
+    job->status.attempts = attempts;
     --running_;
     if (state == JobState::Done) ++tallies_.done;
     if (state == JobState::Failed) ++tallies_.failed;
@@ -376,6 +452,7 @@ void Scheduler::shutdown() {
     stopping_ = true;
     was_started = started_;
   }
+  stop_token_.cancel();
   dispatch_.notify_all();
   terminal_.notify_all();
   if (was_started && pump_.joinable()) pump_.join();

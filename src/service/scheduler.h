@@ -16,8 +16,18 @@
 //     client may own) and a global queue capacity; a submit over either
 //     limit throws hmpt::Error — the daemon turns it into a structured
 //     `busy` error and the client backs off.
+//   * Fault tolerance (common/retry). Every job runs under the
+//     scheduler's RetryPolicy, overridable per job (JobLimits): a
+//     provider failure or timeout is retried with deterministic
+//     exponential backoff, each attempt runs under a CancelToken armed
+//     with the attempt deadline and the job's remaining total budget, and
+//     a job that exhausts its budget is reported Failed with the full
+//     attempt history. Terminal errors ("terminal:", store determinism
+//     violations) never retry.
 //   * Cancellation. Queued jobs can be cancelled; running providers are
-//     never interrupted (cancel returns false once a job started).
+//     never interrupted by `cancel` (it returns false once a job
+//     started), but scheduler teardown cancels in-flight attempt tokens
+//     so cooperative providers stop promptly.
 //   * Drain / shutdown. drain() stops admission and blocks until every
 //     admitted job is terminal; shutdown() drains, then stops and joins
 //     the workers. Outcomes are byte-identical to batch runs because the
@@ -39,6 +49,7 @@
 
 #include "campaign/outcome_store.h"
 #include "campaign/scenario.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "service/latency_store.h"
 #include "service/provider.h"
@@ -51,14 +62,24 @@ enum class JobState { Queued, Running, Done, Cached, Failed, Canceled };
 const char* to_string(JobState state);
 bool is_terminal(JobState state);
 
+/// Per-job overrides of the scheduler's retry policy, carried on the
+/// submit. Unset fields (0 / negative) fall back to the policy default.
+struct JobLimits {
+  int max_attempts = 0;      ///< total attempts; 0 = policy default
+  double deadline_s = -1.0;  ///< total wall-clock budget; < 0 = default
+
+  bool operator==(const JobLimits&) const = default;
+};
+
 /// A point-in-time view of one job.
 struct JobStatus {
   std::string fingerprint;
   std::string label;          ///< scenario class (workload/platform/strategy)
   JobState state = JobState::Queued;
   int priority = 0;
-  std::string error;          ///< Failed: the provider's exception text
+  std::string error;          ///< Failed: the attempt history
   double seconds = 0.0;       ///< provider wall time (terminal states)
+  int attempts = 0;           ///< provider attempts made (terminal states)
 };
 
 /// Aggregate queue counters for `status` responses.
@@ -69,6 +90,8 @@ struct SchedulerCounts {
   std::size_t cached = 0;    ///< answered from the store without running
   std::size_t failed = 0;
   std::size_t canceled = 0;
+  std::size_t retries = 0;   ///< provider attempts beyond each job's first
+  std::size_t timeouts = 0;  ///< attempts that ended in a deadline expiry
   bool draining = false;
 };
 
@@ -76,6 +99,10 @@ struct SchedulerOptions {
   int workers = 1;                  ///< bounded worker pool size (>= 1)
   int max_in_flight = 256;          ///< per-client incomplete-job cap
   std::size_t max_queue = 4096;     ///< global queued-job capacity
+  /// The failure model every job runs under (see common/retry.h). The
+  /// default is one attempt, no deadline — fail-fast, exactly the
+  /// pre-retry behaviour.
+  RetryPolicy retry;
 };
 
 class Scheduler {
@@ -89,7 +116,8 @@ class Scheduler {
   /// The provider must outlive the scheduler.
   Scheduler(ExecutionProvider& provider, campaign::OutcomeStore store,
             SchedulerOptions options);
-  /// Stops and joins the workers; queued jobs are marked Canceled.
+  /// Stops and joins the workers; queued jobs are marked Canceled and
+  /// in-flight attempt tokens are canceled (cooperative providers stop).
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -108,8 +136,20 @@ class Scheduler {
   /// Queued/Running/terminal for an attached duplicate, else a fresh
   /// Queued job. Throws hmpt::Error when draining or over the admission
   /// limits (per-client max_in_flight, global queue capacity).
+  /// `admitted_new`, when given, is set to whether this submit enqueued
+  /// a fresh job — the signal the daemon's journal keys on: an attach or
+  /// a cache hit is already covered (or needs no coverage), so
+  /// journaling it would leave a submit record no terminal ever matches.
   JobStatus submit(ClientId client, const campaign::Scenario& scenario,
-                   int priority = 0);
+                   int priority = 0, const JobLimits& limits = {},
+                   bool* admitted_new = nullptr);
+
+  /// Journal-replay admission: like submit() but exempt from the
+  /// per-client and queue-capacity limits — every journaled job must be
+  /// re-admitted on restart, however many there are. Only call before
+  /// serving clients (the daemon replays during startup).
+  JobStatus submit_replay(const campaign::Scenario& scenario,
+                          int priority = 0, const JobLimits& limits = {});
 
   /// Status of a known fingerprint (this process's jobs plus anything in
   /// the store, reported Cached); nullopt for never-seen fingerprints.
@@ -150,16 +190,26 @@ class Scheduler {
     std::uint64_t sequence = 0;  ///< FIFO order within a priority
     int priority = 0;
     campaign::Scenario scenario;
+    JobLimits limits;
     JobStatus status;
     std::set<ClientId> owners;   ///< clients charged for this job
+    /// The live attempt's token while the provider runs (teardown
+    /// cancels it); reset between attempts.
+    std::optional<CancelToken> active_token;
   };
 
+  /// The shared submit path; `replay` bypasses admission accounting.
+  JobStatus admit(ClientId client, const campaign::Scenario& scenario,
+                  int priority, const JobLimits& limits, bool replay,
+                  bool* admitted_new = nullptr);
   void worker_loop();
   /// Pop the next dispatchable job (highest priority, lowest sequence);
   /// null when stopping.
   std::shared_ptr<Job> next_job();
+  /// Run one job to a terminal state: the retry loop around the provider.
+  void run_job(const std::shared_ptr<Job>& job);
   void finish_job(const std::shared_ptr<Job>& job, JobState state,
-                  const std::string& error, double seconds);
+                  const std::string& error, double seconds, int attempts);
   void notify_subscribers(const JobStatus& status);
   /// Balance a ++notifying_: decrement and wake drain() waiters.
   void finished_notifying();
@@ -181,7 +231,7 @@ class Scheduler {
   std::map<ClientId, std::size_t> in_flight_;  ///< admission accounting
   std::uint64_t next_sequence_ = 0;
   ClientId next_client_ = 1;
-  SchedulerCounts tallies_;  ///< done/cached/failed/canceled accumulators
+  SchedulerCounts tallies_;  ///< done/cached/failed/... accumulators
   std::size_t running_ = 0;
   /// Completion callbacks still in flight; drain() waits for zero so the
   /// `drained` reply never overtakes a watcher's last event.
@@ -189,6 +239,9 @@ class Scheduler {
   bool draining_ = false;
   bool stopping_ = false;
   bool started_ = false;
+  /// Canceled when the scheduler stops: wakes backoff sleeps between
+  /// attempts so teardown never waits out a retry schedule.
+  CancelToken stop_token_;
 
   std::mutex subscriber_mutex_;  ///< serialises completion callbacks
   std::map<std::uint64_t, CompletionCallback> subscribers_;

@@ -174,9 +174,18 @@ Listener::~Listener() { close(); }
 std::optional<Socket> Listener::accept_for(int timeout_ms) {
   if (!socket_.valid()) return std::nullopt;
   pollfd pfd{socket_.fd(), POLLIN, 0};
-  const int ready = ::poll(&pfd, 1, timeout_ms);
+  // A signal interrupting the poll reads as a timeout: the accept loop
+  // re-checks its stop flag and comes back, which is the behaviour an
+  // EINTR mid-wait should have anyway.
+  int ready;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
   if (ready <= 0) return std::nullopt;
-  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(socket_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return std::nullopt;
   return Socket(fd);
 }
@@ -193,6 +202,27 @@ Socket connect_to(const Endpoint& endpoint) {
   if (fd < 0) raise_errno("cannot create socket");
   Socket socket(fd);
 
+  // A blocking connect interrupted by a signal (EINTR) completes
+  // asynchronously; poll for writability and read SO_ERROR instead of
+  // retrying the connect (a retry would race the in-progress handshake).
+  const auto finish_interrupted = [&] {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, -1);
+    } while (ready < 0 && errno == EINTR);
+    if (ready <= 0)
+      raise_errno("cannot connect to " + endpoint.to_string());
+    int error = 0;
+    socklen_t length = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length) != 0)
+      raise_errno("cannot connect to " + endpoint.to_string());
+    if (error != 0) {
+      errno = error;
+      raise_errno("cannot connect to " + endpoint.to_string());
+    }
+  };
+
   int rc;
   if (endpoint.is_unix()) {
     const auto addr = unix_address(endpoint.unix_path);
@@ -203,7 +233,12 @@ Socket connect_to(const Endpoint& endpoint) {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                    sizeof(addr));
   }
-  if (rc != 0) raise_errno("cannot connect to " + endpoint.to_string());
+  if (rc != 0) {
+    if (errno == EINTR)
+      finish_interrupted();
+    else
+      raise_errno("cannot connect to " + endpoint.to_string());
+  }
   return socket;
 }
 

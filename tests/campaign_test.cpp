@@ -355,12 +355,55 @@ TEST(OutcomeStoreTest, SavesLoadsAndInvalidates) {
   other.repetitions = 2;
   EXPECT_FALSE(store.contains(other));
 
-  // A corrupt file must fail loudly, not silently re-run.
+  // A corrupt file (truncation, interference) is quarantined to
+  // <fingerprint>.json.corrupt and reads as a miss — the scenario
+  // re-executes instead of the campaign aborting.
   {
     std::ofstream os(store.path_for(s));
     os << "{ not json";
   }
-  EXPECT_THROW(store.load(s), Error);
+  EXPECT_EQ(store.load(s), std::nullopt);
+  EXPECT_FALSE(store.contains(s));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(s) + ".corrupt"));
+
+  // The quarantined fingerprint is writable again: a clean save restores
+  // it, and the quarantine file does not shadow the healthy one.
+  store.save(s, outcome);
+  const auto healed = store.load(s);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(json_of(*healed), json_of(outcome));
+}
+
+TEST(OutcomeStoreTest, SaveQuarantinesDamagedExistingFile) {
+  StoreDir dir("hmpt_store_damaged_save");
+  const OutcomeStore store(dir.path());
+
+  Scenario s;
+  s.workload = parse_workload_spec("mg");
+  s.platform = "xeon-max";
+  s.strategy = "estimator";
+  s.repetitions = 1;
+  const auto outcome = CampaignRunner::execute(s);
+
+  // A damaged file already sits at the fingerprint's path (e.g. a torn
+  // external copy). save() must quarantine it and publish the honest
+  // outcome instead of reporting a determinism conflict.
+  std::filesystem::create_directories(
+      std::filesystem::path(dir.path()) / "outcomes");
+  {
+    std::ofstream os(store.path_for(s));
+    os << "truncated";
+  }
+  store.save(s, outcome);
+  const auto loaded = store.load(s);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(outcome));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(s) + ".corrupt"));
+
+  // A *well-formed* conflicting outcome is still a loud failure.
+  auto conflicting = outcome;
+  conflicting.speedup += 1.0;
+  EXPECT_THROW(store.save(s, conflicting), Error);
 }
 
 TEST(OutcomeStoreTest, LoadsByFingerprintAlone) {

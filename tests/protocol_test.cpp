@@ -45,6 +45,30 @@ TEST(ProtocolTest, SubmitScenarioRoundTrips) {
   EXPECT_TRUE(parsed.campaign_text.empty());
 }
 
+TEST(ProtocolTest, SubmitRetryFieldsRoundTrip) {
+  // Protocol v2: per-job deadline and attempt budget ride the submit.
+  Request request;
+  request.op = Op::Submit;
+  request.scenario = test_scenario();
+  request.deadline_s = 12.5;
+  request.attempts = 3;
+
+  const auto parsed = parse_request(request.to_line());
+  EXPECT_DOUBLE_EQ(parsed.deadline_s, 12.5);
+  EXPECT_EQ(parsed.attempts, 3);
+
+  // Unset fields stay off the wire and parse back to their defaults.
+  Request plain;
+  plain.op = Op::Submit;
+  plain.scenario = test_scenario();
+  const auto line = plain.to_line();
+  EXPECT_EQ(line.find("deadline_s"), std::string::npos);
+  EXPECT_EQ(line.find("attempts"), std::string::npos);
+  const auto defaults = parse_request(line);
+  EXPECT_LT(defaults.deadline_s, 0.0);
+  EXPECT_EQ(defaults.attempts, 0);
+}
+
 TEST(ProtocolTest, SubmitCampaignRoundTrips) {
   Request request;
   request.op = Op::Submit;
@@ -179,6 +203,14 @@ TEST(ProtocolFuzzTest, MalformedRequestsThrowStructuredErrors) {
       "{\"op\":\"cancel\"}",                  // cancel without fingerprint
       "{\"op\":\"result\",\"fingerprint\":7}",   // fingerprint wrong kind
       "{\"op\":\"result\",\"fingerprint\":\"ab\",\"wait\":\"yes\"}",
+      "{\"op\":\"submit\",\"scenario\":{\"workload\":\"mg\"},"
+      "\"deadline_s\":0}",                    // deadline must be > 0
+      "{\"op\":\"submit\",\"scenario\":{\"workload\":\"mg\"},"
+      "\"deadline_s\":\"soon\"}",             // deadline wrong kind
+      "{\"op\":\"submit\",\"scenario\":{\"workload\":\"mg\"},"
+      "\"attempts\":0}",                      // attempts must be >= 1
+      "{\"op\":\"submit\",\"scenario\":{\"workload\":\"mg\"},"
+      "\"attempts\":\"many\"}",               // attempts wrong kind
   };
   for (const auto& line : bad)
     EXPECT_THROW(parse_request(line), Error) << line;

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -61,7 +62,8 @@ campaign::Scenario scenario_with_reps(int reps) {
 class CountingProvider : public ExecutionProvider {
  public:
   std::string name() const override { return "counting"; }
-  tuner::TuningOutcome run(const campaign::Scenario& scenario) override {
+  tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                           const CancelToken&) override {
     ++runs;
     tuner::TuningOutcome outcome;
     outcome.strategy = scenario.strategy;
@@ -77,14 +79,15 @@ class CountingProvider : public ExecutionProvider {
 class GatedProvider : public CountingProvider {
  public:
   std::string name() const override { return "gated"; }
-  tuner::TuningOutcome run(const campaign::Scenario& scenario) override {
+  tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                           const CancelToken& token) override {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ++entered;
       entered_cv_.notify_all();
       cv_.wait(lock, [this] { return open_; });
     }
-    return CountingProvider::run(scenario);
+    return CountingProvider::run(scenario, token);
   }
   void release() {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -107,8 +110,47 @@ class GatedProvider : public CountingProvider {
 class FailingProvider : public ExecutionProvider {
  public:
   std::string name() const override { return "failing"; }
-  tuner::TuningOutcome run(const campaign::Scenario&) override {
+  tuner::TuningOutcome run(const campaign::Scenario&,
+                           const CancelToken&) override {
     raise("deliberate provider failure");
+  }
+};
+
+/// Fails the first `failures` run() calls per fingerprint, then behaves
+/// like CountingProvider — the retry-loop tests' workhorse.
+class FlakyProvider : public CountingProvider {
+ public:
+  explicit FlakyProvider(int failures) : failures_(failures) {}
+  std::string name() const override { return "flaky"; }
+  tuner::TuningOutcome run(const campaign::Scenario& scenario,
+                           const CancelToken& token) override {
+    int attempt = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      attempt = ++attempts_[scenario.fingerprint()];
+    }
+    if (attempt <= failures_)
+      raise("flaky failure on attempt " + std::to_string(attempt));
+    return CountingProvider::run(scenario, token);
+  }
+
+ private:
+  int failures_;
+  std::mutex mutex_;
+  std::map<std::string, int> attempts_;
+};
+
+/// Parks on the job's CancelToken until it expires — a cooperative hang,
+/// for deadline tests.
+class HangingProvider : public ExecutionProvider {
+ public:
+  std::string name() const override { return "hanging"; }
+  tuner::TuningOutcome run(const campaign::Scenario&,
+                           const CancelToken& token) override {
+    while (token.sleep_for(3600.0)) {
+    }
+    token.check();
+    raise("hang interrupted without cancel");  // unreachable
   }
 };
 
@@ -397,6 +439,110 @@ TEST(SchedulerTest, CompletionSubscribersSeeEveryTerminalJob) {
   std::lock_guard<std::mutex> lock(mutex);
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], JobState::Done);
+}
+
+// ----------------------------------------------------------- retry loop
+
+TEST(SchedulerRetryTest, TransientFailuresRetryToSuccess) {
+  StoreDir dir("hmpt_sched_retry_ok");
+  FlakyProvider provider(2);  // two failures, then clean
+  SchedulerOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_s = 0.0;
+  Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()),
+                      options);
+  scheduler.start();
+  const auto scenario = scenario_with_reps(1);
+
+  scheduler.submit(scheduler.new_client(), scenario);
+  const auto done = scheduler.wait(scenario.fingerprint());
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JobState::Done) << done->error;
+  EXPECT_EQ(done->attempts, 3);
+  EXPECT_EQ(provider.runs.load(), 1);  // the clean run, post-failures
+  const auto counts = scheduler.counts();
+  EXPECT_EQ(counts.done, 1u);
+  EXPECT_EQ(counts.retries, 2u);
+  EXPECT_EQ(counts.timeouts, 0u);
+  ASSERT_TRUE(scheduler.outcome(scenario.fingerprint()).has_value());
+}
+
+TEST(SchedulerRetryTest, ExhaustedBudgetFailsWithTheFullHistory) {
+  StoreDir dir("hmpt_sched_retry_fail");
+  FailingProvider provider;
+  SchedulerOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_s = 0.0;
+  Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()),
+                      options);
+  scheduler.start();
+  const auto scenario = scenario_with_reps(1);
+
+  scheduler.submit(scheduler.new_client(), scenario);
+  const auto failed = scheduler.wait(scenario.fingerprint());
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->state, JobState::Failed);
+  EXPECT_EQ(failed->attempts, 3);
+  EXPECT_NE(failed->error.find("after 3 attempts"), std::string::npos);
+  EXPECT_NE(failed->error.find("attempt 1: deliberate provider failure"),
+            std::string::npos);
+  EXPECT_NE(failed->error.find("attempt 3:"), std::string::npos);
+  EXPECT_EQ(scheduler.counts().retries, 2u);
+}
+
+TEST(SchedulerRetryTest, SingleAttemptKeepsTheRawErrorText) {
+  StoreDir dir("hmpt_sched_retry_raw");
+  FailingProvider provider;
+  Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()), {});
+  scheduler.start();
+  const auto scenario = scenario_with_reps(1);
+
+  scheduler.submit(scheduler.new_client(), scenario);
+  const auto failed = scheduler.wait(scenario.fingerprint());
+  ASSERT_TRUE(failed.has_value());
+  // Fail-fast default: the pre-retry error format, no attempt framing.
+  EXPECT_EQ(failed->error, "deliberate provider failure");
+  EXPECT_EQ(failed->attempts, 1);
+}
+
+TEST(SchedulerRetryTest, PerJobDeadlineCancelsACooperativeHang) {
+  StoreDir dir("hmpt_sched_retry_deadline");
+  HangingProvider provider;
+  Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()), {});
+  scheduler.start();
+  const auto scenario = scenario_with_reps(1);
+
+  JobLimits limits;
+  limits.deadline_s = 0.05;  // total budget: one short attempt
+  scheduler.submit(scheduler.new_client(), scenario, /*priority=*/0,
+                   limits);
+  const auto failed = scheduler.wait(scenario.fingerprint());
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->state, JobState::Failed);
+  EXPECT_NE(failed->error.find("timeout:"), std::string::npos);
+  EXPECT_EQ(scheduler.counts().timeouts, 1u);
+}
+
+TEST(SchedulerRetryTest, DestructionCancelsAnInFlightHangPromptly) {
+  StoreDir dir("hmpt_sched_retry_teardown");
+  HangingProvider provider;
+  SchedulerOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_s = 1.0;  // teardown must not wait these out
+  const auto start = std::chrono::steady_clock::now();
+  {
+    Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()),
+                        options);
+    scheduler.start();
+    scheduler.submit(scheduler.new_client(), scenario_with_reps(1));
+    // Give the worker a moment to enter the hang, then tear down: the
+    // destructor cancels the live attempt token and the backoff sleeps.
+    // (shutdown() deliberately drains instead — a deadline-less hang is
+    // the destructor's job to break.)
+    std::this_thread::sleep_for(50ms);
+  }
+  const auto took = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(took, std::chrono::seconds(30));
 }
 
 // ----------------------------------------------------------- latency store

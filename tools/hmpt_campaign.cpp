@@ -10,7 +10,8 @@
 //                 [--strategy NAME]... [--tiers K]... [--budget-gb N]...
 //                 [--tier-budget-gb T:N]... [--reps N] [--top-k N]
 //                 [--out DIR] [--shard I/N] [--resume] [--dry-run]
-//                 [--keep-going] [--jobs N] [--measure-jobs N] [--quiet]
+//                 [--keep-going] [--jobs N] [--measure-jobs N]
+//                 [--retries N] [--scenario-timeout S] [--quiet]
 //                 [--list-workloads] [--list-platforms]
 //
 // --resume skips every scenario whose fingerprint is already stored (a
@@ -79,6 +80,11 @@ void usage(const char* argv0) {
       << "                             0 = all hardware threads; default 1)\n"
       << "  --measure-jobs N           measurement threads per scenario\n"
       << "                             (default 1)\n"
+      << "  --retries N                retries per scenario after the first\n"
+      << "                             attempt (default 0 = fail fast);\n"
+      << "                             deterministic exponential backoff\n"
+      << "  --scenario-timeout S       per-attempt deadline in seconds\n"
+      << "                             (default 0 = none; cooperative)\n"
       << "  --quiet                    suppress per-scenario progress\n"
       << "  --list-workloads           print the workload registry and exit\n"
       << "  --list-platforms           print the platform catalogue and exit\n";
@@ -159,6 +165,10 @@ int main(int argc, char** argv) {
       options.scenario_jobs = parse_int(argv[0], arg, next());
     else if (arg == "--measure-jobs")
       options.measure_jobs = parse_int(argv[0], arg, next());
+    else if (arg == "--retries")
+      options.attempts = 1 + parse_int(argv[0], arg, next());
+    else if (arg == "--scenario-timeout")
+      options.scenario_timeout_s = parse_double(argv[0], arg, next());
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--list-workloads") {
       std::cout << campaign::WorkloadRegistry::instance().list_text();
@@ -193,6 +203,11 @@ int main(int argc, char** argv) {
   }
   if ((reps != -1 && reps < 1) || (top_k != -1 && top_k < 1)) {
     std::cerr << "--reps/--top-k must be >= 1\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if (options.attempts < 1 || options.scenario_timeout_s < 0.0) {
+    std::cerr << "--retries and --scenario-timeout must be >= 0\n";
     usage(argv[0]);
     return 1;
   }

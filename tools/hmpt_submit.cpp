@@ -13,7 +13,7 @@
 //               [<campaign-file>] [--workload NAME[:k=v,...]]...
 //               [--platform NAME]... [--strategy NAME]... [--tiers K]...
 //               [--budget-gb N]... [--tier-budget-gb T:N]... [--reps N]
-//               [--top-k N] [--priority N]
+//               [--top-k N] [--priority N] [--deadline S] [--attempts N]
 //               [--watch] [--wait] [--out DIR]
 //               [--status | --stats | --ping | --drain | --shutdown]
 //               [--quiet]
@@ -30,10 +30,12 @@
 // Exit codes: 0 success, 1 bad usage, 2 failure (unreachable daemon,
 // failed scenario, error response).
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/aggregate.h"
@@ -41,6 +43,7 @@
 #include "campaign/workload_registry.h"
 #include "cli_parse.h"
 #include "common/error.h"
+#include "common/retry.h"
 #include "common/table.h"
 #include "core/outcome_io.h"
 #include "service/protocol.h"
@@ -66,6 +69,10 @@ void usage(const char* argv0) {
       << "                             matrix axes (repeatable)\n"
       << "  --reps N / --top-k N       measurement knobs\n"
       << "  --priority N               dispatch priority (higher first)\n"
+      << "  --deadline S               per-job total wall-clock budget in\n"
+      << "                             seconds (daemon default otherwise)\n"
+      << "  --attempts N               per-job attempt budget (>= 1;\n"
+      << "                             daemon default otherwise)\n"
       << "  --watch                    stream completion events\n"
       << "  --wait                     block for every result and write\n"
       << "                             campaign artefacts under --out\n"
@@ -119,6 +126,8 @@ int main(int argc, char** argv) {
   int reps = -1;
   int top_k = -1;
   int priority = 0;
+  double deadline_s = -1.0;
+  int attempts = 0;
   bool watch = false;
   bool wait = false;
   bool do_status = false, do_stats = false, do_ping = false;
@@ -176,6 +185,8 @@ int main(int argc, char** argv) {
     else if (arg == "--reps") reps = parse(next());
     else if (arg == "--top-k") top_k = parse(next());
     else if (arg == "--priority") priority = parse(next());
+    else if (arg == "--deadline") deadline_s = parse_dbl(next());
+    else if (arg == "--attempts") attempts = parse(next());
     else if (arg == "--watch") watch = true;
     else if (arg == "--wait") wait = true;
     else if (arg == "--out") out_dir = next();
@@ -206,6 +217,12 @@ int main(int argc, char** argv) {
   if (endpoint.is_unix() == port_set) {
     std::cerr << (port_set ? "--socket and --port are mutually exclusive\n"
                            : "one of --socket or --port is required\n");
+    usage(argv[0]);
+    return 1;
+  }
+  if ((deadline_s != -1.0 && deadline_s <= 0.0) ||
+      (attempts != 0 && attempts < 1)) {
+    std::cerr << "--deadline must be > 0 and --attempts >= 1\n";
     usage(argv[0]);
     return 1;
   }
@@ -266,15 +283,26 @@ int main(int argc, char** argv) {
       HMPT_REQUIRE(ack.ok, "watch rejected: " + ack.error);
     }
 
+    // Busy backoff when there is nothing of our own to absorb: capped
+    // exponential with deterministic jitter (common/retry) — the same
+    // schedule on every run, never a fixed-interval hammer.
+    RetryPolicy busy_backoff;
+    busy_backoff.max_attempts = 8;
+    busy_backoff.initial_backoff_s = 0.05;
+    busy_backoff.max_backoff_s = 2.0;
+
     std::vector<std::string> fingerprints;
     std::size_t waited = 0;  // busy-backoff: next own job to wait on
     for (const auto& scenario : scenarios) {
       fingerprints.push_back(scenario.fingerprint());
+      int busy_attempts = 0;
       for (;;) {
         service::Request request;
         request.op = service::Op::Submit;
         request.scenario = scenario;
         request.priority = priority;
+        request.deadline_s = deadline_s;
+        request.attempts = attempts;
         const auto reply = client.call(request);
         if (reply.ok) {
           if (!quiet) {
@@ -285,18 +313,32 @@ int main(int argc, char** argv) {
           }
           break;
         }
-        if (reply.error.rfind("busy", 0) == 0 &&
-            waited < fingerprints.size() - 1) {
-          // Admission-limited: absorb one of our own outstanding jobs,
-          // then resubmit (fingerprints make resubmission idempotent).
-          service::Request absorb;
-          absorb.op = service::Op::Result;
-          absorb.fingerprint = fingerprints[waited++];
-          absorb.wait = true;
-          client.call(absorb);
-          continue;
+        if (reply.error.rfind("busy", 0) == 0) {
+          if (waited < fingerprints.size() - 1) {
+            // Admission-limited: absorb one of our own outstanding jobs,
+            // then resubmit (fingerprints make resubmission idempotent).
+            service::Request absorb;
+            absorb.op = service::Op::Result;
+            absorb.fingerprint = fingerprints[waited++];
+            absorb.wait = true;
+            client.call(absorb);
+            continue;
+          }
+          if (++busy_attempts < busy_backoff.max_attempts) {
+            // Other clients hold the daemon's budget: back off and
+            // resubmit. The jitter stream is the fingerprint, so
+            // concurrent submitters spread out instead of re-colliding.
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                busy_backoff.backoff_s(busy_attempts,
+                                       stream_of(fingerprints.back()))));
+            continue;
+          }
         }
-        raise("submit rejected: " + reply.error);
+        raise("submit rejected: " + reply.error +
+              (busy_attempts > 0
+                   ? " (gave up after " + std::to_string(busy_attempts) +
+                         " backoff retries)"
+                   : ""));
       }
     }
 
@@ -309,7 +351,17 @@ int main(int argc, char** argv) {
                     pending.end());
       remaining = pending.size();
       while (remaining > 0) {
-        const auto event = watcher->read_message();
+        service::ServerMessage event;
+        try {
+          event = watcher->read_message();
+        } catch (const std::exception& e) {
+          // The daemon died (or dropped us) mid-stream: fail with the
+          // outstanding count instead of waiting forever on a dead pipe.
+          raise(std::string(e.what()) + " while watching (" +
+                std::to_string(remaining) +
+                " completion(s) outstanding); if hmptd ran with --journal,"
+                " restart it and the jobs resume");
+        }
         if (!event.is_event || event.event != "job") continue;
         const auto fp = event.body.string_or("fingerprint", "");
         const auto hit =
@@ -344,7 +396,19 @@ int main(int argc, char** argv) {
         request.op = service::Op::Result;
         request.fingerprint = fingerprints[i];
         request.wait = true;
-        const auto reply = client.call(request);
+        service::ServerMessage reply;
+        try {
+          reply = client.call(request);
+        } catch (const std::exception& e) {
+          // A dead daemon mid---wait is a hard, explained failure — not
+          // an eternal block and not a bare broken-pipe message.
+          raise(std::string(e.what()) + " while waiting for result " +
+                fingerprints[i] + " (" +
+                std::to_string(scenarios.size() - i) + " of " +
+                std::to_string(scenarios.size()) +
+                " results outstanding); if hmptd ran with --journal,"
+                " restart it and rerun this command to resume");
+        }
         if (reply.ok) {
           const auto state = reply.body.string_or("state", "done");
           run.status = state == "cached"

@@ -10,17 +10,26 @@
 //
 //   hmptd (--socket PATH | --port N) [--host ADDR] [--workers N]
 //         [--store DIR] [--max-in-flight N] [--max-queue N]
-//         [--measure-jobs N] [--quiet]
+//         [--measure-jobs N] [--retries N] [--job-timeout S]
+//         [--journal PATH] [--fault-spec SPEC] [--quiet]
+//
+// Fault tolerance: --retries/--job-timeout set the default failure model
+// (per-job submit fields override), --journal makes acked submits
+// crash-safe (replayed on restart; see docs/SERVICE.md "Failure model"),
+// and --fault-spec wraps the provider in deterministic fault injection
+// for chaos testing (see service/fault.h for the grammar).
 //
 // Runs in the foreground until a `shutdown` request or SIGINT/SIGTERM;
 // both paths drain in-flight work before exiting. Exit codes: 0 clean
 // shutdown, 1 bad usage, 2 runtime failure (e.g. the bind failed).
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cli_parse.h"
 #include "service/daemon.h"
+#include "service/fault.h"
 #include "version.h"
 
 namespace {
@@ -39,6 +48,15 @@ void usage(const char* argv0) {
       << "  --max-in-flight N   per-client incomplete-job cap (default 256)\n"
       << "  --max-queue N       global queued-job capacity (default 4096)\n"
       << "  --measure-jobs N    measurement threads per scenario (default 1)\n"
+      << "  --retries N         retries per job after the first attempt\n"
+      << "                      (default 0 = fail fast)\n"
+      << "  --job-timeout S     per-attempt deadline in seconds\n"
+      << "                      (default 0 = none)\n"
+      << "  --journal PATH      crash-safe job journal: fsync every submit\n"
+      << "                      before its ack, replay unfinished jobs on\n"
+      << "                      startup\n"
+      << "  --fault-spec SPEC   deterministic fault injection, e.g.\n"
+      << "                      seed=7,fail=0.3:2,timeout=0.2:1 (testing)\n"
       << "  --quiet             suppress startup/shutdown messages\n"
       << "  --version           print the tool version and exit\n";
 }
@@ -54,6 +72,9 @@ int main(int argc, char** argv) {
   service::DaemonOptions options;
   bool port_set = false;
   bool quiet = false;
+  int retries = 0;
+  double job_timeout_s = 0.0;
+  std::string fault_spec_text;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +108,12 @@ int main(int argc, char** argv) {
       options.max_queue = static_cast<std::size_t>(queue);
     }
     else if (arg == "--measure-jobs") options.measure_jobs = parse(next());
+    else if (arg == "--retries") retries = parse(next());
+    else if (arg == "--job-timeout")
+      job_timeout_s =
+          cli::parse_double(arg, next(), [&] { usage(argv[0]); });
+    else if (arg == "--journal") options.journal_path = next();
+    else if (arg == "--fault-spec") fault_spec_text = next();
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--version") {
       cli::print_version("hmptd");
@@ -116,16 +143,45 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (retries < 0 || job_timeout_s < 0.0) {
+    std::cerr << "--retries and --job-timeout must be >= 0\n";
+    usage(argv[0]);
+    return 1;
+  }
+  options.retry.max_attempts = 1 + retries;
+  options.retry.attempt_deadline_s = job_timeout_s;
 
   try {
-    service::Daemon daemon(options);
+    // The fault injector wraps the same simulator provider the daemon
+    // would own; everything downstream (scheduler, store, protocol) is
+    // oblivious to it.
+    std::unique_ptr<service::SimulatorProvider> simulator;
+    std::unique_ptr<service::FaultInjectingProvider> faulty;
+    if (!fault_spec_text.empty()) {
+      const auto spec = service::FaultSpec::parse(fault_spec_text);
+      simulator =
+          std::make_unique<service::SimulatorProvider>(options.measure_jobs);
+      faulty = std::make_unique<service::FaultInjectingProvider>(*simulator,
+                                                                 spec);
+    }
+    service::Daemon daemon(options, faulty.get());
     daemon.start();
-    if (!quiet)
+    if (!quiet) {
       std::cout << "hmptd " << cli::kVersion << " listening on "
                 << daemon.endpoint().to_string() << " ("
                 << options.workers << " worker"
                 << (options.workers == 1 ? "" : "s") << ", store "
                 << options.store_dir << ")" << std::endl;
+      if (!options.journal_path.empty())
+        std::cout << "hmptd: journal " << options.journal_path << " ("
+                  << daemon.replayed_jobs() << " job"
+                  << (daemon.replayed_jobs() == 1 ? "" : "s")
+                  << " replayed)" << std::endl;
+      if (faulty != nullptr)
+        std::cout << "hmptd: fault injection armed ("
+                  << service::FaultSpec::parse(fault_spec_text).canonical()
+                  << ")" << std::endl;
+    }
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
