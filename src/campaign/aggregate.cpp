@@ -69,7 +69,7 @@ Table runs_table(const CampaignResult& result) {
   return table;
 }
 
-Table ranked_table(const CampaignResult& result) {
+std::vector<const ScenarioRun*> ranked_runs(const CampaignResult& result) {
   std::vector<const ScenarioRun*> ranked;
   for (const auto& run : result.runs)
     if (has_outcome(run)) ranked.push_back(&run);
@@ -79,6 +79,11 @@ Table ranked_table(const CampaignResult& result) {
                 return a->outcome.speedup > b->outcome.speedup;
               return a->scenario.label() < b->scenario.label();
             });
+  return ranked;
+}
+
+Table ranked_table(const CampaignResult& result) {
+  const std::vector<const ScenarioRun*> ranked = ranked_runs(result);
 
   Table table({"rank", "scenario", "speedup", "chosen config", "HBM usage",
                "configs"});

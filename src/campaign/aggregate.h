@@ -32,6 +32,11 @@ Table plan_table(const std::vector<Scenario>& scenarios);
 /// cold and a resumed campaign, and runs.csv must not.
 Table runs_table(const CampaignResult& result);
 
+/// Scenarios with outcomes (Executed/Cached) ranked by speedup, best
+/// first, ties broken by label for determinism — the ordering shared by
+/// the terminal ranking and the HTML report. Pointers into `result`.
+std::vector<const ScenarioRun*> ranked_runs(const CampaignResult& result);
+
 /// Scenarios with outcomes ranked by speedup, best first (ties broken by
 /// label for determinism).
 Table ranked_table(const CampaignResult& result);

@@ -33,7 +33,8 @@ const char* to_string(ScenarioRun::Status status) {
 }
 
 CampaignRunner::CampaignRunner(CampaignOptions options)
-    : options_(std::move(options)), store_(options_.output_dir) {
+    : options_(std::move(options)),
+      store_(options_.output_dir, options_.store_format) {
   HMPT_REQUIRE(options_.scenario_jobs >= 0,
                "scenario_jobs must be >= 0 (0 = all hardware threads)");
   HMPT_REQUIRE(options_.measure_jobs >= 0,

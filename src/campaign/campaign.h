@@ -30,6 +30,11 @@ namespace hmpt::campaign {
 
 struct CampaignOptions {
   std::string output_dir = "campaign-out";  ///< store + aggregate artefacts
+  /// On-disk outcome store layout (see outcome_store.h): one file per
+  /// scenario (dir, the default) or one append-only packed log for
+  /// fleet-scale campaigns. Stored bytes are identical either way, and
+  /// hmpt_merge converts between formats losslessly.
+  StoreFormat store_format = StoreFormat::Dir;
   bool resume = false;    ///< skip scenarios already in the store
   bool dry_run = false;   ///< plan only: no execution, no writes
   /// Record failed scenarios and keep running (exit status reports them);

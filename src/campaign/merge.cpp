@@ -170,7 +170,7 @@ ShardManifest make_manifest(const std::vector<Scenario>& campaign_scenarios,
 
 CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
                             const std::string& output_dir,
-                            MergeStats* stats) {
+                            MergeStats* stats, StoreFormat output_format) {
   HMPT_REQUIRE(!shard_dirs.empty(), "merge needs at least one shard dir");
   HMPT_REQUIRE(!output_dir.empty(), "merge needs an output dir");
 
@@ -238,51 +238,60 @@ CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
   // 3. Union the content-addressed outcome stores, restricted to the
   //    campaign's fingerprints (shard directories may be reused stores
   //    holding outcomes of other campaigns — those are left alone). Every
-  //    store is probed for every fingerprint: identical bytes merge
-  //    silently (content addressing at work); *different* bytes for the
-  //    same fingerprint are a determinism bug or a foreign store and
-  //    fail the merge.
-  std::error_code ec;
-  const fs::path merged_outcomes = fs::path(output_dir) / "outcomes";
-  fs::create_directories(merged_outcomes, ec);
-  if (ec)
-    raise("cannot create merged store at " + output_dir + ": " +
-          ec.message());
-  int merged_files = 0;
+  //    store is bulk-loaded through the payload API — dir or packed
+  //    format alike, one sequential pass each — and every shard's copy of
+  //    every fingerprint is byte-compared: identical bytes merge silently
+  //    (content addressing at work); *different* bytes for the same
+  //    fingerprint are a determinism bug or a foreign store and fail the
+  //    merge. Raw payload bytes flow straight into the output store, so
+  //    the merged records are byte-identical whatever formats are on
+  //    either side.
+  const OutcomeStore merged_store(output_dir, output_format);
+  std::map<std::string, std::string> already_merged;
+  for (auto& [fp, bytes] : merged_store.load_all_payloads())
+    already_merged.emplace(fp, std::move(bytes));
+  std::vector<std::map<std::string, std::string>> shard_payloads;
+  for (const auto& dir : shard_dirs) {
+    auto all = OutcomeStore::open_existing(dir).load_all_payloads();
+    shard_payloads.emplace_back(
+        std::make_move_iterator(all.begin()),
+        std::make_move_iterator(all.end()));
+  }
+  int merged_records = 0;
+  std::map<std::string, std::string> merged_bytes;  // step 4's working set
   for (const auto& fp : ref.campaign_order) {
-    const std::string name = fp + ".json";
     std::string bytes;
     std::string source;
-    for (const auto& dir : shard_dirs) {
-      const fs::path path = fs::path(dir) / "outcomes" / name;
-      if (!fs::exists(path, ec)) continue;
-      const std::string candidate = slurp(path.string());
+    for (std::size_t i = 0; i < shard_dirs.size(); ++i) {
+      const auto it = shard_payloads[i].find(fp);
+      if (it == shard_payloads[i].end()) continue;
       if (source.empty()) {
-        bytes = candidate;
-        source = path.string();
-      } else if (candidate != bytes) {
+        bytes = it->second;
+        source = shard_dirs[i];
+      } else if (it->second != bytes) {
         raise("conflicting outcomes for fingerprint " + fp + ": " +
-              path.string() + " differs from " + source +
+              shard_dirs[i] + " differs from " + source +
               " — same scenario, different results (determinism bug or "
               "stores from different experiments)");
       }
     }
     if (source.empty()) continue;  // failed scenario: no outcome anywhere
-    const fs::path dest = merged_outcomes / name;
-    if (fs::exists(dest, ec)) {
-      if (slurp(dest.string()) != bytes)
+    const auto existing = already_merged.find(fp);
+    if (existing != already_merged.end()) {
+      if (existing->second != bytes)
         raise("conflicting outcomes for fingerprint " + fp + ": " + source +
-              " differs from the copy already merged into " + dest.string());
-      continue;  // identical bytes: already merged
+              " differs from the copy already merged into " + output_dir);
+    } else {
+      merged_store.save_payload(fp, bytes);
+      ++merged_records;
     }
-    spill(dest.string(), bytes);
-    ++merged_files;
+    merged_bytes.emplace(fp, std::move(bytes));
   }
 
-  // 4. Reconstruct the campaign-ordered result from the merged store (and
-  //    the manifests, for failures). Loading by the *stored* fingerprint
-  //    string keeps the merge exact even when a recorded profile changed
-  //    on disk after its shard ran.
+  // 4. Reconstruct the campaign-ordered result from the merged records
+  //    (and the manifests, for failures). Loading by the *stored*
+  //    fingerprint string keeps the merge exact even when a recorded
+  //    profile changed on disk after its shard ran.
   CampaignResult result;
   for (const auto& fp : ref.campaign_order) {
     const Owner& owner = owners.at(fp);
@@ -294,21 +303,22 @@ CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
       run.error = owner.entry->error;
       ++result.failed;
     } else {
-      const fs::path path = merged_outcomes / (fp + ".json");
-      if (!fs::exists(path, ec))
+      const auto it = merged_bytes.find(fp);
+      if (it == merged_bytes.end())
         raise("shard " + shard_dirs[owner.shard] + " marks scenario " + fp +
-              " complete but its outcome file is missing");
+              " complete but its outcome record is missing or damaged");
       try {
-        const Json doc = Json::parse(slurp(path.string()));
+        const Json doc = Json::parse(it->second);
         HMPT_REQUIRE(static_cast<int>(
                          doc.at("format_version").as_number()) ==
                          kFingerprintVersion,
                      "outcome format version mismatch");
         HMPT_REQUIRE(doc.at("fingerprint").as_string() == fp,
-                     "outcome file is keyed by a different fingerprint");
+                     "outcome record is keyed by a different fingerprint");
         run.outcome = tuner::outcome_from_json(doc.at("outcome"));
       } catch (const std::exception& e) {
-        raise("corrupt outcome file " + path.string() + ": " + e.what());
+        raise("corrupt outcome record for fingerprint " + fp + " from " +
+              shard_dirs[owner.shard] + ": " + e.what());
       }
       run.status = ScenarioRun::Status::Cached;
       ++result.cached;
@@ -320,7 +330,7 @@ CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
     stats->campaign = ref.campaign;
     stats->shards = static_cast<int>(manifests.size());
     stats->scenarios = static_cast<int>(ref.campaign_order.size());
-    stats->outcomes_merged = merged_files;
+    stats->outcomes_merged = merged_records;
     stats->failed = result.failed;
   }
   return result;

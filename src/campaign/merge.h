@@ -96,18 +96,26 @@ struct MergeStats {
 /// (fingerprint, shard count, campaign order), that the shard indices are
 /// exactly 1..N with no duplicates, that the slices are pairwise disjoint
 /// and together cover the campaign, and that every Complete scenario's
-/// outcome file exists. The stores are then unioned content-addressed:
+/// outcome record exists. The stores are then unioned content-addressed:
 /// identical bytes under the same fingerprint merge silently; *different*
 /// bytes under the same fingerprint throw hmpt::Error — that is either a
 /// determinism bug or stores from different experiments, and must never
 /// be papered over.
 ///
+/// Each shard store may be dir- or packed-format (auto-detected per
+/// directory) and `output_format` picks the merged store's layout
+/// independently, so a merge doubles as a lossless cross-format
+/// conversion: outcome records are copied as raw payload bytes, never
+/// re-serialised.
+///
 /// Returns the campaign-ordered CampaignResult (outcomes loaded from the
 /// merged store, status Cached; failures reproduced from the manifests),
 /// ready for the standard aggregation: `runs.csv` and `summary.json`
-/// derived from it are byte-identical to an unsharded run's.
+/// derived from it are byte-identical to an unsharded run's, whatever
+/// mix of store formats the shards used.
 CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
                             const std::string& output_dir,
-                            MergeStats* stats = nullptr);
+                            MergeStats* stats = nullptr,
+                            StoreFormat output_format = StoreFormat::Dir);
 
 }  // namespace hmpt::campaign

@@ -13,6 +13,7 @@
 
 #include "campaign/platforms.h"
 #include "common/error.h"
+#include "common/parse.h"
 #include "core/strategy.h"
 
 namespace hmpt::campaign {
@@ -193,15 +194,13 @@ ShardSpec parse_shard_spec(const std::string& text) {
   const auto slash = text.find('/');
   HMPT_REQUIRE(slash != std::string::npos,
                "shard spec must be i/N (e.g. 2/3), got '" + text + "'");
+  // Checked full-consumption parsing (common/parse.h): a malformed spec
+  // produces one structured error, never an uncaught std::stoi throw.
   const auto as_int = [&](const std::string& part) {
-    try {
-      std::size_t used = 0;
-      const int v = std::stoi(part, &used);
-      HMPT_REQUIRE(used == part.size(), "trailing text");
-      return v;
-    } catch (const std::exception&) {
+    const auto v = parse_int_strict(part);
+    if (!v)
       raise("shard spec must be i/N (e.g. 2/3), got '" + text + "'");
-    }
+    return *v;
   };
   ShardSpec shard;
   shard.index = as_int(text.substr(0, slash));
@@ -331,27 +330,23 @@ ScenarioMatrix ScenarioMatrix::parse(std::istream& is) {
       raise("campaign file line " + std::to_string(line_no) +
             ": trailing text after '" + value + "'");
 
+    // Checked full-consumption parsing (common/parse.h): partial values
+    // ("2x"), overflow ("1e999") and non-finite spellings ("inf", "nan")
+    // all produce the same structured parse error naming the line —
+    // a bad campaign file must never crash or silently misconfigure.
     const auto as_int = [&](const std::string& text) {
-      try {
-        std::size_t used = 0;
-        const int v = std::stoi(text, &used);
-        HMPT_REQUIRE(used == text.size(), "trailing text");
-        return v;
-      } catch (const std::exception&) {
+      const auto v = parse_int_strict(text);
+      if (!v)
         raise("campaign file line " + std::to_string(line_no) +
               ": not an integer: '" + text + "'");
-      }
+      return *v;
     };
     const auto as_double = [&](const std::string& text) {
-      try {
-        std::size_t used = 0;
-        const double v = std::stod(text, &used);
-        HMPT_REQUIRE(used == text.size(), "trailing text");
-        return v;
-      } catch (const std::exception&) {
+      const auto v = parse_double_strict(text);
+      if (!v)
         raise("campaign file line " + std::to_string(line_no) +
-              ": not a number: '" + text + "'");
-      }
+              ": not a finite number: '" + text + "'");
+      return *v;
     };
 
     if (directive == "workload") {

@@ -1,12 +1,11 @@
 #include "campaign/workload_registry.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "common/error.h"
+#include "common/parse.h"
 #include "common/units.h"
 #include "workloads/app_models.h"
 #include "workloads/pointer_chase.h"
@@ -61,26 +60,27 @@ double param_double(const WorkloadParams& params, const std::string& key,
                     double fallback) {
   const auto it = params.find(key);
   if (it == params.end()) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(it->second.c_str(), &end);
-  HMPT_REQUIRE(end != it->second.c_str() && *end == '\0' && errno != ERANGE,
-               "workload parameter " + key + ": not a number: '" +
-                   it->second + "'");
-  return value;
+  // Full consumption + finiteness (common/parse.h): "2x" must not
+  // silently truncate to 2, "1e999" must not overflow to infinity, and
+  // "inf"/"nan" are not meaningful sizes or scales. The error names the
+  // offending key so a campaign of hundreds of scenarios points at the
+  // exact field to fix.
+  const auto value = parse_double_strict(it->second);
+  if (!value)
+    raise("workload parameter '" + key + "': not a finite number: '" +
+          it->second + "'");
+  return *value;
 }
 
 int param_int(const WorkloadParams& params, const std::string& key,
               int fallback) {
   const auto it = params.find(key);
   if (it == params.end()) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(it->second.c_str(), &end, 10);
-  HMPT_REQUIRE(end != it->second.c_str() && *end == '\0' && errno != ERANGE,
-               "workload parameter " + key + ": not an integer: '" +
-                   it->second + "'");
-  return static_cast<int>(value);
+  const auto value = parse_int_strict(it->second);
+  if (!value)
+    raise("workload parameter '" + key + "': not an integer: '" +
+          it->second + "'");
+  return *value;
 }
 
 std::string param_string(const WorkloadParams& params, const std::string& key,

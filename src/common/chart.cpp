@@ -121,6 +121,145 @@ std::string render_xy_chart(const std::vector<ChartSeries>& series,
   return os.str();
 }
 
+namespace {
+
+/// Fixed-precision SVG coordinate/value spelling — snprintf, never
+/// locale-dependent streams, so identical inputs give identical bytes.
+std::string svg_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// A small colour-blind-friendly palette, cycled per series/bar.
+const char* svg_color(std::size_t index) {
+  static const char* kPalette[] = {"#2563eb", "#dc2626", "#059669",
+                                   "#d97706", "#7c3aed", "#0891b2"};
+  return kPalette[index % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+std::string svg_text(double x, double y, const std::string& anchor,
+                     const std::string& text, const char* extra = "") {
+  return "<text x=\"" + svg_num(x) + "\" y=\"" + svg_num(y) +
+         "\" text-anchor=\"" + anchor + "\"" + extra + ">" +
+         xml_escape(text) + "</text>\n";
+}
+
+}  // namespace
+
+std::string render_xy_chart_svg(const std::vector<ChartSeries>& series,
+                                const ChartOptions& options) {
+  // The ASCII grid size scaled to pixels, with fixed margins for ticks,
+  // title and labels.
+  const double plot_w = std::max(16, options.width) * 8.0;
+  const double plot_h = std::max(6, options.height) * 14.0;
+  const double left = 64.0, top = 28.0, right = 16.0, bottom = 48.0;
+  const double width = left + plot_w + right;
+  const double height = top + plot_h + bottom;
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    HMPT_REQUIRE(s.x.size() == s.y.size(), "series x/y size mismatch");
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  for (double v : options.hlines) yr.include(v);
+  if (options.x_min) xr.lo = *options.x_min;
+  if (options.x_max) xr.hi = *options.x_max;
+  if (options.y_min) yr.lo = *options.y_min;
+  if (options.y_max) yr.hi = *options.y_max;
+  xr.pad_if_degenerate();
+  yr.pad_if_degenerate();
+
+  const auto to_x = [&](double x) {
+    return left + (x - xr.lo) / (xr.hi - xr.lo) * plot_w;
+  };
+  const auto to_y = [&](double y) {
+    return top + plot_h - (y - yr.lo) / (yr.hi - yr.lo) * plot_h;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+     << svg_num(width) << " " << svg_num(height) << "\" width=\""
+     << svg_num(width) << "\" height=\"" << svg_num(height)
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  if (!options.title.empty())
+    os << svg_text(left + plot_w / 2.0, 16.0, "middle", options.title,
+                   " font-size=\"13\" font-weight=\"bold\"");
+
+  // Plot frame and four y gridline ticks.
+  os << "<rect x=\"" << svg_num(left) << "\" y=\"" << svg_num(top)
+     << "\" width=\"" << svg_num(plot_w) << "\" height=\"" << svg_num(plot_h)
+     << "\" fill=\"none\" stroke=\"#94a3b8\"/>\n";
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double value = yr.lo + (yr.hi - yr.lo) * tick / 4.0;
+    const double y = to_y(value);
+    if (tick != 0 && tick != 4)
+      os << "<line x1=\"" << svg_num(left) << "\" y1=\"" << svg_num(y)
+         << "\" x2=\"" << svg_num(left + plot_w) << "\" y2=\"" << svg_num(y)
+         << "\" stroke=\"#e2e8f0\"/>\n";
+    os << svg_text(left - 6.0, y + 4.0, "end", format_tick(value));
+  }
+  os << svg_text(left, top + plot_h + 16.0, "start", format_tick(xr.lo));
+  os << svg_text(left + plot_w, top + plot_h + 16.0, "end",
+                 format_tick(xr.hi));
+  if (!options.x_label.empty())
+    os << svg_text(left + plot_w / 2.0, top + plot_h + 34.0, "middle",
+                   options.x_label);
+  if (!options.y_label.empty())
+    os << "<text x=\"14\" y=\"" << svg_num(top + plot_h / 2.0)
+       << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+       << svg_num(top + plot_h / 2.0) << ")\">"
+       << xml_escape(options.y_label) << "</text>\n";
+
+  for (const double hline : options.hlines) {
+    const double y = to_y(hline);
+    os << "<line x1=\"" << svg_num(left) << "\" y1=\"" << svg_num(y)
+       << "\" x2=\"" << svg_num(left + plot_w) << "\" y2=\"" << svg_num(y)
+       << "\" stroke=\"#64748b\" stroke-dasharray=\"4 3\"/>\n";
+  }
+
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    const char* color = svg_color(i);
+    if (s.x.size() > 1) {
+      os << "<polyline fill=\"none\" stroke=\"" << color
+         << "\" stroke-width=\"1.5\" points=\"";
+      for (std::size_t p = 0; p < s.x.size(); ++p) {
+        if (p != 0) os << ' ';
+        os << svg_num(to_x(s.x[p])) << ',' << svg_num(to_y(s.y[p]));
+      }
+      os << "\"/>\n";
+    }
+    for (std::size_t p = 0; p < s.x.size(); ++p)
+      os << "<circle cx=\"" << svg_num(to_x(s.x[p])) << "\" cy=\""
+         << svg_num(to_y(s.y[p])) << "\" r=\"2.5\" fill=\"" << color
+         << "\"/>\n";
+    // Legend row, top-right inside the frame.
+    const double ly = top + 14.0 + 14.0 * static_cast<double>(i);
+    os << "<circle cx=\"" << svg_num(left + plot_w - 120.0) << "\" cy=\""
+       << svg_num(ly - 4.0) << "\" r=\"3\" fill=\"" << color << "\"/>\n";
+    os << svg_text(left + plot_w - 112.0, ly, "start", s.name);
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
 std::string render_bar_chart(const std::vector<BarItem>& items,
                              const std::string& title, int width,
                              double baseline) {
@@ -150,6 +289,61 @@ std::string render_bar_chart(const std::vector<BarItem>& items,
          << ' ' << format_tick(*it.secondary) << " (est)" << '\n';
     }
   }
+  return os.str();
+}
+
+std::string render_bar_chart_svg(const std::vector<BarItem>& items,
+                                 const std::string& title, double baseline) {
+  double max_v = baseline;
+  for (const auto& item : items) {
+    max_v = std::max(max_v, item.value);
+    if (item.secondary) max_v = std::max(max_v, *item.secondary);
+  }
+  if (max_v <= baseline) max_v = baseline + 1.0;
+
+  const double label_w = 180.0, bar_area = 420.0, value_w = 70.0;
+  const double row_h = 18.0, top = title.empty() ? 8.0 : 28.0;
+  double height = top + 8.0;
+  for (const auto& item : items)
+    height += row_h * (item.secondary ? 2.0 : 1.0);
+  const double width = label_w + bar_area + value_w;
+
+  const auto bar_len = [&](double v) {
+    const double t = (v - baseline) / (max_v - baseline);
+    return std::clamp(t, 0.0, 1.0) * bar_area;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+     << svg_num(width) << " " << svg_num(height) << "\" width=\""
+     << svg_num(width) << "\" height=\"" << svg_num(height)
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  if (!title.empty())
+    os << svg_text(width / 2.0, 16.0, "middle", title,
+                   " font-size=\"13\" font-weight=\"bold\"");
+
+  double y = top;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    const char* color = svg_color(i);
+    os << svg_text(label_w - 6.0, y + 13.0, "end", item.label);
+    os << "<rect x=\"" << svg_num(label_w) << "\" y=\"" << svg_num(y + 3.0)
+       << "\" width=\"" << svg_num(bar_len(item.value))
+       << "\" height=\"12\" fill=\"" << color << "\"/>\n";
+    os << svg_text(label_w + bar_len(item.value) + 6.0, y + 13.0, "start",
+                   format_tick(item.value));
+    y += row_h;
+    if (item.secondary) {
+      os << "<rect x=\"" << svg_num(label_w) << "\" y=\""
+         << svg_num(y + 3.0) << "\" width=\""
+         << svg_num(bar_len(*item.secondary))
+         << "\" height=\"12\" fill=\"none\" stroke=\"" << color << "\"/>\n";
+      os << svg_text(label_w + bar_len(*item.secondary) + 6.0, y + 13.0,
+                     "start", format_tick(*item.secondary) + " (est)");
+      y += row_h;
+    }
+  }
+  os << "</svg>\n";
   return os.str();
 }
 

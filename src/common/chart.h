@@ -49,4 +49,23 @@ std::string render_bar_chart(const std::vector<BarItem>& items,
                              const std::string& title, int width = 60,
                              double baseline = 0.0);
 
+// Inline-SVG twins of the two renderers above, consuming the same series
+// types so every figure the benches print has an HTML-embeddable form
+// (campaign reports use these). The output is one self-contained <svg>
+// element — no external assets, stylesheets or scripts — and is
+// deterministic for identical inputs, so report artefacts stay
+// byte-comparable across runs.
+
+/// Render scatter/line series as an <svg> element with axes, ticks,
+/// reference hlines and a legend. `options.width`/`height` are
+/// interpreted as the ASCII grid size and scaled to pixels.
+std::string render_xy_chart_svg(const std::vector<ChartSeries>& series,
+                                const ChartOptions& options);
+
+/// Render a labelled horizontal bar chart as an <svg> element; bars grow
+/// rightwards from `baseline` (secondary values draw as hollow bars).
+std::string render_bar_chart_svg(const std::vector<BarItem>& items,
+                                 const std::string& title,
+                                 double baseline = 0.0);
+
 }  // namespace hmpt

@@ -1,0 +1,54 @@
+// parse.h — strict, non-throwing numeric parsing shared by every layer
+// that consumes external text (campaign files, workload parameters, CLI
+// flags, shard specs).
+//
+// The std::stoi/std::stod family is the wrong tool for input validation:
+// it throws on garbage (turning one malformed field into an uncaught
+// crash unless every call site remembers its own try/catch), silently
+// accepts partial consumption unless the caller checks the index, and
+// happily returns "inf"/"nan" for fields where only finite values make
+// sense. These helpers return std::nullopt on anything that is not a
+// fully-consumed, in-range value, so call sites can emit one structured
+// error naming the offending field instead of crashing or truncating.
+#pragma once
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace hmpt {
+
+/// Parse a whole base-10 integer into `int`. nullopt unless the entire
+/// text is one integer within int range (no trailing characters, no
+/// overflow, no empty string).
+inline std::optional<int> parse_int_strict(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX)
+    return std::nullopt;
+  return static_cast<int>(value);
+}
+
+/// Parse a whole finite double. nullopt unless the entire text is one
+/// number (no trailing characters like "2x"), the magnitude is in range
+/// (no overflow to infinity), and the value is finite — "inf"/"nan"
+/// spellings parse as doubles but are rejected here, because every field
+/// these helpers guard (budgets, scales, timeouts) is meaningless
+/// non-finite.
+inline std::optional<double> parse_double_strict(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace hmpt

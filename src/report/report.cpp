@@ -1,0 +1,316 @@
+#include "report/report.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "campaign/aggregate.h"
+#include "campaign/outcome_store.h"
+#include "common/chart.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/outcome_io.h"
+#include "core/report.h"
+
+namespace hmpt::report {
+
+namespace fs = std::filesystem;
+using campaign::CampaignResult;
+using campaign::Scenario;
+using campaign::ScenarioRun;
+
+namespace {
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// The content address captured when the scenario ran (recomputed only
+/// for hand-built results), matching the aggregation layer.
+std::string fingerprint_of(const ScenarioRun& run) {
+  return run.fingerprint.empty() ? run.scenario.fingerprint()
+                                 : run.fingerprint;
+}
+
+std::string budget_text(const Scenario& s) {
+  std::string out = cell(s.budget_gb, 1);
+  for (const auto& [tier, gb] : s.tier_budgets_gb) {
+    out.append(";").append(std::to_string(tier));
+    out.append(":").append(cell(gb, 1));
+  }
+  return out;
+}
+
+/// Top-scenarios speedup bars (at most `limit` rows so a fleet-scale
+/// campaign keeps a readable chart; the table below holds everything).
+std::string speedup_bar_svg(const std::vector<const ScenarioRun*>& ranked,
+                            std::size_t limit) {
+  std::vector<BarItem> items;
+  for (std::size_t i = 0; i < ranked.size() && i < limit; ++i)
+    items.push_back(BarItem{ranked[i]->scenario.label(),
+                            ranked[i]->outcome.speedup, std::nullopt});
+  return render_bar_chart_svg(items, "Top scenarios by tuned speedup");
+}
+
+/// Speedup vs chosen-config HBM usage, one series per strategy — the
+/// report twin of the paper's summary-view scatters.
+std::string summary_scatter_svg(
+    const std::vector<const ScenarioRun*>& ranked) {
+  std::map<std::string, ChartSeries> by_strategy;
+  for (const ScenarioRun* run : ranked) {
+    ChartSeries& series = by_strategy[run->scenario.strategy];
+    series.name = run->scenario.strategy;
+    series.x.push_back(run->outcome.hbm_usage * 100.0);
+    series.y.push_back(run->outcome.speedup);
+  }
+  std::vector<ChartSeries> series;
+  for (auto& [name, s] : by_strategy) series.push_back(std::move(s));
+  ChartOptions options;
+  options.title = "Speedup vs chosen-config HBM usage";
+  options.x_label = "HBM usage of the chosen placement (%)";
+  options.y_label = "speedup";
+  options.x_min = 0.0;
+  options.hlines = {1.0};
+  return render_xy_chart_svg(series, options);
+}
+
+void append_kv_row(std::ostringstream& os, const std::string& key,
+                   const std::string& value) {
+  os << "<tr><th>" << html_escape(key) << "</th><td>" << html_escape(value)
+     << "</td></tr>\n";
+}
+
+// Styling and behaviour are embedded so the document is one file. The
+// script is plain DOM-API JavaScript: column sort on header click
+// (numeric when both cells parse, lexicographic otherwise) and
+// auto-opening the drill-down <details> a #fp-… link points at.
+constexpr const char* kStyle = R"css(
+body { font-family: sans-serif; margin: 2em auto; max-width: 72em;
+       padding: 0 1em; color: #0f172a; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 2em; }
+.meta { color: #475569; }
+table.sortable, table.failures { border-collapse: collapse; width: 100%;
+       font-size: 0.9em; }
+table.sortable th, table.failures th { cursor: pointer; text-align: left;
+       border-bottom: 2px solid #94a3b8; padding: 0.3em 0.6em;
+       white-space: nowrap; }
+table.failures th { cursor: default; }
+table.sortable td, table.failures td { border-bottom: 1px solid #e2e8f0;
+       padding: 0.25em 0.6em; }
+table.kv th { text-align: left; padding-right: 1em; color: #475569;
+       font-weight: normal; }
+details { margin: 0.4em 0; }
+details > summary { cursor: pointer; }
+details[open] { background: #f8fafc; padding: 0.4em;
+       border: 1px solid #e2e8f0; border-radius: 4px; }
+pre { background: #f1f5f9; padding: 0.6em; overflow-x: auto;
+      font-size: 0.85em; }
+code { font-family: monospace; }
+.charts svg { max-width: 100%; height: auto; margin: 0.5em 0; }
+)css";
+
+constexpr const char* kScript = R"js(
+document.querySelectorAll("table.sortable").forEach(function (table) {
+  var headers = table.tHead.rows[0].cells;
+  for (var i = 0; i < headers.length; i++) (function (idx, th) {
+    th.addEventListener("click", function () {
+      var body = table.tBodies[0];
+      var rows = Array.prototype.slice.call(body.rows);
+      var dir = th.dataset.dir === "asc" ? -1 : 1;
+      for (var j = 0; j < headers.length; j++) delete headers[j].dataset.dir;
+      th.dataset.dir = dir === 1 ? "asc" : "desc";
+      rows.sort(function (a, b) {
+        var x = a.cells[idx].textContent.trim();
+        var y = b.cells[idx].textContent.trim();
+        var nx = parseFloat(x), ny = parseFloat(y);
+        if (!isNaN(nx) && !isNaN(ny)) return dir * (nx - ny);
+        return dir * x.localeCompare(y);
+      });
+      rows.forEach(function (row) { body.appendChild(row); });
+    });
+  })(i, headers[i]);
+});
+function openTarget() {
+  if (!location.hash) return;
+  var target = document.getElementById(location.hash.slice(1));
+  if (target && target.tagName === "DETAILS") target.open = true;
+}
+window.addEventListener("hashchange", openTarget);
+openTarget();
+)js";
+
+}  // namespace
+
+CampaignResult load_store_result(const std::string& store_dir) {
+  const auto format = campaign::detect_store_format(store_dir);
+  if (!format)
+    raise("no outcome store at " + store_dir +
+          " (expected outcomes/ or outcomes.log)");
+  const campaign::OutcomeStore store(store_dir, *format);
+
+  CampaignResult result;
+  for (const auto& [fingerprint, bytes] : store.load_all_payloads()) {
+    ScenarioRun run;
+    try {
+      const Json doc = Json::parse(bytes);
+      run.scenario = Scenario::from_json(doc.at("scenario"));
+      run.outcome = tuner::outcome_from_json(doc.at("outcome"));
+    } catch (const std::exception& e) {
+      raise("corrupt outcome record " + fingerprint + " in " + store_dir +
+            ": " + e.what());
+    }
+    run.fingerprint = fingerprint;
+    run.status = ScenarioRun::Status::Cached;
+    ++result.cached;
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+std::string render_report_html(const CampaignResult& result,
+                               const std::string& title) {
+  const std::vector<const ScenarioRun*> ranked = campaign::ranked_runs(result);
+  std::vector<std::string> fingerprints;
+  for (const auto& run : result.runs)
+    fingerprints.push_back(fingerprint_of(run));
+  const std::string campaign_fp = campaign::campaign_fingerprint(fingerprints);
+  const std::string heading = title.empty() ? "hmpt campaign report" : title;
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">\n"
+     << "<title>" << html_escape(heading) << "</title>\n"
+     << "<style>" << kStyle << "</style>\n</head>\n<body>\n";
+
+  // ------------------------------------------------------------ headline
+  os << "<h1>" << html_escape(heading) << "</h1>\n";
+  os << "<p class=\"meta\">campaign <code>" << html_escape(campaign_fp)
+     << "</code> &middot; " << result.runs.size() << " scenario"
+     << (result.runs.size() == 1 ? "" : "s") << " &middot; "
+     << ranked.size() << " with outcome &middot; " << result.failed
+     << " failed";
+  if (!ranked.empty())
+    os << " &middot; best speedup " << cell(ranked[0]->outcome.speedup, 2)
+       << "x (<code>" << html_escape(fingerprint_of(*ranked[0]))
+       << "</code>)";
+  os << "</p>\n";
+
+  // -------------------------------------------------------------- charts
+  if (!ranked.empty()) {
+    os << "<div class=\"charts\">\n"
+       << speedup_bar_svg(ranked, 12) << "\n"
+       << summary_scatter_svg(ranked) << "</div>\n";
+  }
+
+  // -------------------------------------------------- ranked (sortable)
+  os << "<h2>Ranked scenarios</h2>\n"
+     << "<p class=\"meta\">Click a column header to sort; the fingerprint "
+        "links to the scenario drill-down.</p>\n"
+     << "<table class=\"sortable\">\n<thead><tr>"
+     << "<th>rank</th><th>scenario</th><th>workload</th><th>platform</th>"
+     << "<th>strategy</th><th>tiers</th><th>budget_gb</th><th>speedup</th>"
+     << "<th>chosen config</th><th>HBM usage</th><th>configs</th>"
+     << "<th>fingerprint</th></tr></thead>\n<tbody>\n";
+  int rank = 0;
+  for (const ScenarioRun* run : ranked) {
+    const auto& s = run->scenario;
+    const auto& o = run->outcome;
+    const std::string fp = fingerprint_of(*run);
+    os << "<tr><td>" << ++rank << "</td><td>" << html_escape(s.label())
+       << "</td><td>" << html_escape(s.workload.to_string()) << "</td><td>"
+       << html_escape(s.platform) << "</td><td>" << html_escape(s.strategy)
+       << "</td><td>" << s.tiers << "</td><td>"
+       << html_escape(budget_text(s)) << "</td><td>" << cell(o.speedup, 2)
+       << "x</td><td><code>"
+       << html_escape(
+              tuner::mask_label(o.chosen_mask, o.num_groups, o.num_tiers))
+       << "</code></td><td>" << html_escape(format_percent(o.hbm_usage))
+       << "</td><td>" << o.configs_measured << "</td><td><a href=\"#fp-"
+       << html_escape(fp) << "\"><code>" << html_escape(fp)
+       << "</code></a></td></tr>\n";
+  }
+  os << "</tbody>\n</table>\n";
+
+  // ------------------------------------------------------------ failures
+  if (result.failed > 0) {
+    os << "<h2>Failures</h2>\n<table class=\"failures\">\n"
+       << "<thead><tr><th>scenario</th><th>fingerprint</th><th>error</th>"
+       << "</tr></thead>\n<tbody>\n";
+    for (const auto& run : result.runs) {
+      if (run.status != ScenarioRun::Status::Failed) continue;
+      os << "<tr><td>" << html_escape(run.scenario.label())
+         << "</td><td><code>" << html_escape(fingerprint_of(run))
+         << "</code></td><td>" << html_escape(run.error) << "</td></tr>\n";
+    }
+    os << "</tbody>\n</table>\n";
+  }
+
+  // ----------------------------------------------------------- drill-down
+  os << "<h2>Scenario drill-down</h2>\n";
+  for (const ScenarioRun* run : ranked) {
+    const auto& s = run->scenario;
+    const auto& o = run->outcome;
+    const std::string fp = fingerprint_of(*run);
+    os << "<details id=\"fp-" << html_escape(fp) << "\"><summary><code>"
+       << html_escape(fp) << "</code> &mdash; " << html_escape(s.label())
+       << " &mdash; " << cell(o.speedup, 2) << "x</summary>\n"
+       << "<table class=\"kv\">\n";
+    append_kv_row(os, "workload", s.workload.to_string());
+    append_kv_row(os, "platform", s.platform);
+    append_kv_row(os, "strategy", s.strategy);
+    append_kv_row(os, "tiers", std::to_string(o.num_tiers));
+    append_kv_row(os, "budget_gb", budget_text(s));
+    append_kv_row(os, "repetitions", std::to_string(s.repetitions));
+    append_kv_row(os, "chosen config",
+                  tuner::mask_label(o.chosen_mask, o.num_groups,
+                                    o.num_tiers));
+    append_kv_row(os, "baseline time (s)", cell(o.baseline_time, 6));
+    append_kv_row(os, "chosen time (s)", cell(o.chosen_time, 6));
+    append_kv_row(os, "speedup", cell(o.speedup, 4));
+    append_kv_row(os, "HBM usage", format_percent(o.hbm_usage));
+    append_kv_row(os, "configs measured",
+                  std::to_string(o.configs_measured));
+    append_kv_row(os, "measurements", std::to_string(o.measurements));
+    os << "</table>\n<pre>" << html_escape(s.to_json().dump())
+       << "</pre>\n</details>\n";
+  }
+
+  os << "<script>" << kScript << "</script>\n</body>\n</html>\n";
+  return os.str();
+}
+
+std::string write_report(const CampaignResult& result,
+                         const std::string& output_dir,
+                         const std::string& title) {
+  const fs::path dir = fs::path(output_dir) / "report";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    raise("cannot create report dir " + dir.string() + ": " + ec.message());
+  const std::string path = (dir / "index.html").string();
+  const std::string html = render_report_html(result, title);
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) raise("cannot write " + path);
+  os << html;
+  os.flush();
+  if (!os.good()) raise("short write to " + path);
+  return path;
+}
+
+}  // namespace hmpt::report

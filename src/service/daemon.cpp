@@ -59,6 +59,7 @@ Daemon::Daemon(DaemonOptions options, ExecutionProvider* provider)
   scheduler_options.workers = options_.workers;
   scheduler_options.max_in_flight = options_.max_in_flight;
   scheduler_options.max_queue = options_.max_queue;
+  scheduler_options.max_latency_classes = options_.latency_classes;
   scheduler_options.retry = options_.retry;
   scheduler_ = std::make_unique<Scheduler>(
       *provider_, campaign::OutcomeStore(options_.store_dir),
@@ -281,6 +282,13 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& connection,
           classes.push_back(Json(std::move(cls)));
         }
         fields["classes"] = Json(std::move(classes));
+        // The class map is bounded (LRU); surface the cap and how many
+        // classes have been evicted so a capped `stats` view is visibly
+        // capped rather than silently incomplete.
+        fields["class_cap"] =
+            Json(static_cast<std::uint64_t>(latency.class_cap()));
+        fields["class_evictions"] =
+            Json(static_cast<std::uint64_t>(latency.evictions()));
         connection->send(ok_line(Op::Stats, std::move(fields)));
         break;
       }

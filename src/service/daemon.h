@@ -42,6 +42,8 @@ struct DaemonOptions {
   int max_in_flight = 256;            ///< per-client admission cap
   std::size_t max_queue = 4096;       ///< global queue capacity
   int measure_jobs = 1;               ///< simulator threads per scenario
+  /// Latency-store class-map bound (LRU past it; see latency_store.h).
+  std::size_t latency_classes = LatencyStore::kDefaultMaxClasses;
   /// Default failure model for every job (per-job submit overrides
   /// apply on top); the default is fail-fast (one attempt, no deadline).
   RetryPolicy retry;

@@ -2,16 +2,38 @@
 
 #include <algorithm>
 
+#include "common/error.h"
+
 namespace hmpt::service {
+
+LatencyStore::LatencyStore(std::size_t max_classes)
+    : max_classes_(max_classes) {
+  HMPT_REQUIRE(max_classes_ >= 1, "latency store needs max_classes >= 1");
+}
 
 void LatencyStore::record(const std::string& scenario_class,
                           double seconds) {
-  ConcurrentQuantileTracker* tracker = nullptr;
+  std::shared_ptr<ConcurrentQuantileTracker> tracker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tracker = &classes_[scenario_class];
+    auto [it, inserted] = classes_.try_emplace(scenario_class);
+    if (inserted)
+      it->second.tracker = std::make_shared<ConcurrentQuantileTracker>();
+    it->second.last_used = ++clock_;
+    tracker = it->second.tracker;
+    // Over the cap: drop the least-recently-recorded class (never the one
+    // just touched — its stamp is the freshest). Its history stays in
+    // overall_, which estimate_seconds falls back to.
+    while (classes_.size() > max_classes_) {
+      auto victim = classes_.begin();
+      for (auto walk = classes_.begin(); walk != classes_.end(); ++walk)
+        if (walk->second.last_used < victim->second.last_used) victim = walk;
+      classes_.erase(victim);
+      ++evictions_;
+    }
   }
-  // Map nodes are stable; the per-tracker lock serialises the adds.
+  // The shared_ptr keeps the tracker alive even if a concurrent record()
+  // just evicted the class; the per-tracker lock serialises the adds.
   tracker->add(seconds);
   overall_.add(seconds);
 }
@@ -20,13 +42,18 @@ std::vector<LatencyStore::ClassStats> LatencyStore::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ClassStats> out;
   out.reserve(classes_.size());
-  for (const auto& [name, tracker] : classes_)
-    out.push_back({name, tracker.snapshot()});
+  for (const auto& [name, entry] : classes_)
+    out.push_back({name, entry.tracker->snapshot()});
   return out;
 }
 
 ConcurrentQuantileTracker::Snapshot LatencyStore::overall() const {
   return overall_.snapshot();
+}
+
+std::size_t LatencyStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 double LatencyStore::estimate_seconds(
@@ -35,7 +62,7 @@ double LatencyStore::estimate_seconds(
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = classes_.find(scenario_class);
     if (it != classes_.end()) {
-      const auto snap = it->second.snapshot();
+      const auto snap = it->second.tracker->snapshot();
       if (snap.count > 0) return snap.p50;
     }
   }

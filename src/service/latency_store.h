@@ -6,9 +6,18 @@
 // p50/p95/p99, common/stats) per scenario class plus one overall tracker.
 // A scenario's class is its label() — workload/platform/strategy — which
 // groups exactly the scenarios whose run times are comparable.
+//
+// The class map itself is bounded: scenario classes are fingerprint-
+// derived and a long-running daemon fed a diverse campaign stream would
+// otherwise grow one tracker per class forever. At the cap the least-
+// recently-recorded class is evicted (its samples stay in the overall
+// tracker, which every estimate falls back to), and the cap plus the
+// running eviction count are exposed so `stats` makes the bound visible.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -19,24 +28,39 @@ namespace hmpt::service {
 
 class LatencyStore {
  public:
+  /// Default bound on tracked classes; generous for real campaigns (a
+  /// class is workload/platform/strategy, not a full fingerprint) while
+  /// keeping a hostile or highly diverse stream at O(1) memory.
+  static constexpr std::size_t kDefaultMaxClasses = 256;
+
   struct ClassStats {
     std::string scenario_class;
     ConcurrentQuantileTracker::Snapshot latency;
   };
 
+  /// `max_classes` must be >= 1; the cap is fixed for the store's life.
+  explicit LatencyStore(std::size_t max_classes = kDefaultMaxClasses);
+
   /// Record one completed execution (seconds of provider wall time).
-  /// Thread-safe; workers call this as jobs land.
+  /// Thread-safe; workers call this as jobs land. Recording a new class
+  /// beyond the cap evicts the least-recently-recorded one.
   void record(const std::string& scenario_class, double seconds);
 
-  /// Snapshot of every class seen so far, ordered by class name so the
+  /// Snapshot of every tracked class, ordered by class name so the
   /// `stats` response is deterministic for a given history.
   std::vector<ClassStats> snapshot() const;
 
-  /// Overall (all classes) latency snapshot.
+  /// Overall (all classes, evicted ones included) latency snapshot.
   ConcurrentQuantileTracker::Snapshot overall() const;
 
+  /// The class-map bound this store was built with.
+  std::size_t class_cap() const { return max_classes_; }
+  /// Classes evicted so far to stay under the cap.
+  std::size_t evictions() const;
+
   /// Expected seconds for one job of `scenario_class`: the class p50 when
-  /// the class has completions, else the overall p50, else 0 (no history).
+  /// the class is tracked with completions, else the overall p50, else 0
+  /// (no history). Evicted classes fall back to the overall tracker.
   double estimate_seconds(const std::string& scenario_class) const;
 
   /// Rough queue ETA: `backlog` jobs (queued + running) drained by
@@ -44,11 +68,22 @@ class LatencyStore {
   double eta_seconds(std::size_t backlog, int workers) const;
 
  private:
+  struct Entry {
+    // Behind a shared_ptr so record() can add outside the map lock (the
+    // tracker has its own mutex) while an eviction concurrently erases
+    // the map node.
+    std::shared_ptr<ConcurrentQuantileTracker> tracker;
+    std::uint64_t last_used = 0;  ///< LRU stamp (recording only)
+  };
+
   // ConcurrentQuantileTracker locks per tracker; this mutex only guards
-  // the map shape (class creation and snapshot iteration).
+  // the map shape (class creation, eviction, snapshot iteration).
   mutable std::mutex mutex_;
-  std::map<std::string, ConcurrentQuantileTracker> classes_;
+  std::map<std::string, Entry> classes_;
   ConcurrentQuantileTracker overall_;
+  const std::size_t max_classes_;
+  std::uint64_t clock_ = 0;      ///< monotonic LRU counter
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace hmpt::service

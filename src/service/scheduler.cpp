@@ -38,7 +38,8 @@ Scheduler::Scheduler(ExecutionProvider& provider,
                      campaign::OutcomeStore store, SchedulerOptions options)
     : provider_(provider),
       store_(std::move(store)),
-      options_(options) {
+      options_(options),
+      latency_(options_.max_latency_classes) {
   HMPT_REQUIRE(options_.workers >= 1, "scheduler needs >= 1 worker");
   HMPT_REQUIRE(options_.max_in_flight >= 1,
                "max_in_flight must be >= 1");

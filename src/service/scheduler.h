@@ -99,6 +99,10 @@ struct SchedulerOptions {
   int workers = 1;                  ///< bounded worker pool size (>= 1)
   int max_in_flight = 256;          ///< per-client incomplete-job cap
   std::size_t max_queue = 4096;     ///< global queued-job capacity
+  /// Latency-store class-map bound (LRU eviction past it; see
+  /// service/latency_store.h). Evicted classes fall back to the overall
+  /// tracker for ETA estimates.
+  std::size_t max_latency_classes = LatencyStore::kDefaultMaxClasses;
   /// The failure model every job runs under (see common/retry.h). The
   /// default is one attempt, no deadline — fail-fast, exactly the
   /// pre-retry behaviour.

@@ -1,6 +1,7 @@
-// End-to-end tests of the hmpt_campaign command-line tool and of
-// hmpt_analyze's campaign-backed flags (--json, --list-*). Both binary
-// paths come from CMake.
+// End-to-end tests of the hmpt_campaign / hmpt_merge / hmpt_report
+// command-line tools (both store formats, the shard/merge workflow and
+// the static HTML report) and of hmpt_analyze's campaign-backed flags
+// (--json, --list-*). All binary paths come from CMake.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -21,6 +22,9 @@ namespace {
 #endif
 #ifndef HMPT_MERGE_PATH
 #define HMPT_MERGE_PATH ""
+#endif
+#ifndef HMPT_REPORT_PATH
+#define HMPT_REPORT_PATH ""
 #endif
 #ifndef HMPT_ANALYZE_PATH
 #define HMPT_ANALYZE_PATH ""
@@ -50,6 +54,7 @@ class CampaignCliTest : public ::testing::Test {
     for (int i = 1; i <= 3; ++i)
       fs::remove_all(store_ + "-shard" + std::to_string(i));
     fs::remove_all(store_ + "-merged");
+    fs::remove_all(store_ + "-packed");
   }
 
   int run(const std::string& args) {
@@ -60,6 +65,12 @@ class CampaignCliTest : public ::testing::Test {
 
   int run_merge(const std::string& args) {
     const std::string cmd = std::string(HMPT_MERGE_PATH) + " " + args +
+                            " > " + out_ + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  int run_report(const std::string& args) {
+    const std::string cmd = std::string(HMPT_REPORT_PATH) + " " + args +
                             " > " + out_ + " 2>&1";
     return std::system(cmd.c_str());
   }
@@ -227,6 +238,90 @@ TEST_F(CampaignCliTest, ShardedRunsMergeToTheUnshardedArtifacts) {
   // A bad --shard spec on hmpt_campaign is a usage error too.
   EXPECT_EQ(WEXITSTATUS(run(matrix_flags() + " --shard 4/3")), 1);
   EXPECT_EQ(WEXITSTATUS(run(matrix_flags() + " --shard 0/0")), 1);
+}
+
+TEST_F(CampaignCliTest, PackedStoreAndHtmlReportEndToEnd) {
+  // Dir-format reference run (the default layout).
+  ASSERT_EQ(run(matrix_flags() + " --jobs 0 --quiet"), 0) << slurp(out_);
+  const std::string dir_csv = slurp(store_ + "/runs.csv");
+  const std::string dir_summary = slurp(store_ + "/summary.json");
+  ASSERT_FALSE(dir_csv.empty());
+
+  // The same campaign into a packed store, with the HTML report: one
+  // append-only log + index instead of 18 files, byte-identical
+  // artefacts.
+  const std::string packed = store_ + "-packed";
+  ASSERT_EQ(run(matrix_flags() + " --jobs 0 --quiet --store-format packed" +
+                " --report --out " + packed),
+            0)
+      << slurp(out_);
+  std::string out = slurp(out_);
+  EXPECT_NE(out.find("outcome store: " + packed + "/outcomes.log"),
+            std::string::npos)
+      << out;
+  EXPECT_TRUE(fs::exists(packed + "/outcomes.log"));
+  EXPECT_TRUE(fs::exists(packed + "/outcomes.idx"));
+  EXPECT_FALSE(fs::exists(packed + "/outcomes"));
+  EXPECT_EQ(slurp(packed + "/runs.csv"), dir_csv);
+  EXPECT_EQ(slurp(packed + "/summary.json"), dir_summary);
+
+  // --report wrote one self-contained document: inline charts, no
+  // external fetches, a drill-down anchor per scenario.
+  const std::string html = slurp(packed + "/report/index.html");
+  ASSERT_FALSE(html.empty());
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("id=\"fp-"), std::string::npos);
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+
+  // Resume against the packed store: zero executions, identical bytes.
+  ASSERT_EQ(run(matrix_flags() + " --jobs 0 --store-format packed" +
+                " --resume --out " + packed),
+            0)
+      << slurp(out_);
+  EXPECT_NE(slurp(out_).find("executed 0, cached 18, failed 0"),
+            std::string::npos)
+      << slurp(out_);
+  EXPECT_EQ(slurp(packed + "/runs.csv"), dir_csv);
+
+  // Pointing the default (dir) format at a packed store is refused with
+  // a hint instead of silently growing a second store alongside.
+  EXPECT_NE(run(matrix_flags() + " --resume --out " + packed), 0);
+  EXPECT_NE(slurp(out_).find("--store-format"), std::string::npos)
+      << slurp(out_);
+
+  // hmpt_merge reads the dir store and converts it to packed (the 1/1
+  // manifest makes a single store mergeable), reproducing the artefacts.
+  const std::string merged = store_ + "-merged";
+  ASSERT_EQ(run_merge("--out " + merged + " --store-format packed " +
+                      store_),
+            0)
+      << slurp(out_);
+  EXPECT_NE(slurp(out_).find("merged outcome store: " + merged +
+                             "/outcomes.log"),
+            std::string::npos)
+      << slurp(out_);
+  EXPECT_EQ(slurp(merged + "/runs.csv"), dir_csv);
+  EXPECT_EQ(slurp(merged + "/summary.json"), dir_summary);
+
+  // hmpt_report renders from a store alone, either format, and the two
+  // documents agree byte for byte (fingerprint-ordered reconstruction).
+  ASSERT_EQ(run_report(packed), 0) << slurp(out_);
+  ASSERT_EQ(run_report(store_), 0) << slurp(out_);
+  const std::string from_packed = slurp(packed + "/report/index.html");
+  const std::string from_dir = slurp(store_ + "/report/index.html");
+  ASSERT_FALSE(from_dir.empty());
+  EXPECT_EQ(from_dir, from_packed);
+
+  // Errors: no store is a report failure (2); bad usage is 1.
+  EXPECT_EQ(WEXITSTATUS(run_report("/tmp/hmpt_cli_no_store_here")), 2);
+  EXPECT_NE(slurp(out_).find("report failed"), std::string::npos)
+      << slurp(out_);
+  EXPECT_EQ(WEXITSTATUS(run_report("")), 1);
+  EXPECT_EQ(WEXITSTATUS(run(matrix_flags() + " --store-format sqlite")), 1);
+  EXPECT_EQ(WEXITSTATUS(run_merge("--out " + merged + " --store-format " +
+                                  "sqlite " + store_)),
+            1);
 }
 
 // ----------------------------------------------- hmpt_analyze satellites

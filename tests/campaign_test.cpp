@@ -1,6 +1,8 @@
 // Tests for the campaign engine: workload registry, scenario matrix +
-// fingerprints, outcome JSON round trips, the on-disk outcome store and
-// the resumable CampaignRunner.
+// fingerprints, outcome JSON round trips, the on-disk outcome store in
+// both layouts (one-file-per-outcome dir and packed append-only log,
+// including torn-tail crash recovery), the resumable CampaignRunner and
+// the static HTML report.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +19,7 @@
 #include "campaign/platforms.h"
 #include "core/outcome_io.h"
 #include "core/session.h"
+#include "report/report.h"
 #include "workloads/app_models.h"
 #include "workloads/trace_io.h"
 
@@ -307,6 +310,81 @@ TEST(ScenarioMatrixTest, ParsesTheCampaignFileFormat) {
   EXPECT_THROW(ScenarioMatrix::load("/nonexistent/file.campaign"), Error);
 }
 
+/// The Error text a callable raises; empty when it does not throw.
+std::string error_text_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ScenarioMatrixTest, MalformedNumbersFailWithLineNumberedErrors) {
+  // Partial consumption, overflow and non-finite spellings each used to
+  // slip through the std::stoi/std::stod family (or crash it); all must
+  // now raise one structured error naming the line and the bad token.
+  const auto tiers = error_text_of([] {
+    ScenarioMatrix::parse("workload mg\ntiers 2x\n");
+  });
+  EXPECT_NE(tiers.find("line 2"), std::string::npos) << tiers;
+  EXPECT_NE(tiers.find("not an integer: '2x'"), std::string::npos) << tiers;
+
+  const auto budget = error_text_of([] {
+    ScenarioMatrix::parse("budget-gb inf\n");
+  });
+  EXPECT_NE(budget.find("line 1"), std::string::npos) << budget;
+  EXPECT_NE(budget.find("not a finite number: 'inf'"), std::string::npos)
+      << budget;
+
+  EXPECT_NE(error_text_of([] { ScenarioMatrix::parse("budget-gb nan\n"); })
+                .find("not a finite number"),
+            std::string::npos);
+  EXPECT_NE(error_text_of([] { ScenarioMatrix::parse("budget-gb 1e999\n"); })
+                .find("not a finite number"),
+            std::string::npos);
+  EXPECT_NE(error_text_of([] {
+              ScenarioMatrix::parse("reps 99999999999999999999\n");
+            }).find("not an integer"),
+            std::string::npos);
+  EXPECT_NE(error_text_of([] { ScenarioMatrix::parse("top-k 3.5\n"); })
+                .find("not an integer"),
+            std::string::npos);
+  EXPECT_NE(error_text_of([] {
+              ScenarioMatrix::parse("tier-budget-gb 2:4x\n");
+            }).find("not a finite number"),
+            std::string::npos);
+}
+
+TEST(WorkloadRegistryTest, MalformedParametersNameTheOffendingKey) {
+  auto sim = sim::MachineSimulator::paper_platform();
+  auto& registry = WorkloadRegistry::instance();
+
+  // strtod used to accept "2x" (partial consumption) and "inf"/"nan"
+  // (non-finite array sizes); now every spelling fails with an error
+  // naming the parameter so a campaign author can find the typo.
+  const auto partial = error_text_of([&] {
+    registry.create("stream", sim, {{"array_gb", "2x"}});
+  });
+  EXPECT_NE(partial.find("'array_gb'"), std::string::npos) << partial;
+  EXPECT_NE(partial.find("not a finite number: '2x'"), std::string::npos)
+      << partial;
+
+  for (const char* bad : {"inf", "-inf", "nan", "1e999", ""})
+    EXPECT_NE(error_text_of([&] {
+                registry.create("stream", sim, {{"array_gb", bad}});
+              }).find("not a finite number"),
+              std::string::npos)
+        << bad;
+
+  const auto fractional = error_text_of([&] {
+    registry.create("stream", sim, {{"iterations", "3.5"}});
+  });
+  EXPECT_NE(fractional.find("'iterations'"), std::string::npos) << fractional;
+  EXPECT_NE(fractional.find("not an integer: '3.5'"), std::string::npos)
+      << fractional;
+}
+
 // ---------------------------------------------------- outcome round trips
 
 TEST(OutcomeIoTest, OutcomeJsonRoundTripsForEveryStrategy) {
@@ -479,6 +557,219 @@ TEST(OutcomeStoreTest, ConflictingSaveForSameFingerprintThrows) {
   EXPECT_EQ(json_of(*loaded), json_of(outcome));
 }
 
+// ------------------------------------------------------------ packed store
+
+class PackedStoreTest : public ::testing::Test {
+ protected:
+  static Scenario scenario_with_reps(int reps) {
+    Scenario s;
+    s.workload = parse_workload_spec("mg");
+    s.platform = "xeon-max";
+    s.strategy = "estimator";
+    s.repetitions = reps;
+    return s;
+  }
+  static std::uintmax_t log_size(const std::string& dir) {
+    return fs::file_size(fs::path(dir) / "outcomes.log");
+  }
+};
+
+TEST_F(PackedStoreTest, SavesLoadsAndMatchesTheDirFormatRecordForRecord) {
+  StoreDir dir("hmpt_packed_basic");
+  StoreDir twin("hmpt_packed_basic_twin");
+  const OutcomeStore packed(dir.path(), StoreFormat::Packed);
+  const OutcomeStore plain(twin.path(), StoreFormat::Dir);
+  EXPECT_EQ(packed.format(), StoreFormat::Packed);
+
+  const auto s1 = scenario_with_reps(1);
+  const auto s2 = scenario_with_reps(2);
+  EXPECT_FALSE(packed.contains(s1));
+  EXPECT_EQ(packed.load(s1), std::nullopt);
+
+  const auto o1 = CampaignRunner::execute(s1);
+  const auto o2 = CampaignRunner::execute(s2);
+  for (const auto* store : {&packed, &plain}) {
+    store->save(s1, o1);
+    store->save(s2, o2);
+  }
+  EXPECT_TRUE(packed.contains(s1));
+  EXPECT_TRUE(packed.contains(s2));
+  const auto loaded = packed.load_by_fingerprint(s1.fingerprint());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(json_of(*loaded), json_of(o1));
+
+  // The payload bytes — the merge/report currency — are format-
+  // independent: both stores hold the identical record set.
+  EXPECT_EQ(packed.load_all_payloads(), plain.load_all_payloads());
+  ASSERT_EQ(packed.load_all_payloads().size(), 2u);
+
+  // Identical re-save is a silent no-op: no appended record.
+  const auto size_before = log_size(dir.path());
+  packed.save(s1, o1);
+  EXPECT_EQ(log_size(dir.path()), size_before);
+
+  // Conflicting bytes for a stored fingerprint fail loudly, first write
+  // wins.
+  auto tampered = o1;
+  tampered.speedup += 1.0;
+  EXPECT_THROW(packed.save(s1, tampered), Error);
+  EXPECT_EQ(json_of(*packed.load(s1)), json_of(o1));
+
+  // path_for is a dir-format concept; the packed store refuses it.
+  EXPECT_THROW(packed.path_for(s1), Error);
+}
+
+TEST_F(PackedStoreTest, DetectsFormatsAndRefusesAMismatchedOpen) {
+  StoreDir dir("hmpt_packed_detect");
+  // No store yet: nothing to detect, open_existing falls back to dir.
+  EXPECT_EQ(detect_store_format(dir.path()), std::nullopt);
+  EXPECT_EQ(OutcomeStore::open_existing(dir.path()).format(),
+            StoreFormat::Dir);
+
+  const auto s = scenario_with_reps(1);
+  {
+    const OutcomeStore packed(dir.path(), StoreFormat::Packed);
+    packed.save(s, CampaignRunner::execute(s));
+  }
+  EXPECT_EQ(detect_store_format(dir.path()), StoreFormat::Packed);
+  // open_existing picks the on-disk format; an explicit wrong format is
+  // refused with a pointer at --store-format instead of a second store
+  // silently growing next to the first.
+  EXPECT_TRUE(OutcomeStore::open_existing(dir.path()).contains(s));
+  EXPECT_THROW(OutcomeStore(dir.path(), StoreFormat::Dir), Error);
+
+  StoreDir plain_dir("hmpt_dir_detect");
+  {
+    const OutcomeStore plain(plain_dir.path(), StoreFormat::Dir);
+    plain.save(s, CampaignRunner::execute(s));
+  }
+  EXPECT_EQ(detect_store_format(plain_dir.path()), StoreFormat::Dir);
+  EXPECT_TRUE(OutcomeStore::open_existing(plain_dir.path()).contains(s));
+  EXPECT_THROW(OutcomeStore(plain_dir.path(), StoreFormat::Packed), Error);
+
+  EXPECT_EQ(store_format_from("dir"), StoreFormat::Dir);
+  EXPECT_EQ(store_format_from("packed"), StoreFormat::Packed);
+  EXPECT_THROW(store_format_from("sqlite"), Error);
+}
+
+TEST_F(PackedStoreTest, TornTailIsSkippedOnLoadAndRepairedByReexecution) {
+  StoreDir dir("hmpt_packed_torn");
+  const auto s1 = scenario_with_reps(1);
+  const auto s2 = scenario_with_reps(2);
+  const auto o1 = CampaignRunner::execute(s1);
+  const auto o2 = CampaignRunner::execute(s2);
+
+  std::uintmax_t size_after_first = 0;
+  {
+    const OutcomeStore store(dir.path(), StoreFormat::Packed);
+    store.save(s1, o1);
+    size_after_first = log_size(dir.path());
+    store.save(s2, o2);
+  }
+
+  // Crash mid-append: the second record's frame is half on disk. A
+  // reader must keep every record before the tear and treat the torn
+  // fingerprint as a miss — never abort, never trust garbage.
+  fs::resize_file(fs::path(dir.path()) / "outcomes.log",
+                  size_after_first + 17);
+  {
+    const OutcomeStore store = OutcomeStore::open_existing(dir.path());
+    EXPECT_TRUE(store.contains(s1));
+    EXPECT_FALSE(store.contains(s2));
+    EXPECT_EQ(json_of(*store.load(s1)), json_of(o1));
+    EXPECT_EQ(store.load(s2), std::nullopt);
+    ASSERT_EQ(store.load_all_payloads().size(), 1u);
+
+    // Re-execution (what --resume does for a missing fingerprint) repairs
+    // the store: the torn bytes are truncated away and the record lands
+    // whole.
+    store.save(s2, o2);
+    EXPECT_EQ(json_of(*store.load(s2)), json_of(o2));
+  }
+  // The repaired log parses cleanly from scratch, index or not.
+  const OutcomeStore reread = OutcomeStore::open_existing(dir.path());
+  EXPECT_EQ(reread.load_all_payloads().size(), 2u);
+  EXPECT_EQ(json_of(*reread.load(s1)), json_of(o1));
+}
+
+TEST_F(PackedStoreTest, CorruptOrMissingIndexNeverChangesAnswers) {
+  StoreDir dir("hmpt_packed_idx");
+  const auto s1 = scenario_with_reps(1);
+  const auto s2 = scenario_with_reps(2);
+  const auto o1 = CampaignRunner::execute(s1);
+  const auto o2 = CampaignRunner::execute(s2);
+  {
+    const OutcomeStore store(dir.path(), StoreFormat::Packed);
+    store.save(s1, o1);
+    store.save(s2, o2);
+  }
+  const auto idx = fs::path(dir.path()) / "outcomes.idx";
+  ASSERT_TRUE(fs::exists(idx));
+
+  // The index is a disposable cache; garbage in it must be ignored in
+  // favour of a log scan.
+  {
+    std::ofstream os(idx, std::ios::binary);
+    os << "zzzz not an index\n";
+  }
+  {
+    const OutcomeStore store = OutcomeStore::open_existing(dir.path());
+    EXPECT_EQ(json_of(*store.load(s1)), json_of(o1));
+    EXPECT_EQ(json_of(*store.load(s2)), json_of(o2));
+  }
+
+  // An index pointing at the wrong offset is caught by per-record
+  // verification and answered from a rescan, not by returning the wrong
+  // scenario's bytes.
+  {
+    std::ofstream os(idx, std::ios::binary);
+    os << s2.fingerprint() << " 0 10\n";
+  }
+  {
+    const OutcomeStore store = OutcomeStore::open_existing(dir.path());
+    EXPECT_EQ(json_of(*store.load(s2)), json_of(o2));
+  }
+
+  // Deleting it entirely is also fine; the next save writes a fresh one.
+  fs::remove(idx);
+  {
+    const OutcomeStore store = OutcomeStore::open_existing(dir.path());
+    EXPECT_EQ(store.load_all_payloads().size(), 2u);
+    const auto s3 = scenario_with_reps(3);
+    store.save(s3, CampaignRunner::execute(s3));
+    EXPECT_TRUE(fs::exists(idx));
+    EXPECT_EQ(store.load_all_payloads().size(), 3u);
+  }
+}
+
+TEST_F(PackedStoreTest, DamagedRecordIsSupersededNotConflicting) {
+  StoreDir dir("hmpt_packed_damaged");
+  const auto s = scenario_with_reps(1);
+  const auto o = CampaignRunner::execute(s);
+
+  // A frame-intact record whose payload is garbage (the packed analogue
+  // of the dir store's quarantined file): loads miss, and a clean save
+  // appends the honest record instead of raising a determinism conflict.
+  fs::create_directories(dir.path());
+  {
+    std::ofstream os(fs::path(dir.path()) / "outcomes.log",
+                     std::ios::binary);
+    os << "hmpt1 " << s.fingerprint() << " 9\nnot json!\n";
+  }
+  const OutcomeStore store = OutcomeStore::open_existing(dir.path());
+  EXPECT_EQ(store.load(s), std::nullopt);
+  EXPECT_TRUE(store.load_all_payloads().empty());
+
+  store.save(s, o);
+  EXPECT_EQ(json_of(*store.load(s)), json_of(o));
+  ASSERT_EQ(store.load_all_payloads().size(), 1u);
+
+  // A *well-formed* conflicting outcome is still a loud failure.
+  auto conflicting = o;
+  conflicting.speedup += 1.0;
+  EXPECT_THROW(store.save(s, conflicting), Error);
+}
+
 // ----------------------------------------------------------------- runner
 
 class CampaignRunnerTest : public ::testing::Test {
@@ -602,6 +893,96 @@ TEST_F(CampaignRunnerTest, ErrorPolicyKeepGoingVsFailFast) {
 
   options.keep_going = false;
   EXPECT_THROW(CampaignRunner(options).run({bad, good}), Error);
+}
+
+TEST_F(CampaignRunnerTest, PackedStoreReproducesDirArtifactsAndResumes) {
+  StoreDir dir_plain("hmpt_campaign_dirfmt");
+  StoreDir dir_packed("hmpt_campaign_packedfmt");
+  const auto scenario_list = scenarios();
+
+  CampaignOptions plain;
+  plain.output_dir = dir_plain.path();
+  plain.scenario_jobs = 4;
+  CampaignOptions packed = plain;
+  packed.output_dir = dir_packed.path();
+  packed.store_format = StoreFormat::Packed;
+
+  // Same campaign, either store layout: the deterministic artefacts are
+  // byte-identical — the format is an implementation detail of the store.
+  const auto a = CampaignRunner(plain).run(scenario_list);
+  const auto b = CampaignRunner(packed).run(scenario_list);
+  EXPECT_EQ(runs_table(a).to_csv(), runs_table(b).to_csv());
+  EXPECT_EQ(summary_json(a).dump(), summary_json(b).dump());
+  EXPECT_TRUE(fs::exists(fs::path(dir_packed.path()) / "outcomes.log"));
+  EXPECT_FALSE(fs::exists(fs::path(dir_packed.path()) / "outcomes"));
+
+  // Resume against the packed store: zero executions, all served from
+  // the log.
+  packed.resume = true;
+  const auto warm = CampaignRunner(packed).run(scenario_list);
+  EXPECT_EQ(warm.executed, 0);
+  EXPECT_EQ(warm.cached, static_cast<int>(scenario_list.size()));
+  EXPECT_EQ(runs_table(warm).to_csv(), runs_table(a).to_csv());
+}
+
+// ------------------------------------------------------------------ report
+
+TEST_F(CampaignRunnerTest, HtmlReportIsSelfContainedAndStoreDerivable) {
+  StoreDir dir("hmpt_campaign_report");
+  CampaignOptions options;
+  options.output_dir = dir.path();
+  options.store_format = StoreFormat::Packed;
+  options.scenario_jobs = 4;
+  const auto scenario_list = scenarios();
+  const auto result = CampaignRunner(options).run(scenario_list);
+  ASSERT_TRUE(result.ok());
+
+  const auto html = report::render_report_html(result);
+  // One self-contained document: inline SVG charts and inline script,
+  // nothing fetched from anywhere.
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<script>"), std::string::npos);
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("@import"), std::string::npos);
+
+  // The campaign fingerprint headline and one drill-down per run.
+  std::vector<std::string> fingerprints;
+  for (const auto& run : result.runs)
+    fingerprints.push_back(run.scenario.fingerprint());
+  EXPECT_NE(html.find(campaign_fingerprint(fingerprints)),
+            std::string::npos);
+  for (const auto& run : result.runs)
+    EXPECT_NE(html.find("id=\"fp-" + run.scenario.fingerprint() + "\""),
+              std::string::npos);
+
+  // Rendering is deterministic, and write_report publishes exactly those
+  // bytes at <out>/report/index.html.
+  EXPECT_EQ(report::render_report_html(result), html);
+  const auto path = report::write_report(result, dir.path());
+  EXPECT_EQ(path,
+            (fs::path(dir.path()) / "report" / "index.html").string());
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream written;
+  written << is.rdbuf();
+  EXPECT_EQ(written.str(), html);
+
+  // The store alone reconstructs the same ranked view: every record
+  // carries its scenario, so a report needs no campaign file.
+  const auto from_store = report::load_store_result(dir.path());
+  ASSERT_EQ(from_store.runs.size(), scenario_list.size());
+  const auto ranked_a = ranked_runs(result);
+  const auto ranked_b = ranked_runs(from_store);
+  ASSERT_EQ(ranked_a.size(), ranked_b.size());
+  for (std::size_t i = 0; i < ranked_a.size(); ++i) {
+    EXPECT_EQ(ranked_a[i]->scenario.fingerprint(),
+              ranked_b[i]->scenario.fingerprint());
+    EXPECT_EQ(json_of(ranked_a[i]->outcome), json_of(ranked_b[i]->outcome));
+  }
+
+  // No store, no report.
+  StoreDir empty("hmpt_report_empty");
+  EXPECT_THROW(report::load_store_result(empty.path()), Error);
 }
 
 }  // namespace

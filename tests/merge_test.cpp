@@ -2,7 +2,9 @@
 // partition disjointness/coverage on fuzzed matrices, shard-manifest
 // round trips, merge validation (campaign fingerprint, shard count,
 // coverage), conflicting-outcome detection, and the headline guarantee —
-// N merged shards reproduce the unsharded artefacts byte for byte.
+// N merged shards reproduce the unsharded artefacts byte for byte, in
+// either store layout (dir or packed) and across lossless dir<->packed
+// conversions.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -250,10 +252,12 @@ class MergeTest : public ::testing::Test {
   static CampaignResult run_shard(const std::vector<Scenario>& full,
                                   const ShardSpec& shard,
                                   const std::string& dir,
-                                  bool keep_going = false) {
+                                  bool keep_going = false,
+                                  StoreFormat format = StoreFormat::Dir) {
     CampaignOptions options;
     options.output_dir = dir;
     options.keep_going = keep_going;
+    options.store_format = format;
     const auto result =
         CampaignRunner(options).run(shard_scenarios(full, shard));
     make_manifest(full, shard, result).save(dir);
@@ -313,6 +317,140 @@ TEST_F(MergeTest, ThreeShardsReproduceUnshardedArtifactsByteForByte) {
             slurp(whole.output_dir + "/runs.csv"));
   EXPECT_EQ(slurp(root.path() + "/regen/summary.json"),
             slurp(whole.output_dir + "/summary.json"));
+}
+
+TEST_F(MergeTest, MixedFormatShardsMergeIntoEitherFormatLosslessly) {
+  TempDir root("hmpt_merge_formats");
+  const auto full = scenarios();
+
+  // Unsharded dir-format reference.
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  const auto cold = CampaignRunner(whole).run(full);
+  ASSERT_TRUE(cold.ok());
+  write_artifacts(cold, whole.output_dir);
+
+  // Shards in a mix of store layouts, as a fleet with hosts on different
+  // versions would produce them; auto-detection makes the mix invisible.
+  const StoreFormat shard_formats[] = {StoreFormat::Packed, StoreFormat::Dir,
+                                       StoreFormat::Packed};
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 3; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 3}, shard_dirs.back(), false,
+                          shard_formats[i - 1])
+                    .ok());
+  }
+
+  // Merge the same shards into both output layouts.
+  for (const auto format : {StoreFormat::Dir, StoreFormat::Packed}) {
+    const std::string out =
+        root.path() + (format == StoreFormat::Dir ? "/merged-dir"
+                                                  : "/merged-packed");
+    MergeStats stats;
+    const auto merged = merge_shards(shard_dirs, out, &stats, format);
+    EXPECT_EQ(stats.outcomes_merged, static_cast<int>(full.size()));
+    write_artifacts(merged, out);
+    // Byte-identical artefacts regardless of any store layout involved.
+    EXPECT_EQ(slurp(out + "/runs.csv"),
+              slurp(whole.output_dir + "/runs.csv"));
+    EXPECT_EQ(slurp(out + "/summary.json"),
+              slurp(whole.output_dir + "/summary.json"));
+  }
+  EXPECT_TRUE(fs::exists(root.path() + "/merged-packed/outcomes.log"));
+
+  // Lossless cross-conversion: both outputs and the reference store hold
+  // the identical record set, byte for byte.
+  const auto reference =
+      OutcomeStore::open_existing(whole.output_dir).load_all_payloads();
+  ASSERT_EQ(reference.size(), full.size());
+  EXPECT_EQ(OutcomeStore::open_existing(root.path() + "/merged-dir")
+                .load_all_payloads(),
+            reference);
+  EXPECT_EQ(OutcomeStore::open_existing(root.path() + "/merged-packed")
+                .load_all_payloads(),
+            reference);
+}
+
+TEST_F(MergeTest, ThousandScenarioSyntheticTwinsMergeByteIdentically) {
+  TempDir root("hmpt_merge_thousand");
+
+  // A 1000-scenario campaign with synthetic (but well-formed) outcomes:
+  // big enough to exercise the packed index and bulk-load paths, cheap
+  // enough for a unit test because nothing is actually tuned.
+  std::vector<Scenario> full;
+  for (int i = 0; i < 1000; ++i) {
+    Scenario s;
+    s.workload = parse_workload_spec("mg");
+    s.platform = "xeon-max";
+    s.strategy = "estimator";
+    s.repetitions = i + 1;  // 1000 distinct fingerprints
+    full.push_back(s);
+  }
+
+  const OutcomeStore dir_twin(root.path() + "/dir", StoreFormat::Dir);
+  const OutcomeStore packed_twin(root.path() + "/packed",
+                                 StoreFormat::Packed);
+  CampaignResult result;
+  for (int i = 0; i < 1000; ++i) {
+    const auto& s = full[static_cast<std::size_t>(i)];
+    tuner::TuningOutcome o;
+    o.strategy = s.strategy;
+    o.workload = s.workload.name;
+    o.num_groups = 1 + i % 5;
+    o.num_tiers = 2;
+    o.chosen_mask = static_cast<unsigned>(i % 31);
+    o.baseline_time = 10.0;
+    o.chosen_time = 10.0 / (1.0 + (i % 97) / 31.0);
+    o.speedup = 1.0 + (i % 97) / 31.0;
+    o.hbm_bytes = static_cast<double>(i) * 1e6;
+    o.hbm_usage = (i % 100) / 100.0;
+    o.configs_measured = 1 + i % 7;
+    dir_twin.save(s, o);
+    packed_twin.save(s, o);
+
+    ScenarioRun run;
+    run.scenario = s;
+    run.fingerprint = s.fingerprint();
+    run.status = ScenarioRun::Status::Executed;
+    run.outcome = o;
+    result.runs.push_back(std::move(run));
+    ++result.executed;
+  }
+  make_manifest(full, {1, 1}, result).save(root.path() + "/dir");
+  make_manifest(full, {1, 1}, result).save(root.path() + "/packed");
+
+  // Cross-convert each twin through the merge path.
+  const auto from_dir = merge_shards({root.path() + "/dir"},
+                                     root.path() + "/dir-to-packed", nullptr,
+                                     StoreFormat::Packed);
+  const auto from_packed = merge_shards({root.path() + "/packed"},
+                                        root.path() + "/packed-to-dir",
+                                        nullptr, StoreFormat::Dir);
+
+  // The converted packed log is byte-identical to the natively written
+  // one (same records, same campaign order, same framing), and every
+  // converted dir file matches its native twin.
+  EXPECT_EQ(slurp(root.path() + "/dir-to-packed/outcomes.log"),
+            slurp(root.path() + "/packed/outcomes.log"));
+  for (const auto& s : full) {
+    const std::string name = "/outcomes/" + s.fingerprint() + ".json";
+    EXPECT_EQ(slurp(root.path() + "/packed-to-dir" + name),
+              slurp(root.path() + "/dir" + name));
+  }
+
+  // And the artefacts derived from either side agree byte for byte.
+  write_artifacts(from_dir, root.path() + "/dir-to-packed");
+  write_artifacts(from_packed, root.path() + "/packed-to-dir");
+  EXPECT_EQ(slurp(root.path() + "/dir-to-packed/runs.csv"),
+            slurp(root.path() + "/packed-to-dir/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/dir-to-packed/summary.json"),
+            slurp(root.path() + "/packed-to-dir/summary.json"));
+  ASSERT_EQ(from_dir.runs.size(), 1000u);
+  EXPECT_EQ(OutcomeStore::open_existing(root.path() + "/dir-to-packed")
+                .load_all_payloads(),
+            OutcomeStore::open_existing(root.path() + "/packed-to-dir")
+                .load_all_payloads());
 }
 
 TEST_F(MergeTest, ValidatesManifestsBeforeTouchingAnything) {

@@ -574,6 +574,63 @@ TEST(LatencyStoreTest, RecordsClassesAndEstimates) {
   EXPECT_GT(store.eta_seconds(5, 2), eta);  // ceil(5/2) = 3 waves
 }
 
+TEST(LatencyStoreTest, CapEvictsLeastRecentlyRecordedClass) {
+  LatencyStore store(2);
+  EXPECT_EQ(store.class_cap(), 2u);
+  store.record("a", 1.0);
+  store.record("b", 2.0);
+  store.record("a", 1.0);  // refresh a: b becomes least recent
+  EXPECT_EQ(store.evictions(), 0u);
+
+  store.record("c", 3.0);  // over the cap: evicts b
+  EXPECT_EQ(store.evictions(), 1u);
+  auto classes = store.snapshot();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].scenario_class, "a");
+  EXPECT_EQ(classes[1].scenario_class, "c");
+
+  // The evicted class estimates from the overall tracker, where its
+  // samples stay counted.
+  EXPECT_NEAR(store.estimate_seconds("b"), store.overall().p50, 1e-9);
+  EXPECT_EQ(store.overall().count, 4u);
+
+  // Re-recording an evicted class re-admits it (evicting the new LRU, a).
+  store.record("b", 2.0);
+  EXPECT_EQ(store.evictions(), 2u);
+  classes = store.snapshot();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].scenario_class, "b");
+  EXPECT_EQ(classes[1].scenario_class, "c");
+}
+
+TEST(SchedulerTest, LatencyClassCapHoldsUnderADiverseJobStream) {
+  StoreDir dir("hmpt_sched_latency_cap");
+  SimulatorProvider provider;
+  SchedulerOptions options;
+  options.max_latency_classes = 1;
+  Scheduler scheduler(provider, campaign::OutcomeStore(dir.path()),
+                      options);
+  scheduler.start();
+  const auto client = scheduler.new_client();
+
+  auto estimator = scenario_with_reps(1);
+  auto online = scenario_with_reps(1);
+  online.strategy = "online";  // a second scenario class
+  scheduler.submit(client, estimator);
+  scheduler.wait(estimator.fingerprint());
+  scheduler.submit(client, online);
+  scheduler.wait(online.fingerprint());
+
+  const auto& latency = scheduler.latency();
+  EXPECT_EQ(latency.class_cap(), 1u);
+  EXPECT_EQ(latency.evictions(), 1u);
+  const auto classes = latency.snapshot();
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].scenario_class, online.label());
+  // The evicted class's sample still informs overall/ETA estimates.
+  EXPECT_EQ(latency.overall().count, 2u);
+}
+
 // ------------------------------------------------------------------ daemon
 
 /// A blocking NDJSON test client over the daemon's real socket.

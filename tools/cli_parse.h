@@ -1,49 +1,35 @@
 // cli_parse.h — strict numeric flag parsing shared by the hmpt CLIs.
 //
-// Both tools reject garbage ("--reps abc") and out-of-range values with
-// exit 1 after printing their usage text, instead of silently
-// misconfiguring the run via atoi()-style truncation. `usage` is the
-// tool's usage printer, invoked before exiting.
+// All tools reject garbage ("--reps abc"), partial values ("--reps 3x"),
+// and out-of-range or non-finite values ("--budget-gb inf") with exit 1
+// after printing their usage text, instead of silently misconfiguring the
+// run via atoi()-style truncation. The validation itself is
+// common/parse.h — the same checked full-consumption parsing the campaign
+// file and workload-parameter paths use — so the CLI and the library
+// cannot drift apart on what counts as a number. `usage` is the tool's
+// usage printer, invoked before exiting.
 #pragma once
 
-#include <cerrno>
-#include <climits>
-#include <cmath>
-#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
+
+#include "common/parse.h"
 
 namespace hmpt::cli {
 
 inline int parse_int(const std::string& flag, const char* text,
                      const std::function<void()>& usage) {
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0') {
-    std::cerr << flag << ": not an integer: '" << text << "'\n";
-  } else if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
-    std::cerr << flag << ": out of range: '" << text << "'\n";
-  } else {
-    return static_cast<int>(value);
-  }
+  if (const auto value = hmpt::parse_int_strict(text)) return *value;
+  std::cerr << flag << ": not an integer: '" << text << "'\n";
   usage();
   std::exit(1);
 }
 
 inline double parse_double(const std::string& flag, const char* text,
                            const std::function<void()>& usage) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text, &end);
-  if (end == text || *end != '\0') {
-    std::cerr << flag << ": not a number: '" << text << "'\n";
-  } else if (errno == ERANGE || !std::isfinite(value)) {
-    std::cerr << flag << ": out of range: '" << text << "'\n";
-  } else {
-    return value;
-  }
+  if (const auto value = hmpt::parse_double_strict(text)) return *value;
+  std::cerr << flag << ": not a finite number: '" << text << "'\n";
   usage();
   std::exit(1);
 }

@@ -9,8 +9,9 @@
 //                 [--workload NAME[:k=v,...]]... [--platform NAME]...
 //                 [--strategy NAME]... [--tiers K]... [--budget-gb N]...
 //                 [--tier-budget-gb T:N]... [--reps N] [--top-k N]
-//                 [--out DIR] [--shard I/N] [--resume] [--dry-run]
-//                 [--keep-going] [--jobs N] [--measure-jobs N]
+//                 [--out DIR] [--store-format dir|packed] [--shard I/N]
+//                 [--resume] [--dry-run] [--keep-going] [--report]
+//                 [--jobs N] [--measure-jobs N]
 //                 [--retries N] [--scenario-timeout S] [--quiet]
 //                 [--list-workloads] [--list-platforms]
 //
@@ -43,6 +44,7 @@
 #include "campaign/platforms.h"
 #include "cli_parse.h"
 #include "common/units.h"
+#include "report/report.h"
 #include "version.h"
 
 namespace {
@@ -69,6 +71,10 @@ void usage(const char* argv0) {
       << "                             (default 3)\n"
       << "  --out DIR                  outcome store + artefacts (default\n"
       << "                             campaign-out)\n"
+      << "  --store-format dir|packed  outcome store layout: one JSON file\n"
+      << "                             per scenario (dir, default) or one\n"
+      << "                             append-only outcomes.log + index\n"
+      << "                             for fleet-scale campaigns\n"
       << "  --shard I/N                run the I-th of N deterministic\n"
       << "                             slices of the campaign (1-based;\n"
       << "                             merge the stores with hmpt_merge)\n"
@@ -76,6 +82,8 @@ void usage(const char* argv0) {
       << "  --dry-run                  print the scenario plan, run nothing\n"
       << "  --keep-going               record failures and continue\n"
       << "                             (default: fail fast)\n"
+      << "  --report                   also write a self-contained HTML\n"
+      << "                             report to <out>/report/index.html\n"
       << "  --jobs N                   concurrent scenarios (N >= 0;\n"
       << "                             0 = all hardware threads; default 1)\n"
       << "  --measure-jobs N           measurement threads per scenario\n"
@@ -109,6 +117,7 @@ int main(int argc, char** argv) {
   int reps = -1;    // -1 = not set on the command line
   int top_k = -1;
   bool quiet = false;
+  bool write_html_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +158,15 @@ int main(int argc, char** argv) {
     else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
     else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
     else if (arg == "--out") options.output_dir = next();
+    else if (arg == "--store-format") {
+      try {
+        options.store_format = campaign::store_format_from(next());
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    }
     else if (arg == "--shard") {
       try {
         shard = campaign::parse_shard_spec(next());
@@ -161,6 +179,7 @@ int main(int argc, char** argv) {
     else if (arg == "--resume") options.resume = true;
     else if (arg == "--dry-run") options.dry_run = true;
     else if (arg == "--keep-going") options.keep_going = true;
+    else if (arg == "--report") write_html_report = true;
     else if (arg == "--jobs")
       options.scenario_jobs = parse_int(argv[0], arg, next());
     else if (arg == "--measure-jobs")
@@ -301,8 +320,14 @@ int main(int argc, char** argv) {
     std::cout << "wrote "
               << campaign::ShardManifest::path_in(options.output_dir)
               << "\n";
+    if (write_html_report)
+      std::cout << "wrote " << report::write_report(result, options.output_dir)
+                << "\n";
     std::cout << "outcome store: " << runner.store().directory()
-              << "/outcomes/\n";
+              << (runner.store().format() == campaign::StoreFormat::Packed
+                      ? "/outcomes.log"
+                      : "/outcomes/")
+              << "\n";
     return result.ok() ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "campaign failed: " << e.what() << '\n';

@@ -4,15 +4,19 @@
 // directories, validates their shard.manifest.json files against one
 // another (same campaign fingerprint, shard count and scenario order;
 // indices exactly 1..N; disjoint slices covering the campaign), unions
-// the content-addressed outcome files into the output store — failing
+// the content-addressed outcome records into the output store — failing
 // loudly when two stores hold different outcomes for the same
 // fingerprint — and writes runs.csv / summary.json byte-for-byte
 // identical to what an unsharded run of the same campaign writes:
 //
-//   hmpt_merge --out DIR SHARD_DIR [SHARD_DIR...] [--quiet]
+//   hmpt_merge --out DIR SHARD_DIR [SHARD_DIR...]
+//              [--store-format dir|packed] [--report] [--quiet]
 //
+// Each shard store may be dir- or packed-format (auto-detected per
+// directory, mixes welcome); --store-format picks the output layout
+// independently, so a merge doubles as a lossless format conversion.
 // An unsharded store (hmpt_campaign writes a 1/1 manifest) merges too, so
-// "merge one store into a fresh directory" doubles as artefact
+// "merge one store into a fresh directory" also serves as artefact
 // regeneration from outcomes alone.
 //
 // Exit codes: 0 success (even when shards recorded failed scenarios —
@@ -25,6 +29,7 @@
 
 #include "campaign/aggregate.h"
 #include "campaign/merge.h"
+#include "report/report.h"
 #include "version.h"
 
 namespace {
@@ -32,8 +37,14 @@ namespace {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " --out DIR SHARD_DIR [SHARD_DIR...]\n"
-      << "  --out DIR   merged outcome store + artefacts (required)\n"
-      << "  --quiet     only print errors and the artefact paths\n"
+      << "  --out DIR                  merged outcome store + artefacts\n"
+      << "                             (required)\n"
+      << "  --store-format dir|packed  merged store layout (default dir);\n"
+      << "                             shards of either format merge into\n"
+      << "                             either, losslessly\n"
+      << "  --report                   also write report/index.html\n"
+      << "  --quiet                    only print errors and the artefact\n"
+      << "                             paths\n"
       << "\n"
       << "Each SHARD_DIR is the --out directory of one `hmpt_campaign\n"
       << "--shard i/N` run (it must contain shard.manifest.json). All N\n"
@@ -48,7 +59,9 @@ int main(int argc, char** argv) {
 
   std::string output_dir;
   std::vector<std::string> shard_dirs;
+  campaign::StoreFormat output_format = campaign::StoreFormat::Dir;
   bool quiet = false;
+  bool write_html_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,6 +71,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       output_dir = argv[++i];
+    } else if (arg == "--store-format") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 1;
+      }
+      try {
+        output_format = campaign::store_format_from(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    } else if (arg == "--report") {
+      write_html_report = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--version") {
@@ -82,7 +109,7 @@ int main(int argc, char** argv) {
   try {
     campaign::MergeStats stats;
     const auto result = campaign::merge_shards(shard_dirs, output_dir,
-                                               &stats);
+                                               &stats, output_format);
     const auto paths = campaign::write_artifacts(result, output_dir);
 
     if (!quiet) {
@@ -95,7 +122,14 @@ int main(int argc, char** argv) {
                 << campaign::ranked_table(result).to_text() << "\n";
     }
     for (const auto& path : paths) std::cout << "wrote " << path << "\n";
-    std::cout << "merged outcome store: " << output_dir << "/outcomes/\n";
+    if (write_html_report)
+      std::cout << "wrote " << report::write_report(result, output_dir)
+                << "\n";
+    std::cout << "merged outcome store: " << output_dir
+              << (output_format == campaign::StoreFormat::Packed
+                      ? "/outcomes.log"
+                      : "/outcomes/")
+              << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "merge failed: " << e.what() << '\n';

@@ -1,0 +1,102 @@
+// hmpt_report — static HTML report from a campaign outcome store.
+//
+// Reconstructs a campaign result from an outcome store directory alone
+// (dir or packed format, auto-detected; every stored record carries its
+// full scenario, so no campaign file or manifest is needed) and writes
+// one self-contained `report/index.html` with inline-SVG charts, a
+// ranked sortable scenario table and a per-scenario drill-down keyed by
+// fingerprint:
+//
+//   hmpt_report STORE_DIR [--out DIR] [--title TEXT] [--quiet]
+//
+// --out defaults to STORE_DIR, so the report lands next to the
+// runs.csv/summary.json artefacts of the campaign that produced the
+// store. The document needs no network, scripts or fonts — it renders
+// from a file:// URL or a CI artifact download as-is.
+//
+// Exit codes: 0 success, 1 bad usage, 2 report failure (no outcome
+// store at STORE_DIR, unreadable records, unwritable output).
+#include <iostream>
+#include <string>
+
+#include "report/report.h"
+#include "version.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " STORE_DIR [options]\n"
+      << "  --out DIR     write DIR/report/index.html (default STORE_DIR)\n"
+      << "  --title TEXT  page heading (default derived from the campaign)\n"
+      << "  --quiet       only print errors\n"
+      << "\n"
+      << "STORE_DIR is the --out directory of an hmpt_campaign or\n"
+      << "hmpt_merge run (dir- or packed-format outcome store, detected\n"
+      << "automatically).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmpt;
+
+  std::string store_dir;
+  std::string output_dir;
+  std::string title;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 1;
+      }
+      output_dir = argv[++i];
+    } else if (arg == "--title") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 1;
+      }
+      title = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--version") {
+      hmpt::cli::print_version("hmpt_report");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    } else if (store_dir.empty()) {
+      store_dir = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (store_dir.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (output_dir.empty()) output_dir = store_dir;
+
+  try {
+    const auto result = report::load_store_result(store_dir);
+    const auto path = report::write_report(result, output_dir, title);
+    if (!quiet)
+      std::cout << result.runs.size() << " scenario"
+                << (result.runs.size() == 1 ? "" : "s") << " from "
+                << store_dir << "\n";
+    std::cout << "wrote " << path << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "report failed: " << e.what() << '\n';
+    return 2;
+  }
+}

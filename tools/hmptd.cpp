@@ -10,8 +10,8 @@
 //
 //   hmptd (--socket PATH | --port N) [--host ADDR] [--workers N]
 //         [--store DIR] [--max-in-flight N] [--max-queue N]
-//         [--measure-jobs N] [--retries N] [--job-timeout S]
-//         [--journal PATH] [--fault-spec SPEC] [--quiet]
+//         [--measure-jobs N] [--latency-classes N] [--retries N]
+//         [--job-timeout S] [--journal PATH] [--fault-spec SPEC] [--quiet]
 //
 // Fault tolerance: --retries/--job-timeout set the default failure model
 // (per-job submit fields override), --journal makes acked submits
@@ -48,6 +48,9 @@ void usage(const char* argv0) {
       << "  --max-in-flight N   per-client incomplete-job cap (default 256)\n"
       << "  --max-queue N       global queued-job capacity (default 4096)\n"
       << "  --measure-jobs N    measurement threads per scenario (default 1)\n"
+      << "  --latency-classes N latency-store class-map bound (default 256;\n"
+      << "                      least-recently-recorded class evicted past\n"
+      << "                      it, falling back to the overall tracker)\n"
       << "  --retries N         retries per job after the first attempt\n"
       << "                      (default 0 = fail fast)\n"
       << "  --job-timeout S     per-attempt deadline in seconds\n"
@@ -108,6 +111,15 @@ int main(int argc, char** argv) {
       options.max_queue = static_cast<std::size_t>(queue);
     }
     else if (arg == "--measure-jobs") options.measure_jobs = parse(next());
+    else if (arg == "--latency-classes") {
+      const int classes = parse(next());
+      if (classes < 1) {
+        std::cerr << "--latency-classes must be >= 1\n";
+        usage(argv[0]);
+        return 1;
+      }
+      options.latency_classes = static_cast<std::size_t>(classes);
+    }
     else if (arg == "--retries") retries = parse(next());
     else if (arg == "--job-timeout")
       job_timeout_s =
