@@ -9,6 +9,8 @@
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hmpt::campaign {
 
@@ -90,8 +92,20 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
     run.scenario = scenarios[i];
     run.fingerprint = run.scenario.fingerprint();
 
+    // The whole scenario — cache probe, attempts, store write — as one
+    // span; the closing args record how it ended. Purely observational:
+    // disarmed this is four no-op calls, and armed it touches nothing
+    // the outcome or the artefacts derive from.
+    obs::TraceSpan span("campaign", "scenario");
+    span.arg("fingerprint", run.fingerprint);
+    span.arg("label", run.scenario.label());
+    static obs::Counter& scenarios_finished =
+        obs::metrics().counter("campaign.scenarios");
+    scenarios_finished.add();
+
     if (options_.dry_run) {
       run.status = ScenarioRun::Status::Planned;
+      span.arg("status", "planned");
       finish(i, std::move(run));
       return;
     }
@@ -100,6 +114,7 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
         if (auto cached = store_.load(run.scenario)) {
           run.status = ScenarioRun::Status::Cached;
           run.outcome = std::move(*cached);
+          span.arg("status", "cached");
           finish(i, std::move(run));
           return;
         }
@@ -115,6 +130,8 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
       const auto attempted = attempt_with_retries(
           policy, stream_of(run.fingerprint),
           [&](const CancelToken& token) {
+            obs::TraceSpan attempt_span("campaign", "attempt");
+            attempt_span.arg("fingerprint", run.fingerprint);
             token.check();
             auto outcome = execute(run.scenario, options_.measure_jobs);
             store_.save(run.scenario, outcome);
@@ -122,9 +139,11 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
           });
       run.seconds = seconds_since(start);
       run.attempts = attempted.attempt_count();
+      span.arg_number("attempts", static_cast<std::uint64_t>(run.attempts));
       if (attempted.ok()) {
         run.outcome = std::move(*attempted.value);
         run.status = ScenarioRun::Status::Executed;
+        span.arg("status", "executed");
       } else if (attempted.attempts.size() == 1) {
         raise(attempted.attempts.front().error);
       } else {
@@ -135,6 +154,7 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios,
       if (!options_.keep_going) throw;  // the pool rethrows to the caller
       run.status = ScenarioRun::Status::Failed;
       run.error = e.what();
+      span.arg("status", "failed");
     }
     finish(i, std::move(run));
   };

@@ -347,4 +347,78 @@ std::string render_bar_chart_svg(const std::vector<BarItem>& items,
   return os.str();
 }
 
+std::string render_timeline_svg(const std::vector<TimelineItem>& items,
+                                const std::string& title,
+                                const std::string& unit) {
+  // Lanes in first-appearance order; the axis runs from 0 to the latest
+  // end so concurrent bars line up across lanes.
+  std::vector<std::string> lanes;
+  const auto lane_of = [&](const std::string& lane) {
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      if (lanes[i] == lane) return i;
+    lanes.push_back(lane);
+    return lanes.size() - 1;
+  };
+  double max_t = 0.0;
+  std::vector<std::size_t> rows;
+  rows.reserve(items.size());
+  for (const auto& item : items) {
+    rows.push_back(lane_of(item.lane));
+    max_t = std::max(max_t, item.end);
+  }
+  if (max_t <= 0.0) max_t = 1.0;
+
+  const double label_w = 140.0, bar_area = 560.0;
+  const double row_h = 22.0, top = title.empty() ? 8.0 : 28.0;
+  const double height = top + row_h * static_cast<double>(lanes.size()) +
+                        24.0;  // axis labels
+  const double width = label_w + bar_area + 12.0;
+  const auto to_x = [&](double t) {
+    return label_w + std::clamp(t / max_t, 0.0, 1.0) * bar_area;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 "
+     << svg_num(width) << " " << svg_num(height) << "\" width=\""
+     << svg_num(width) << "\" height=\"" << svg_num(height)
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  if (!title.empty())
+    os << svg_text(width / 2.0, 16.0, "middle", title,
+                   " font-size=\"13\" font-weight=\"bold\"");
+
+  // Lane labels and separators.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const double y = top + row_h * static_cast<double>(i);
+    os << svg_text(label_w - 6.0, y + 15.0, "end", lanes[i]);
+    os << "<line x1=\"" << svg_num(label_w) << "\" y1=\"" << svg_num(y)
+       << "\" x2=\"" << svg_num(label_w + bar_area) << "\" y2=\""
+       << svg_num(y) << "\" stroke=\"#e5e7eb\"/>\n";
+  }
+  const double axis_y = top + row_h * static_cast<double>(lanes.size());
+  os << "<line x1=\"" << svg_num(label_w) << "\" y1=\"" << svg_num(axis_y)
+     << "\" x2=\"" << svg_num(label_w + bar_area) << "\" y2=\""
+     << svg_num(axis_y) << "\" stroke=\"#9ca3af\"/>\n";
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double t = max_t * tick / 4.0;
+    os << svg_text(to_x(t), axis_y + 16.0, tick == 0 ? "start" : "end",
+                   format_tick(t) + " " + unit);
+  }
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    const double y = top + row_h * static_cast<double>(rows[i]) + 4.0;
+    const double x0 = to_x(item.start);
+    // A sub-pixel span still draws a visible sliver.
+    const double w = std::max(to_x(item.end) - x0, 1.0);
+    const std::string fill =
+        item.color.empty() ? svg_color(rows[i]) : item.color;
+    os << "<rect x=\"" << svg_num(x0) << "\" y=\"" << svg_num(y)
+       << "\" width=\"" << svg_num(w) << "\" height=\"14\" fill=\"" << fill
+       << "\" fill-opacity=\"0.85\"><title>" << xml_escape(item.label)
+       << "</title></rect>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
 }  // namespace hmpt

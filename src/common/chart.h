@@ -68,4 +68,23 @@ std::string render_bar_chart_svg(const std::vector<BarItem>& items,
                                  const std::string& title,
                                  double baseline = 0.0);
 
+/// One span bar on a timeline: [start, end) on a shared time axis (any
+/// unit — the caller labels it), drawn in the row of its `lane`.
+struct TimelineItem {
+  std::string label;  ///< bar caption (drawn beside the bar)
+  std::string lane;   ///< row grouping, e.g. a thread name
+  double start = 0.0;
+  double end = 0.0;
+  std::string color;  ///< CSS fill; empty = palette by lane
+};
+
+/// Render timeline items as an <svg> Gantt-style strip: one row per lane
+/// (first-appearance order), bars positioned proportionally on a shared
+/// axis from 0 to the latest end, axis ticks in the caller's time unit
+/// (`unit` is the tick suffix, e.g. "ms"). Deterministic for identical
+/// inputs, like the other SVG renderers.
+std::string render_timeline_svg(const std::vector<TimelineItem>& items,
+                                const std::string& title,
+                                const std::string& unit = "ms");
+
 }  // namespace hmpt

@@ -1,0 +1,31 @@
+#include "common/thread_name.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace hmpt {
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // The kernel caps names at 15 chars + NUL; longer names would make the
+  // call fail outright, so truncate instead.
+  char buf[16] = {};
+  name.copy(buf, sizeof(buf) - 1);
+  (void)pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
+
+std::string current_thread_name() {
+#if defined(__linux__)
+  char buf[64] = {};
+  if (pthread_getname_np(pthread_self(), buf, sizeof(buf)) != 0) return {};
+  return buf;
+#else
+  return {};
+#endif
+}
+
+}  // namespace hmpt

@@ -1,0 +1,21 @@
+// thread_name.h — best-effort OS-level thread naming.
+//
+// Worker and connection threads name themselves ("hmpt-worker-3",
+// "hmpt-conn-12") so traces, `top -H`, gdb and sanitizer reports
+// attribute work to the right lane instead of an anonymous TID. Naming
+// is purely diagnostic: failures are ignored and nothing downstream may
+// depend on a name being set.
+#pragma once
+
+#include <string>
+
+namespace hmpt {
+
+/// Name the calling thread (Linux pthread_setname_np; silently truncated
+/// to the kernel's 15-character limit, no-op where unsupported).
+void set_current_thread_name(const std::string& name);
+
+/// The calling thread's current name; empty when unavailable.
+std::string current_thread_name();
+
+}  // namespace hmpt

@@ -1,6 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/thread_name.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hmpt {
 
@@ -16,7 +21,12 @@ ThreadPool::ThreadPool(int threads) {
   // one: spawn jobs - 1 and let the calling thread be the last lane.
   workers_.reserve(static_cast<std::size_t>(jobs - 1));
   for (int i = 0; i < jobs - 1; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Best-effort: lets traces, `top -H` and sanitizer reports
+      // attribute work to a pool lane instead of an anonymous TID.
+      set_current_thread_name("hmpt-worker-" + std::to_string(i + 1));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -47,7 +57,11 @@ void ThreadPool::drain(Region& region) {
   for (;;) {
     const std::size_t i = region.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= region.count) return;
+    static obs::Counter& tasks = obs::metrics().counter("pool.tasks");
+    tasks.add();
     try {
+      obs::TraceSpan span("pool", "task");
+      span.arg_number("index", static_cast<std::uint64_t>(i));
       region.fn(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);

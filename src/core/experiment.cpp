@@ -6,8 +6,32 @@
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hmpt::tuner {
+
+namespace {
+
+/// Fold one timer's lifetime tallies into the process-wide cache metrics
+/// and (when tracing) mark them in the owning lane. Called when a timer
+/// retires — end of a serial enumeration or of a worker's chunk — so the
+/// counters see each hit exactly once.
+void note_timer_stats(const sim::CachedTraceTimer* timer) {
+  if (timer == nullptr) return;
+  const std::uint64_t hits = timer->hits();
+  const std::uint64_t misses = timer->misses();
+  static obs::Counter& hit_counter = obs::metrics().counter("timer.hits");
+  static obs::Counter& miss_counter = obs::metrics().counter("timer.misses");
+  hit_counter.add(hits);
+  miss_counter.add(misses);
+  if (!obs::trace_enabled()) return;
+  obs::trace_instant("experiment", "timer_cache",
+                     {obs::TraceArg::number("hits", hits),
+                      obs::TraceArg::number("misses", misses)});
+}
+
+}  // namespace
 
 const ConfigResult& SweepResult::of(ConfigMask mask) const {
   // Dense, mask-indexed tables (the runner's layout) resolve in O(1)...
@@ -110,6 +134,9 @@ std::vector<ConfigResult> ExperimentRunner::measure_batch(
   const TraceStats stats = trace_stats(trace, space.num_groups());
   std::vector<ConfigResult> results(masks.size());
 
+  obs::TraceSpan span("experiment", "measure_batch");
+  span.arg_number("masks", static_cast<std::uint64_t>(masks.size()));
+
   const int jobs = resolved_jobs();
   if (jobs <= 1 || masks.size() < 2) {
     std::optional<sim::CachedTraceTimer> timer;
@@ -118,6 +145,7 @@ std::vector<ConfigResult> ExperimentRunner::measure_batch(
       results[i] = measure_config(trace, stats, space, masks[i],
                                   baseline_time,
                                   timer ? &*timer : nullptr);
+    note_timer_stats(timer ? &*timer : nullptr);
     return results;
   }
 
@@ -129,6 +157,7 @@ std::vector<ConfigResult> ExperimentRunner::measure_batch(
       results[i] = measure_config(trace, stats, space, masks[i],
                                   baseline_time,
                                   timer ? &*timer : nullptr);
+    note_timer_stats(timer ? &*timer : nullptr);
   });
   return results;
 }
@@ -155,6 +184,10 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
       options_.gray_order ? space.gray_masks() : space.all_masks();
   const int jobs = resolved_jobs();
 
+  obs::TraceSpan span("experiment", "sweep");
+  span.arg_number("configs", static_cast<std::uint64_t>(masks.size()));
+  span.arg_number("jobs", static_cast<std::uint64_t>(jobs));
+
   if (jobs <= 1) {
     // Serial: one timer lives across the whole enumeration, so Gray order
     // re-times only the phases touching the flipped group.
@@ -175,6 +208,7 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
                                            sweep.baseline_time, t);
       if (on_config) on_config(sweep.configs[mask]);
     }
+    note_timer_stats(t);
     return sweep;
   }
 
@@ -201,6 +235,7 @@ SweepResult ExperimentRunner::sweep(const workloads::Workload& workload,
       sweep.configs[rest[i]] =
           measure_config(trace, stats, space, rest[i], sweep.baseline_time,
                          timer ? &*timer : nullptr);
+    note_timer_stats(timer ? &*timer : nullptr);
   });
 
   // Callbacks fire after the barrier, from this thread, in enumeration

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace hmpt::tuner {
 
@@ -109,6 +110,9 @@ Session& Session::progress(
 
 TuningOutcome Session::run() const {
   HMPT_REQUIRE(workload_ != nullptr, "session has no workload");
+  obs::TraceSpan span("session", "run");
+  span.arg("strategy", strategy_);
+  span.arg("workload", workload_->name());
   const auto strategy = make_strategy(strategy_);
 
   std::vector<double> bytes;

@@ -12,6 +12,7 @@
 #include "core/online.h"
 #include "core/planner.h"
 #include "core/report.h"
+#include "obs/trace.h"
 
 namespace hmpt::tuner {
 
@@ -169,18 +170,21 @@ TuningOutcome ExhaustiveStrategy::tune(
 
   const auto caps = resolved_caps(sim, budget, space.num_tiers());
   double best = 0.0;
-  SweepResult sweep =
-      runner.sweep(workload, space, [&](const ConfigResult& result) {
-        ++out.configs_measured;
-        const bool accepted =
-            fits_caps(space, result.mask, caps) && result.speedup > best;
-        if (accepted) best = result.speedup;
-        out.trajectory.push_back({out.configs_measured, result.mask,
-                                  result.mean_time, result.speedup,
-                                  accepted});
-        emit_progress(callbacks, name(), out.configs_measured, result.mask,
-                      result.mean_time, best);
-      });
+  SweepResult sweep = [&] {
+    obs::TraceSpan sweep_span("strategy", "sweep");
+    sweep_span.arg_number("configs",
+                          static_cast<std::uint64_t>(space.size()));
+    return runner.sweep(workload, space, [&](const ConfigResult& result) {
+      ++out.configs_measured;
+      const bool accepted =
+          fits_caps(space, result.mask, caps) && result.speedup > best;
+      if (accepted) best = result.speedup;
+      out.trajectory.push_back({out.configs_measured, result.mask,
+                                result.mean_time, result.speedup, accepted});
+      emit_progress(callbacks, name(), out.configs_measured, result.mask,
+                    result.mean_time, best);
+    });
+  }();
   out.measurements = out.configs_measured * budget.repetitions;
 
   const PlanChoice chosen =
@@ -245,7 +249,12 @@ TuningOutcome OnlineGreedyStrategy::tune(
   };
 
   OnlineTuner tuner(sim, ctx, options);
-  OnlineResult result = tuner.tune(workload, space);
+  OnlineResult result = [&] {
+    obs::TraceSpan search_span("strategy", "search");
+    search_span.arg_number("patience",
+                           static_cast<std::uint64_t>(options.patience));
+    return tuner.tune(workload, space);
+  }();
 
   out.chosen_mask = result.final_mask;
   out.chosen_time = result.final_time;
@@ -315,43 +324,60 @@ TuningOutcome EstimatorGuidedStrategy::tune(
   // estimator needs — group g alone in each non-DDR tier. The singles are
   // measured even when over budget — the fit needs them; only the chosen
   // placement must fit.
-  ConfigResult baseline = runner.measure(workload, space, 0, 0.0);
-  baseline.speedup = 1.0;
-  out.baseline_time = baseline.mean_time;
-  record(baseline);
-
   std::vector<ConfigMask> single_masks;
   for (int g = 0; g < n; ++g)
     for (int t = 1; t < tiers; ++t)
       single_masks.push_back(static_cast<ConfigMask>(t) *
                              config_place_value(g, tiers));
-  const auto single_results =
-      runner.measure_batch(workload, space, single_masks, out.baseline_time);
-  std::vector<double> singles(single_results.size(), 1.0);
-  for (std::size_t i = 0; i < single_results.size(); ++i) {
-    record(single_results[i]);
-    singles[i] = single_results[i].speedup;
+  std::vector<double> singles(single_masks.size(), 1.0);
+  {
+    obs::TraceSpan phase_span("strategy", "enumerate");
+    phase_span.arg_number("singles",
+                          static_cast<std::uint64_t>(single_masks.size()));
+    ConfigResult baseline = runner.measure(workload, space, 0, 0.0);
+    baseline.speedup = 1.0;
+    out.baseline_time = baseline.mean_time;
+    record(baseline);
+
+    const auto single_results = runner.measure_batch(
+        workload, space, single_masks, out.baseline_time);
+    for (std::size_t i = 0; i < single_results.size(); ++i) {
+      record(single_results[i]);
+      singles[i] = single_results[i].speedup;
+    }
   }
 
   // Phase 2: rank the unmeasured, budget-fitting configurations by the
   // linear estimate and measure only the top-k predicted.
-  const LinearEstimator estimator(singles, tiers);
-  std::vector<std::pair<double, ConfigMask>> ranked;
-  for (ConfigMask mask = 0; mask < space.size(); ++mask) {
-    if (measured[mask]) continue;
-    if (!fits_caps(space, mask, caps)) continue;
-    ranked.emplace_back(estimator.estimate(mask), mask);
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  const std::size_t k =
-      std::min<std::size_t>(static_cast<std::size_t>(budget.top_k),
-                            ranked.size());
   std::vector<ConfigMask> top_masks;
-  for (std::size_t i = 0; i < k; ++i) top_masks.push_back(ranked[i].second);
-  for (const auto& result :
-       runner.measure_batch(workload, space, top_masks, out.baseline_time))
-    record(result);
+  {
+    obs::TraceSpan phase_span("strategy", "estimate");
+    const LinearEstimator estimator(singles, tiers);
+    std::vector<std::pair<double, ConfigMask>> ranked;
+    for (ConfigMask mask = 0; mask < space.size(); ++mask) {
+      if (measured[mask]) continue;
+      if (!fits_caps(space, mask, caps)) continue;
+      ranked.emplace_back(estimator.estimate(mask), mask);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(budget.top_k),
+                              ranked.size());
+    for (std::size_t i = 0; i < k; ++i)
+      top_masks.push_back(ranked[i].second);
+    phase_span.arg_number("ranked",
+                          static_cast<std::uint64_t>(ranked.size()));
+    phase_span.arg_number("top_k", static_cast<std::uint64_t>(k));
+  }
+  {
+    obs::TraceSpan phase_span("strategy", "measure");
+    phase_span.arg_number("batch",
+                          static_cast<std::uint64_t>(top_masks.size()));
+    for (const auto& result : runner.measure_batch(workload, space, top_masks,
+                                                   out.baseline_time))
+      record(result);
+  }
 
   out.measurements = out.configs_measured * budget.repetitions;
   out.speedup = best;

@@ -94,6 +94,42 @@ void append_kv_row(std::ostringstream& os, const std::string& key,
      << "</td></tr>\n";
 }
 
+/// Span colour by terminal status, matching the palette the rest of the
+/// report uses; unknown statuses fall back to the per-lane palette.
+std::string status_color(const std::string& status) {
+  if (status == "executed") return "#059669";
+  if (status == "cached") return "#2563eb";
+  if (status == "failed") return "#dc2626";
+  if (status == "planned") return "#9ca3af";
+  return "";
+}
+
+/// The per-job timeline section: one Gantt strip of scenario spans per
+/// recording lane, coloured by how each scenario ended.
+std::string timeline_section(const TraceTimeline& timeline) {
+  std::vector<TimelineItem> items;
+  items.reserve(timeline.spans.size());
+  for (const auto& span : timeline.spans) {
+    TimelineItem item;
+    item.label = span.label.empty() ? span.fingerprint : span.label;
+    if (!span.status.empty()) item.label += " [" + span.status + "]";
+    item.lane = span.lane;
+    item.start = span.start_ms;
+    item.end = span.end_ms;
+    item.color = status_color(span.status);
+    items.push_back(std::move(item));
+  }
+  std::ostringstream os;
+  os << "<h2>Per-job timeline</h2>\n"
+     << "<p class=\"meta\">Scenario execution windows from the run's "
+        "trace, one row per worker lane; green executed, blue cached, "
+        "red failed. Hover a bar for the scenario.</p>\n"
+     << "<div class=\"charts\">\n"
+     << render_timeline_svg(items, "Scenario spans by worker lane", "ms")
+     << "</div>\n";
+  return os.str();
+}
+
 // Styling and behaviour are embedded so the document is one file. The
 // script is plain DOM-API JavaScript: column sort on header click
 // (numeric when both cells parse, lexicographic otherwise) and
@@ -155,6 +191,62 @@ openTarget();
 
 }  // namespace
 
+TraceTimeline load_trace_timeline(const std::string& trace_path) {
+  std::ifstream is(trace_path, std::ios::binary);
+  if (!is.good()) raise("cannot read trace file " + trace_path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+
+  // Thread-name metadata first, so spans can carry human lane names.
+  std::map<double, std::string> lane_names;  // tid -> name
+  const JsonArray& events = doc.at("traceEvents").as_array();
+  for (const Json& event : events) {
+    if (event.string_or("ph", "") != "M") continue;
+    if (event.string_or("name", "") != "thread_name") continue;
+    if (const Json* args = event.as_object().find("args"))
+      lane_names[event.number_or("tid", 0.0)] =
+          args->string_or("name", "");
+  }
+
+  // One open-B stack per lane: per-lane events are contiguous and
+  // timestamp-ordered in the recorder's output, so matching E events by
+  // stack discipline recovers exactly the spans that ran.
+  struct Open {
+    double ts_us = 0.0;
+  };
+  std::map<double, std::vector<Open>> open_by_tid;
+  TraceTimeline timeline;
+  for (const Json& event : events) {
+    const std::string ph = event.string_or("ph", "");
+    if (event.string_or("cat", "") != "campaign" ||
+        event.string_or("name", "") != "scenario")
+      continue;
+    const double tid = event.number_or("tid", 0.0);
+    if (ph == "B") {
+      open_by_tid[tid].push_back({event.number_or("ts", 0.0)});
+    } else if (ph == "E") {
+      auto& stack = open_by_tid[tid];
+      if (stack.empty()) continue;  // orphan close: ignore
+      TimelineSpan span;
+      span.start_ms = stack.back().ts_us / 1000.0;
+      span.end_ms = event.number_or("ts", 0.0) / 1000.0;
+      stack.pop_back();
+      if (const Json* args = event.as_object().find("args")) {
+        span.label = args->string_or("label", "");
+        span.fingerprint = args->string_or("fingerprint", "");
+        span.status = args->string_or("status", "");
+      }
+      const auto named = lane_names.find(tid);
+      span.lane = (named != lane_names.end() && !named->second.empty())
+                      ? named->second
+                      : "tid " + std::to_string(static_cast<int>(tid));
+      timeline.spans.push_back(std::move(span));
+    }
+  }
+  return timeline;
+}
+
 CampaignResult load_store_result(const std::string& store_dir) {
   const auto format = campaign::detect_store_format(store_dir);
   if (!format)
@@ -182,7 +274,8 @@ CampaignResult load_store_result(const std::string& store_dir) {
 }
 
 std::string render_report_html(const CampaignResult& result,
-                               const std::string& title) {
+                               const std::string& title,
+                               const TraceTimeline* timeline) {
   const std::vector<const ScenarioRun*> ranked = campaign::ranked_runs(result);
   std::vector<std::string> fingerprints;
   for (const auto& run : result.runs)
@@ -217,6 +310,12 @@ std::string render_report_html(const CampaignResult& result,
        << speedup_bar_svg(ranked, 12) << "\n"
        << summary_scatter_svg(ranked) << "</div>\n";
   }
+
+  // ------------------------------------------------------------ timeline
+  // Only when the caller ran with --trace and the trace recorded spans;
+  // reports without a trace render the exact pre-timeline document.
+  if (timeline != nullptr && !timeline->spans.empty())
+    os << timeline_section(*timeline);
 
   // -------------------------------------------------- ranked (sortable)
   os << "<h2>Ranked scenarios</h2>\n"
@@ -297,14 +396,15 @@ std::string render_report_html(const CampaignResult& result,
 
 std::string write_report(const CampaignResult& result,
                          const std::string& output_dir,
-                         const std::string& title) {
+                         const std::string& title,
+                         const TraceTimeline* timeline) {
   const fs::path dir = fs::path(output_dir) / "report";
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec)
     raise("cannot create report dir " + dir.string() + ": " + ec.message());
   const std::string path = (dir / "index.html").string();
-  const std::string html = render_report_html(result, title);
+  const std::string html = render_report_html(result, title, timeline);
   std::ofstream os(path, std::ios::binary);
   if (!os.good()) raise("cannot write " + path);
   os << html;

@@ -23,10 +23,34 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.h"
 
 namespace hmpt::report {
+
+/// One scenario's execution window, lifted from a Chrome trace-event
+/// file (obs/trace.h): the "campaign"/"scenario" span, with the label,
+/// fingerprint and terminal status its closing event carries.
+struct TimelineSpan {
+  std::string label;        ///< scenario label (workload/platform/...)
+  std::string fingerprint;
+  std::string status;       ///< "executed"/"cached"/"failed"/"planned"/""
+  std::string lane;         ///< recording thread's name, or "tid N"
+  double start_ms = 0.0;    ///< since trace arm time
+  double end_ms = 0.0;
+};
+
+/// Per-scenario spans recovered from one trace file, in lane order then
+/// start order (the order the trace stores them).
+struct TraceTimeline {
+  std::vector<TimelineSpan> spans;
+};
+
+/// Parse a --trace output file and extract the per-scenario timeline.
+/// Unbalanced or foreign events are ignored; an unreadable or malformed
+/// file throws hmpt::Error. An armed-but-idle trace yields no spans.
+TraceTimeline load_trace_timeline(const std::string& trace_path);
 
 /// Reconstruct a campaign result from an outcome store directory alone
 /// (dir or packed format, auto-detected): every stored record carries its
@@ -37,14 +61,18 @@ namespace hmpt::report {
 campaign::CampaignResult load_store_result(const std::string& store_dir);
 
 /// Render the full report document. `title` is the page heading; empty
-/// picks a default.
+/// picks a default. A non-null `timeline` adds a per-job timeline
+/// section (span bars per worker lane); null renders the exact document
+/// earlier revisions produced, so untraced reports stay byte-stable.
 std::string render_report_html(const campaign::CampaignResult& result,
-                               const std::string& title = "");
+                               const std::string& title = "",
+                               const TraceTimeline* timeline = nullptr);
 
 /// Write `<output_dir>/report/index.html` (directories created as
 /// needed); returns the path written.
 std::string write_report(const campaign::CampaignResult& result,
                          const std::string& output_dir,
-                         const std::string& title = "");
+                         const std::string& title = "",
+                         const TraceTimeline* timeline = nullptr);
 
 }  // namespace hmpt::report

@@ -1,9 +1,16 @@
 #include "service/daemon.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_name.h"
 #include "core/outcome_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hmpt::service {
 
@@ -22,15 +29,13 @@ JsonObject job_fields(const JobStatus& status) {
   return fields;
 }
 
+/// A latency digest on the wire: "count" always, quantiles only when at
+/// least one sample backs them (obs::snapshot_to_json; "_s" marks
+/// seconds). An empty distribution reports {"count":0} — n=0, no
+/// fabricated zero percentiles.
 JsonObject snapshot_fields(
     const ConcurrentQuantileTracker::Snapshot& snapshot) {
-  JsonObject fields;
-  fields["count"] = Json(static_cast<std::uint64_t>(snapshot.count));
-  fields["mean_s"] = Json(snapshot.mean);
-  fields["p50_s"] = Json(snapshot.p50);
-  fields["p95_s"] = Json(snapshot.p95);
-  fields["p99_s"] = Json(snapshot.p99);
-  return fields;
+  return obs::snapshot_to_json(snapshot, "_s");
 }
 
 }  // namespace
@@ -80,6 +85,7 @@ void Daemon::start() {
     // run's acked-but-unfinished jobs are re-admitted (finished ones are
     // store hits), then every completion — replayed or fresh — appends a
     // terminal record.
+    obs::TraceSpan replay_span("daemon", "journal_replay");
     const auto replay = JobJournal::replay(options_.journal_path);
     journal_ = std::make_unique<JobJournal>(options_.journal_path);
     journal_token_ = scheduler_->subscribe([this](const JobStatus& status) {
@@ -94,13 +100,26 @@ void Daemon::start() {
       scheduler_->submit_replay(job.scenario, job.priority, job.limits);
       ++replayed_jobs_;
     }
+    replay_span.arg_number("replayed",
+                           static_cast<std::uint64_t>(replayed_jobs_));
+    obs::metrics()
+        .counter("daemon.replayed")
+        .add(static_cast<std::uint64_t>(replayed_jobs_));
   }
 
   listener_ = Listener::listen(options_.endpoint);
   bound_ = listener_->endpoint();
   scheduler_->start();
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = std::thread([this] {
+    set_current_thread_name("hmpt-accept");
+    accept_loop();
+  });
+  if (!options_.metrics_path.empty())
+    metrics_thread_ = std::thread([this] {
+      set_current_thread_name("hmpt-metrics");
+      metrics_loop();
+    });
 }
 
 const Endpoint& Daemon::endpoint() const {
@@ -145,7 +164,11 @@ void Daemon::teardown() {
   // their last completions, then the shutdown event, then EOF.
   if (listener_.has_value()) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   scheduler_->shutdown();
+  // One last snapshot after the drain so short-lived daemons (lifetime <
+  // one interval) still leave a complete metrics file behind.
+  if (!options_.metrics_path.empty()) write_metrics_snapshot();
   broadcast_event(event_line("shutdown"));
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -175,8 +198,11 @@ void Daemon::accept_loop() {
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
       connections_.push_back(connection);
-      handlers_.emplace_back(
-          [this, connection] { handle_connection(connection); });
+      const std::uint64_t conn_id = ++next_conn_;
+      handlers_.emplace_back([this, connection, conn_id] {
+        set_current_thread_name("hmpt-conn-" + std::to_string(conn_id));
+        handle_connection(connection);
+      });
     }
   }
 }
@@ -259,37 +285,7 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& connection,
         start_watch(connection);
         break;
       case Op::Stats: {
-        const auto counts = scheduler_->counts();
-        const auto& latency = scheduler_->latency();
-        JsonObject fields;
-        fields["workers"] = Json(options_.workers);
-        fields["queued"] = Json(static_cast<std::uint64_t>(counts.queued));
-        fields["running"] =
-            Json(static_cast<std::uint64_t>(counts.running));
-        fields["retries"] =
-            Json(static_cast<std::uint64_t>(counts.retries));
-        fields["timeouts"] =
-            Json(static_cast<std::uint64_t>(counts.timeouts));
-        fields["eta_s"] = Json(latency.eta_seconds(
-            counts.queued + counts.running, options_.workers));
-        fields["overall"] = Json(snapshot_fields(latency.overall()));
-        JsonArray classes;
-        for (const auto& entry : latency.snapshot()) {
-          JsonObject cls;
-          cls["class"] = Json(entry.scenario_class);
-          for (const auto& [key, value] : snapshot_fields(entry.latency))
-            cls[key] = value;
-          classes.push_back(Json(std::move(cls)));
-        }
-        fields["classes"] = Json(std::move(classes));
-        // The class map is bounded (LRU); surface the cap and how many
-        // classes have been evicted so a capped `stats` view is visibly
-        // capped rather than silently incomplete.
-        fields["class_cap"] =
-            Json(static_cast<std::uint64_t>(latency.class_cap()));
-        fields["class_evictions"] =
-            Json(static_cast<std::uint64_t>(latency.evictions()));
-        connection->send(ok_line(Op::Stats, std::move(fields)));
+        connection->send(ok_line(Op::Stats, stats_fields()));
         break;
       }
       case Op::Cancel: {
@@ -447,6 +443,110 @@ void Daemon::start_watch(const std::shared_ptr<Connection>& connection) {
                                         wire_state(status.state),
                                         status.seconds, std::move(extra)));
       });
+}
+
+JsonObject Daemon::stats_fields() const {
+  const auto counts = scheduler_->counts();
+  const auto& latency = scheduler_->latency();
+  JsonObject fields;
+  fields["workers"] = Json(options_.workers);
+  fields["queued"] = Json(static_cast<std::uint64_t>(counts.queued));
+  fields["running"] = Json(static_cast<std::uint64_t>(counts.running));
+  fields["retries"] = Json(static_cast<std::uint64_t>(counts.retries));
+  fields["timeouts"] = Json(static_cast<std::uint64_t>(counts.timeouts));
+  fields["eta_s"] = Json(latency.eta_seconds(
+      counts.queued + counts.running, options_.workers));
+
+  // Worker utilization: provider wall time across the lanes against the
+  // lane-seconds available since start().
+  JsonObject utilization;
+  utilization["busy_s"] = Json(counts.busy_seconds);
+  utilization["uptime_s"] = Json(counts.uptime_seconds);
+  const double capacity =
+      counts.uptime_seconds * static_cast<double>(options_.workers);
+  utilization["busy_fraction"] =
+      Json(capacity > 0.0
+               ? std::min(counts.busy_seconds / capacity, 1.0)
+               : 0.0);
+  fields["utilization"] = Json(std::move(utilization));
+
+  // Queue depth over time: the distribution of depths observed at every
+  // enqueue and dispatch (obs histogram), not just the instant value.
+  fields["queue_depth"] = Json(obs::snapshot_to_json(
+      obs::metrics().histogram("scheduler.queue_depth").snapshot()));
+
+  // Cache effectiveness: scheduler-level store hits (submits answered
+  // without execution) and the simulator timing cache's hit ratio.
+  JsonObject cache;
+  cache["store_hits"] = Json(static_cast<std::uint64_t>(counts.cached));
+  cache["executed"] = Json(static_cast<std::uint64_t>(counts.done));
+  const std::uint64_t timer_hits =
+      obs::metrics().counter("timer.hits").value();
+  const std::uint64_t timer_misses =
+      obs::metrics().counter("timer.misses").value();
+  cache["timer_hits"] = Json(timer_hits);
+  cache["timer_misses"] = Json(timer_misses);
+  if (timer_hits + timer_misses > 0)
+    cache["timer_hit_ratio"] =
+        Json(static_cast<double>(timer_hits) /
+             static_cast<double>(timer_hits + timer_misses));
+  fields["cache"] = Json(std::move(cache));
+
+  fields["overall"] = Json(snapshot_fields(latency.overall()));
+  JsonArray classes;
+  for (const auto& entry : latency.snapshot()) {
+    JsonObject cls;
+    cls["class"] = Json(entry.scenario_class);
+    for (const auto& [key, value] : snapshot_fields(entry.latency))
+      cls[key] = value;
+    cls["attempts"] = Json(entry.attempts);
+    cls["retries"] = Json(entry.retries);
+    cls["timeouts"] = Json(entry.timeouts);
+    classes.push_back(Json(std::move(cls)));
+  }
+  fields["classes"] = Json(std::move(classes));
+  // The class map is bounded (LRU); surface the cap and how many
+  // classes have been evicted so a capped `stats` view is visibly
+  // capped rather than silently incomplete.
+  fields["class_cap"] =
+      Json(static_cast<std::uint64_t>(latency.class_cap()));
+  fields["class_evictions"] =
+      Json(static_cast<std::uint64_t>(latency.evictions()));
+  // The whole registry last: every counter/gauge/histogram any subsystem
+  // recorded this process, name-sorted.
+  fields["metrics"] = obs::metrics().snapshot();
+  return fields;
+}
+
+void Daemon::write_metrics_snapshot() const {
+  try {
+    const std::string tmp = options_.metrics_path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os.good()) return;
+      os << Json(stats_fields()).dump() << "\n";
+      os.flush();
+      if (!os.good()) return;
+    }
+    std::rename(tmp.c_str(), options_.metrics_path.c_str());
+  } catch (const std::exception&) {
+    // Best-effort by contract: a full disk or a bad path costs the
+    // snapshot, never a job or the daemon.
+  }
+}
+
+void Daemon::metrics_loop() {
+  const auto interval = std::chrono::milliseconds(static_cast<long>(
+      std::max(options_.metrics_interval_s, 0.05) * 1000.0));
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  for (;;) {
+    const bool stopping = lifecycle_.wait_for(
+        lock, interval, [this] { return stop_requested_; });
+    lock.unlock();
+    write_metrics_snapshot();
+    if (stopping) return;
+    lock.lock();
+  }
 }
 
 void Daemon::broadcast_event(const std::string& line) {

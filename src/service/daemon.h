@@ -51,6 +51,13 @@ struct DaemonOptions {
   /// journal, every submit is fsync'd before its ack and start() replays
   /// acked-but-unfinished jobs from a previous (crashed) run.
   std::string journal_path;
+  /// Periodic metrics snapshots: every `metrics_interval_s` the daemon
+  /// rewrites `metrics_path` (atomically, via rename) with the same JSON
+  /// document the `stats` verb serves, plus one final snapshot at
+  /// teardown. Empty = disabled. Purely observational — never consulted
+  /// by the scheduler and never part of the outcome artefact set.
+  std::string metrics_path;
+  double metrics_interval_s = 5.0;
 };
 
 class Daemon {
@@ -115,6 +122,15 @@ class Daemon {
   /// Broadcast a lifecycle event line to every live watch subscriber.
   void broadcast_event(const std::string& line);
   void teardown();
+  /// The `stats` response body: scheduler counters, worker utilization,
+  /// queue-depth distribution, cache tallies, per-class latency digests
+  /// and the metrics-registry snapshot. Shared by the wire handler and
+  /// the --metrics-file writer so both views always agree.
+  JsonObject stats_fields() const;
+  /// Atomically rewrite options_.metrics_path with stats_fields().
+  /// Best-effort: an unwritable path never fails a job or the daemon.
+  void write_metrics_snapshot() const;
+  void metrics_loop();
 
   DaemonOptions options_;
   std::unique_ptr<ExecutionProvider> owned_provider_;
@@ -129,9 +145,11 @@ class Daemon {
   Endpoint bound_;
 
   std::thread accept_thread_;
+  std::thread metrics_thread_;  ///< --metrics-file writer; may be empty
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::list<std::thread> handlers_;
+  std::uint64_t next_conn_ = 0;  ///< handler-thread naming only
 
   std::mutex lifecycle_mutex_;
   std::condition_variable lifecycle_;

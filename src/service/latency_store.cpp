@@ -11,26 +11,32 @@ LatencyStore::LatencyStore(std::size_t max_classes)
   HMPT_REQUIRE(max_classes_ >= 1, "latency store needs max_classes >= 1");
 }
 
+LatencyStore::Entry& LatencyStore::touch(
+    const std::string& scenario_class) {
+  auto [it, inserted] = classes_.try_emplace(scenario_class);
+  if (inserted)
+    it->second.tracker = std::make_shared<ConcurrentQuantileTracker>();
+  it->second.last_used = ++clock_;
+  // Over the cap: drop the least-recently-recorded class (never the one
+  // just touched — its stamp is the freshest). Its history stays in
+  // overall_, which estimate_seconds falls back to. Erasing other nodes
+  // leaves the returned reference valid (std::map).
+  while (classes_.size() > max_classes_) {
+    auto victim = classes_.begin();
+    for (auto walk = classes_.begin(); walk != classes_.end(); ++walk)
+      if (walk->second.last_used < victim->second.last_used) victim = walk;
+    classes_.erase(victim);
+    ++evictions_;
+  }
+  return it->second;
+}
+
 void LatencyStore::record(const std::string& scenario_class,
                           double seconds) {
   std::shared_ptr<ConcurrentQuantileTracker> tracker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = classes_.try_emplace(scenario_class);
-    if (inserted)
-      it->second.tracker = std::make_shared<ConcurrentQuantileTracker>();
-    it->second.last_used = ++clock_;
-    tracker = it->second.tracker;
-    // Over the cap: drop the least-recently-recorded class (never the one
-    // just touched — its stamp is the freshest). Its history stays in
-    // overall_, which estimate_seconds falls back to.
-    while (classes_.size() > max_classes_) {
-      auto victim = classes_.begin();
-      for (auto walk = classes_.begin(); walk != classes_.end(); ++walk)
-        if (walk->second.last_used < victim->second.last_used) victim = walk;
-      classes_.erase(victim);
-      ++evictions_;
-    }
+    tracker = touch(scenario_class).tracker;
   }
   // The shared_ptr keeps the tracker alive even if a concurrent record()
   // just evicted the class; the per-tracker lock serialises the adds.
@@ -38,12 +44,23 @@ void LatencyStore::record(const std::string& scenario_class,
   overall_.add(seconds);
 }
 
+void LatencyStore::record_attempts(const std::string& scenario_class,
+                                   int attempts, int timeouts) {
+  if (attempts <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = touch(scenario_class);
+  entry.attempts += static_cast<std::uint64_t>(attempts);
+  entry.retries += static_cast<std::uint64_t>(attempts - 1);
+  entry.timeouts += static_cast<std::uint64_t>(std::max(timeouts, 0));
+}
+
 std::vector<LatencyStore::ClassStats> LatencyStore::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ClassStats> out;
   out.reserve(classes_.size());
   for (const auto& [name, entry] : classes_)
-    out.push_back({name, entry.tracker->snapshot()});
+    out.push_back({name, entry.tracker->snapshot(), entry.attempts,
+                   entry.retries, entry.timeouts});
   return out;
 }
 

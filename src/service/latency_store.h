@@ -36,6 +36,9 @@ class LatencyStore {
   struct ClassStats {
     std::string scenario_class;
     ConcurrentQuantileTracker::Snapshot latency;
+    std::uint64_t attempts = 0;  ///< provider attempts for this class
+    std::uint64_t retries = 0;   ///< attempts beyond each job's first
+    std::uint64_t timeouts = 0;  ///< attempts that hit a deadline
   };
 
   /// `max_classes` must be >= 1; the cap is fixed for the store's life.
@@ -45,6 +48,14 @@ class LatencyStore {
   /// Thread-safe; workers call this as jobs land. Recording a new class
   /// beyond the cap evicts the least-recently-recorded one.
   void record(const std::string& scenario_class, double seconds);
+
+  /// Record the attempt tally of one terminal job: `attempts` provider
+  /// attempts were made, of which `timeouts` ended in a deadline expiry.
+  /// Failed jobs reach here too (record() only sees successes), so a
+  /// class that has only ever failed still shows up in `stats` — with an
+  /// empty latency distribution and a non-zero attempt count.
+  void record_attempts(const std::string& scenario_class, int attempts,
+                       int timeouts);
 
   /// Snapshot of every tracked class, ordered by class name so the
   /// `stats` response is deterministic for a given history.
@@ -74,7 +85,14 @@ class LatencyStore {
     // the map node.
     std::shared_ptr<ConcurrentQuantileTracker> tracker;
     std::uint64_t last_used = 0;  ///< LRU stamp (recording only)
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
   };
+
+  /// mutex_ held: get-or-create the class entry, stamp its LRU clock and
+  /// evict past the cap.
+  Entry& touch(const std::string& scenario_class);
 
   // ConcurrentQuantileTracker locks per tracker; this mutex only guards
   // the map shape (class creation, eviction, snapshot iteration).

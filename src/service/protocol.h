@@ -27,7 +27,11 @@ namespace hmpt::service {
 /// Protocol revision, echoed by `ping`; bump on any wire-visible change.
 /// 2: submit carries optional per-job limits ("deadline_s", "attempts");
 ///    status/stats surface retry counters and job attempt counts.
-inline constexpr int kProtocolVersion = 2;
+/// 3: stats gains worker utilization, a queue-depth distribution,
+///    cache-hit tallies, per-class attempt/retry/timeout counters and
+///    the full metrics-registry snapshot; empty latency distributions
+///    report "count" only (no fabricated zero quantiles).
+inline constexpr int kProtocolVersion = 3;
 
 /// Every request the daemon understands.
 enum class Op {

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_name.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hmpt::service {
 
@@ -77,10 +80,12 @@ void Scheduler::start() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (started_) return;
   started_ = true;
+  started_at_ = Clock::now();
   pool_ = std::make_unique<ThreadPool>(options_.workers);
   // Each parallel_for index is one long-lived worker lane pulling jobs
   // until shutdown; the pump thread is the pool's calling lane.
   pump_ = std::thread([this] {
+    set_current_thread_name("hmpt-pump");
     pool_->parallel_for(static_cast<std::size_t>(options_.workers),
                         [this](std::size_t) { worker_loop(); });
   });
@@ -135,6 +140,16 @@ JobStatus Scheduler::admit(ClientId client,
                            bool replay, bool* admitted_new) {
   const std::string fingerprint = scenario.fingerprint();
   if (admitted_new != nullptr) *admitted_new = false;
+  static obs::Counter& submits = obs::metrics().counter("scheduler.submits");
+  static obs::Counter& attached =
+      obs::metrics().counter("scheduler.attached");
+  static obs::Counter& cache_hits =
+      obs::metrics().counter("scheduler.cache_hits");
+  static obs::Counter& enqueued = obs::metrics().counter("scheduler.enqueued");
+  static obs::Histogram& queue_depth =
+      obs::metrics().histogram("scheduler.queue_depth");
+  submits.add();
+  std::optional<std::size_t> enqueued_depth;
   std::optional<JobStatus> cached_event;
   JobStatus snapshot;
   {
@@ -158,6 +173,7 @@ JobStatus Scheduler::admit(ClientId client,
         }
         charge_owner(client);
       }
+      attached.add();
       return job->status;
     }
     if (it != jobs_.end() &&
@@ -166,6 +182,7 @@ JobStatus Scheduler::admit(ClientId client,
       // Finished earlier in this process: a cache hit for this submit.
       snapshot = it->second->status;
       snapshot.state = JobState::Cached;
+      cache_hits.add();
       return snapshot;
     }
     // Unknown (or Failed/Canceled, which resubmission retries): consult
@@ -182,6 +199,7 @@ JobStatus Scheduler::admit(ClientId client,
       ++notifying_;
       snapshot = job->status;
       cached_event = snapshot;
+      cache_hits.add();
     } else {
       if (!replay) {
         // Journal replay is exempt: every acked job must be re-admitted
@@ -212,7 +230,14 @@ JobStatus Scheduler::admit(ClientId client,
       queue_.push_back(job);
       snapshot = job->status;
       if (admitted_new != nullptr) *admitted_new = true;
+      enqueued_depth = queue_.size();
     }
+  }
+  if (enqueued_depth.has_value()) {
+    enqueued.add();
+    queue_depth.observe(static_cast<double>(*enqueued_depth));
+    obs::trace_counter("scheduler", "queue_depth",
+                       static_cast<double>(*enqueued_depth));
   }
   if (cached_event.has_value()) {
     // Store hits never reach a worker, so the completion event that watch
@@ -243,6 +268,24 @@ std::shared_ptr<Scheduler::Job> Scheduler::next_job() {
   queue_.erase(best);
   job->status.state = JobState::Running;
   ++running_;
+  const std::size_t depth = queue_.size();
+  lock.unlock();
+
+  static obs::Counter& dispatched =
+      obs::metrics().counter("scheduler.dispatched");
+  static obs::Histogram& queue_depth =
+      obs::metrics().histogram("scheduler.queue_depth");
+  dispatched.add();
+  queue_depth.observe(static_cast<double>(depth));
+  if (obs::trace_enabled()) {
+    obs::trace_counter("scheduler", "queue_depth",
+                       static_cast<double>(depth));
+    obs::trace_instant(
+        "scheduler", "dispatch",
+        {obs::TraceArg("fingerprint", job->status.fingerprint),
+         obs::TraceArg::number(
+             "priority", static_cast<double>(job->status.priority))});
+  }
   return job;
 }
 
@@ -267,6 +310,8 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   const auto attempted = attempt_with_retries(
       policy, stream_of(job->status.fingerprint),
       [&](const CancelToken& token) {
+        obs::TraceSpan attempt_span("scheduler", "attempt");
+        attempt_span.arg("fingerprint", job->status.fingerprint);
         {
           // Publish the live attempt's token so teardown can cancel a
           // running (possibly deadline-parked) provider.
@@ -282,14 +327,33 @@ void Scheduler::run_job(const std::shared_ptr<Job>& job) {
   const double seconds = seconds_since(start);
   const int attempts = attempted.attempt_count();
 
+  int job_timeouts = 0;
+  for (const auto& record : attempted.attempts)
+    if (record.error.find("timeout:") != std::string::npos) ++job_timeouts;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job->active_token.reset();
     if (attempts > 1)
       tallies_.retries += static_cast<std::size_t>(attempts - 1);
-    for (const auto& record : attempted.attempts)
-      if (record.error.find("timeout:") != std::string::npos)
-        ++tallies_.timeouts;
+    tallies_.timeouts += static_cast<std::size_t>(job_timeouts);
+  }
+  busy_us_.fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
+                     std::memory_order_relaxed);
+  latency_.record_attempts(job->status.label, attempts, job_timeouts);
+  if (attempts > 1) {
+    static obs::Counter& retries =
+        obs::metrics().counter("scheduler.retries");
+    retries.add(static_cast<std::uint64_t>(attempts - 1));
+    obs::trace_instant(
+        "scheduler", "retry",
+        {obs::TraceArg("fingerprint", job->status.fingerprint),
+         obs::TraceArg::number("attempts",
+                               static_cast<std::uint64_t>(attempts))});
+  }
+  if (job_timeouts > 0) {
+    static obs::Counter& timeouts =
+        obs::metrics().counter("scheduler.timeouts");
+    timeouts.add(static_cast<std::uint64_t>(job_timeouts));
   }
 
   if (attempted.ok()) {
@@ -325,6 +389,13 @@ void Scheduler::finish_job(const std::shared_ptr<Job>& job, JobState state,
     job->owners.clear();
     snapshot = job->status;
   }
+  static obs::Counter& completed =
+      obs::metrics().counter("scheduler.completed");
+  completed.add();
+  if (obs::trace_enabled())
+    obs::trace_instant("scheduler", "complete",
+                       {obs::TraceArg("fingerprint", snapshot.fingerprint),
+                        obs::TraceArg("state", to_string(snapshot.state))});
   terminal_.notify_all();
   notify_subscribers(snapshot);
   finished_notifying();
@@ -415,6 +486,9 @@ SchedulerCounts Scheduler::counts() const {
   counts.queued = queue_.size();
   counts.running = running_;
   counts.draining = draining_ || stopping_;
+  counts.busy_seconds =
+      static_cast<double>(busy_us_.load(std::memory_order_relaxed)) / 1e6;
+  counts.uptime_seconds = started_ ? seconds_since(started_at_) : 0.0;
   return counts;
 }
 

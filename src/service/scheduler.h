@@ -34,6 +34,8 @@
 //     provider executes the same code path and the same store writes.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -93,6 +95,11 @@ struct SchedulerCounts {
   std::size_t retries = 0;   ///< provider attempts beyond each job's first
   std::size_t timeouts = 0;  ///< attempts that ended in a deadline expiry
   bool draining = false;
+  /// Worker utilization: provider wall time summed across lanes, and the
+  /// wall clock since start(). busy / (uptime * workers) is the fraction
+  /// of lane capacity spent executing. Both 0 before start().
+  double busy_seconds = 0.0;
+  double uptime_seconds = 0.0;
 };
 
 struct SchedulerOptions {
@@ -243,6 +250,10 @@ class Scheduler {
   bool draining_ = false;
   bool stopping_ = false;
   bool started_ = false;
+  /// Lane-busy accounting for utilization stats: microseconds of
+  /// provider wall time, summed as jobs retire.
+  std::atomic<std::uint64_t> busy_us_{0};
+  std::chrono::steady_clock::time_point started_at_{};  ///< set by start()
   /// Canceled when the scheduler stops: wakes backoff sleeps between
   /// attempts so teardown never waits out a retry schedule.
   CancelToken stop_token_;

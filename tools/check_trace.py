@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file the --trace flags write.
+
+Loads the `{"traceEvents": [...]}` document and checks the invariants
+the obs/trace.h recorder guarantees, so a regression that would render
+the file unloadable in Perfetto/chrome://tracing fails CI instead of
+silently producing a broken artefact:
+
+  * the document is well-formed JSON with a `traceEvents` list,
+  * every event carries name/ph/pid/tid (and a numeric ts unless it is
+    a metadata event), with ph drawn from the phases the recorder
+    emits: B, E, i, I, C, M,
+  * per (pid, tid) lane, timestamps never decrease (one writer per
+    lane, a monotonic clock),
+  * per lane, B/E events balance and never close an unopened span (the
+    renderer drops orphan closes and synthesises missing ones).
+
+Stdlib only — runs anywhere CI has a python3.
+
+Usage: check_trace.py TRACE_FILE [--min-events N]
+
+--min-events fails the check when fewer than N non-metadata events were
+recorded (default 1): a traced smoke campaign that records nothing is a
+broken trace hook, not a quiet success.
+
+Exit status: 0 when every check passes, 1 otherwise (each violation is
+reported on stderr).
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "I", "C", "M"}
+REQUIRED_FIELDS = ("name", "ph", "pid", "tid")
+
+
+def check(path, min_events):
+    errors = []
+
+    def fail(message):
+        errors.append(message)
+
+    try:
+        with open(path, "rb") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        return ["%s: unreadable or malformed JSON: %s" % (path, error)]
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no traceEvents list" % path]
+
+    lanes = {}  # (pid, tid) -> {"last_ts": float, "open": int}
+    recorded = 0
+    for index, event in enumerate(events):
+        where = "%s: traceEvents[%d]" % (path, index)
+        if not isinstance(event, dict):
+            fail("%s: not an object" % where)
+            continue
+        missing = [f for f in REQUIRED_FIELDS if f not in event]
+        if missing:
+            fail("%s: missing %s" % (where, ", ".join(missing)))
+            continue
+        phase = event["ph"]
+        if phase not in ALLOWED_PHASES:
+            fail("%s: unexpected ph %r" % (where, phase))
+            continue
+        if phase == "M":
+            continue  # metadata: no timestamp ordering contract
+        recorded += 1
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail("%s: ts missing or not a number" % where)
+            continue
+        lane_key = (event["pid"], event["tid"])
+        lane = lanes.setdefault(lane_key, {"last_ts": None, "open": 0})
+        if lane["last_ts"] is not None and ts < lane["last_ts"]:
+            fail("%s: ts %s < previous %s on lane pid=%s tid=%s"
+                 % (where, ts, lane["last_ts"], lane_key[0], lane_key[1]))
+        lane["last_ts"] = ts
+
+        if phase == "B":
+            lane["open"] += 1
+        elif phase == "E":
+            if lane["open"] == 0:
+                fail("%s: E without a matching B on lane pid=%s tid=%s"
+                     % (where, lane_key[0], lane_key[1]))
+            else:
+                lane["open"] -= 1
+
+    for (pid, tid), lane in sorted(lanes.items()):
+        if lane["open"] != 0:
+            fail("%s: %d unclosed span(s) on lane pid=%s tid=%s"
+                 % (path, lane["open"], pid, tid))
+
+    if recorded < min_events:
+        fail("%s: only %d non-metadata event(s) recorded (need >= %d)"
+             % (path, recorded, min_events))
+    return errors
+
+
+def main(argv):
+    args = argv[1:]
+    min_events = 1
+    if "--min-events" in args:
+        at = args.index("--min-events")
+        try:
+            min_events = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("--min-events needs an integer", file=sys.stderr)
+            return 1
+        del args[at:at + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    errors = check(args[0], min_events)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print("%s: trace OK" % args[0])
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

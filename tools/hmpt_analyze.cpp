@@ -8,7 +8,7 @@
 //   hmpt_analyze <profile> [--platform NAME] [--strategy NAME]
 //                [--tiers K] [--budget-gb N] [--tier-budget-gb T:N]
 //                [--threshold F] [--reps N] [--top-k N] [--jobs N]
-//                [--plan-out FILE] [--json FILE] [--csv]
+//                [--plan-out FILE] [--json FILE] [--csv] [--trace FILE]
 //                [--list-platforms] [--list-workloads]
 //
 // Platforms come from the campaign catalogue (--list-platforms) and
@@ -37,6 +37,7 @@
 #include "cli_parse.h"
 #include "common/units.h"
 #include "core/driver.h"
+#include "obs/trace.h"
 #include "core/outcome_io.h"
 #include "core/session.h"
 #include "simmem/simulator.h"
@@ -84,6 +85,10 @@ void usage(const char* argv0) {
       << "  --json FILE               write the TuningOutcome as JSON (the\n"
       << "                            campaign outcome format)\n"
       << "  --csv                     also print the summary-view CSV\n"
+      << "  --trace FILE              record a Chrome trace-event file of\n"
+      << "                            the tuning run (load in Perfetto or\n"
+      << "                            chrome://tracing); never changes the\n"
+      << "                            analysis output\n"
       << "  --list-platforms          print the platform catalogue, exit\n"
       << "  --list-workloads          print the workload registry, exit\n";
 }
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
   int top_k = 3;
   int jobs = 0;  // 0 = all hardware threads
   bool csv = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -164,6 +170,7 @@ int main(int argc, char** argv) {
     else if (arg == "--plan-out") plan_out = next();
     else if (arg == "--json") json_out = next();
     else if (arg == "--csv") csv = true;
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--list-platforms") {
       std::cout << campaign::platform_catalog_text();
       return 0;
@@ -207,6 +214,10 @@ int main(int argc, char** argv) {
     bad_value(argv[0], "unknown strategy: " + strategy);
 
   try {
+    // Arm before any tuning work so the sweep/search/phase spans land in
+    // the trace; the analysis output itself is unaffected.
+    if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+
     auto simulator = campaign::make_platform(platform);
 
     // Tier flags must name tiers the selected platform actually searches —
@@ -316,6 +327,11 @@ int main(int argc, char** argv) {
         return 2;
       }
       std::cout << "\noutcome JSON written to " << json_out << '\n';
+    }
+
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::instance().stop_and_write(trace_path);
+      std::cout << "\ntrace written to " << trace_path << '\n';
     }
   } catch (const std::exception& e) {
     std::cerr << "analysis failed: " << e.what() << '\n';

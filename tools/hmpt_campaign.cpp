@@ -35,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "campaign/platforms.h"
 #include "cli_parse.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "report/report.h"
 #include "version.h"
 
@@ -84,6 +86,10 @@ void usage(const char* argv0) {
       << "                             (default: fail fast)\n"
       << "  --report                   also write a self-contained HTML\n"
       << "                             report to <out>/report/index.html\n"
+      << "  --trace FILE               record a Chrome trace-event JSON of\n"
+      << "                             the run (load in chrome://tracing\n"
+      << "                             or Perfetto); artefacts are\n"
+      << "                             byte-identical with or without it\n"
       << "  --jobs N                   concurrent scenarios (N >= 0;\n"
       << "                             0 = all hardware threads; default 1)\n"
       << "  --measure-jobs N           measurement threads per scenario\n"
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
   int top_k = -1;
   bool quiet = false;
   bool write_html_report = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -180,6 +187,7 @@ int main(int argc, char** argv) {
     else if (arg == "--dry-run") options.dry_run = true;
     else if (arg == "--keep-going") options.keep_going = true;
     else if (arg == "--report") write_html_report = true;
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--jobs")
       options.scenario_jobs = parse_int(argv[0], arg, next());
     else if (arg == "--measure-jobs")
@@ -288,6 +296,10 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   try {
+    // Arm the recorder before any scenario runs; everything between here
+    // and the stop below lands in the trace. Purely observational: the
+    // artefacts written further down are byte-identical either way.
+    if (!trace_path.empty()) obs::TraceRecorder::instance().start();
     const campaign::CampaignRunner runner(options);
     const auto result = runner.run(
         slice, [&](std::size_t index, const campaign::ScenarioRun& run) {
@@ -320,8 +332,17 @@ int main(int argc, char** argv) {
     std::cout << "wrote "
               << campaign::ShardManifest::path_in(options.output_dir)
               << "\n";
+    std::optional<report::TraceTimeline> timeline;
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::instance().stop_and_write(trace_path);
+      std::cout << "wrote " << trace_path << "\n";
+      if (write_html_report)
+        timeline = report::load_trace_timeline(trace_path);
+    }
     if (write_html_report)
-      std::cout << "wrote " << report::write_report(result, options.output_dir)
+      std::cout << "wrote "
+                << report::write_report(result, options.output_dir, "",
+                                        timeline ? &*timeline : nullptr)
                 << "\n";
     std::cout << "outcome store: " << runner.store().directory()
               << (runner.store().format() == campaign::StoreFormat::Packed

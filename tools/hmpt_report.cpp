@@ -7,7 +7,8 @@
 // ranked sortable scenario table and a per-scenario drill-down keyed by
 // fingerprint:
 //
-//   hmpt_report STORE_DIR [--out DIR] [--title TEXT] [--quiet]
+//   hmpt_report STORE_DIR [--out DIR] [--title TEXT] [--trace FILE]
+//               [--quiet]
 //
 // --out defaults to STORE_DIR, so the report lands next to the
 // runs.csv/summary.json artefacts of the campaign that produced the
@@ -29,6 +30,9 @@ void usage(const char* argv0) {
       << "usage: " << argv0 << " STORE_DIR [options]\n"
       << "  --out DIR     write DIR/report/index.html (default STORE_DIR)\n"
       << "  --title TEXT  page heading (default derived from the campaign)\n"
+      << "  --trace FILE  a Chrome trace file from `hmpt_campaign --trace`;\n"
+      << "                adds a per-job timeline section (scenario span\n"
+      << "                bars per worker lane) to the report\n"
       << "  --quiet       only print errors\n"
       << "\n"
       << "STORE_DIR is the --out directory of an hmpt_campaign or\n"
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   std::string store_dir;
   std::string output_dir;
   std::string title;
+  std::string trace_path;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +65,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       title = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 1;
+      }
+      trace_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--version") {
@@ -88,7 +99,12 @@ int main(int argc, char** argv) {
 
   try {
     const auto result = report::load_store_result(store_dir);
-    const auto path = report::write_report(result, output_dir, title);
+    report::TraceTimeline timeline;
+    if (!trace_path.empty())
+      timeline = report::load_trace_timeline(trace_path);
+    const auto path = report::write_report(
+        result, output_dir, title,
+        trace_path.empty() ? nullptr : &timeline);
     if (!quiet)
       std::cout << result.runs.size() << " scenario"
                 << (result.runs.size() == 1 ? "" : "s") << " from "

@@ -11,7 +11,9 @@
 //   hmptd (--socket PATH | --port N) [--host ADDR] [--workers N]
 //         [--store DIR] [--max-in-flight N] [--max-queue N]
 //         [--measure-jobs N] [--latency-classes N] [--retries N]
-//         [--job-timeout S] [--journal PATH] [--fault-spec SPEC] [--quiet]
+//         [--job-timeout S] [--journal PATH] [--fault-spec SPEC]
+//         [--trace FILE] [--metrics-file FILE] [--metrics-interval S]
+//         [--quiet]
 //
 // Fault tolerance: --retries/--job-timeout set the default failure model
 // (per-job submit fields override), --journal makes acked submits
@@ -28,6 +30,7 @@
 #include <string>
 
 #include "cli_parse.h"
+#include "obs/trace.h"
 #include "service/daemon.h"
 #include "service/fault.h"
 #include "version.h"
@@ -60,6 +63,13 @@ void usage(const char* argv0) {
       << "                      startup\n"
       << "  --fault-spec SPEC   deterministic fault injection, e.g.\n"
       << "                      seed=7,fail=0.3:2,timeout=0.2:1 (testing)\n"
+      << "  --trace FILE        record a Chrome trace-event file of the\n"
+      << "                      daemon's spans (written at shutdown; load\n"
+      << "                      in Perfetto or chrome://tracing)\n"
+      << "  --metrics-file FILE write the stats snapshot as one JSON line\n"
+      << "                      periodically and at shutdown (atomic\n"
+      << "                      rename; same fields as the stats verb)\n"
+      << "  --metrics-interval S  snapshot period in seconds (default 5)\n"
       << "  --quiet             suppress startup/shutdown messages\n"
       << "  --version           print the tool version and exit\n";
 }
@@ -78,6 +88,7 @@ int main(int argc, char** argv) {
   int retries = 0;
   double job_timeout_s = 0.0;
   std::string fault_spec_text;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +137,11 @@ int main(int argc, char** argv) {
           cli::parse_double(arg, next(), [&] { usage(argv[0]); });
     else if (arg == "--journal") options.journal_path = next();
     else if (arg == "--fault-spec") fault_spec_text = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--metrics-file") options.metrics_path = next();
+    else if (arg == "--metrics-interval")
+      options.metrics_interval_s =
+          cli::parse_double(arg, next(), [&] { usage(argv[0]); });
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--version") {
       cli::print_version("hmptd");
@@ -160,10 +176,20 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (options.metrics_interval_s <= 0.0) {
+    std::cerr << "--metrics-interval must be > 0\n";
+    usage(argv[0]);
+    return 1;
+  }
   options.retry.max_attempts = 1 + retries;
   options.retry.attempt_deadline_s = job_timeout_s;
 
   try {
+    // Arm before the daemon spins up so startup (journal replay, worker
+    // launch) is captured too. Tracing never alters protocol responses
+    // or store bytes — it only records timestamps on the side.
+    if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+
     // The fault injector wraps the same simulator provider the daemon
     // would own; everything downstream (scheduler, store, protocol) is
     // oblivious to it.
@@ -201,6 +227,10 @@ int main(int argc, char** argv) {
     // signal; either way the daemon drains before the process exits.
     while (!daemon.wait_for(200)) {
       if (g_signal != 0) daemon.request_shutdown();
+    }
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::instance().stop_and_write(trace_path);
+      if (!quiet) std::cout << "hmptd: wrote " << trace_path << "\n";
     }
     if (!quiet) std::cout << "hmptd: drained, shut down\n";
     return 0;
