@@ -166,6 +166,79 @@ ShardManifest make_manifest(const std::vector<Scenario>& campaign_scenarios,
   return manifest;
 }
 
+// ------------------------------------------------------- ManifestProgress
+
+ManifestProgress::ManifestProgress(
+    const std::vector<Scenario>& campaign_scenarios, const ShardSpec& shard,
+    std::string store_dir)
+    : store_dir_(std::move(store_dir)) {
+  manifest_.campaign = campaign_fingerprint(campaign_scenarios);
+  manifest_.shard = shard;
+  for (const auto& s : campaign_scenarios)
+    manifest_.campaign_order.push_back(s.fingerprint());
+
+  // Union with an existing manifest for the same campaign and shard: a
+  // relaunched worker (or a thief's later generation) appends to what
+  // the store already proved finished. Anything else — a stale manifest
+  // from another campaign, or unreadable bytes — is discarded: the store
+  // contents stay authoritative either way (--resume re-checks them).
+  try {
+    ShardManifest existing = ShardManifest::load(store_dir_);
+    if (existing.campaign == manifest_.campaign &&
+        existing.shard.index == shard.index &&
+        existing.shard.count == shard.count &&
+        existing.campaign_order == manifest_.campaign_order)
+      manifest_.entries = std::move(existing.entries);
+  } catch (const std::exception&) {
+    // No manifest yet, or not one of ours: start fresh.
+  }
+  for (std::size_t i = 0; i < manifest_.entries.size(); ++i)
+    index_[manifest_.entries[i].fingerprint] = i;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  save_locked();
+}
+
+void ManifestProgress::record(const ScenarioRun& run) {
+  ShardManifest::Entry entry;
+  entry.fingerprint = run.fingerprint.empty() ? run.scenario.fingerprint()
+                                              : run.fingerprint;
+  entry.scenario = run.scenario;
+  switch (run.status) {
+    case ScenarioRun::Status::Executed:
+    case ScenarioRun::Status::Cached:
+      entry.status = ShardEntryStatus::Complete;
+      break;
+    case ScenarioRun::Status::Failed:
+      entry.status = ShardEntryStatus::Failed;
+      entry.error = run.error;
+      break;
+    case ScenarioRun::Status::Planned:
+      raise("cannot record a dry-run scenario in a shard manifest");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(entry.fingerprint);
+  if (it == index_.end()) {
+    index_[entry.fingerprint] = manifest_.entries.size();
+    manifest_.entries.push_back(std::move(entry));
+  } else if (entry.status == ShardEntryStatus::Complete) {
+    // Completion supersedes an earlier recorded failure; a repeated
+    // completion rewrites the identical entry (harmless).
+    manifest_.entries[it->second] = std::move(entry);
+  } else {
+    return;  // keep the existing terminal record; nothing new to persist
+  }
+  save_locked();
+}
+
+ShardManifest ManifestProgress::manifest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return manifest_;
+}
+
+void ManifestProgress::save_locked() { manifest_.save(store_dir_); }
+
 // ------------------------------------------------------------ merge_shards
 
 CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
@@ -207,20 +280,37 @@ CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
                    std::to_string(ref.shard.count) + " shards, got " +
                    std::to_string(manifests.size()) + " to merge");
 
-  // 2. The slices must be pairwise disjoint and cover the campaign.
+  // 2. The slices must cover the campaign. Overlapping claims are legal —
+  //    work stealing re-deals a straggler's scenarios to idle workers and
+  //    both may finish — but only with identical bytes, which step 3
+  //    verifies across every shard's store. Where claims disagree on
+  //    status, a Complete record owns the scenario (it finished
+  //    somewhere); among equal claims the lowest shard index wins, so the
+  //    reconstruction is deterministic whatever order the steals landed.
   struct Owner {
     std::size_t shard;  ///< index into manifests/shard_dirs
     const ShardManifest::Entry* entry;
   };
   std::map<std::string, Owner> owners;
+  int overlapping = 0;
   for (std::size_t i = 0; i < manifests.size(); ++i) {
     for (const auto& entry : manifests[i].entries) {
       const auto [it, inserted] =
           owners.emplace(entry.fingerprint, Owner{i, &entry});
-      if (!inserted)
-        raise("scenario " + entry.fingerprint + " is claimed by both " +
-              shard_dirs[it->second.shard] + " and " + shard_dirs[i] +
-              " — shards must be disjoint");
+      if (inserted) continue;
+      ++overlapping;
+      const bool incumbent_complete =
+          it->second.entry->status == ShardEntryStatus::Complete;
+      const bool claimant_complete =
+          entry.status == ShardEntryStatus::Complete;
+      if (claimant_complete != incumbent_complete) {
+        if (claimant_complete) it->second = Owner{i, &entry};
+      } else if (manifests[i].shard.index <
+                 manifests[it->second.shard].shard.index) {
+        // Equal status: the lowest shard *index* owns, so reconstruction
+        // does not depend on the order the directories were listed in.
+        it->second = Owner{i, &entry};
+      }
     }
   }
   const std::set<std::string> campaign_set(ref.campaign_order.begin(),
@@ -332,6 +422,7 @@ CampaignResult merge_shards(const std::vector<std::string>& shard_dirs,
     stats->scenarios = static_cast<int>(ref.campaign_order.size());
     stats->outcomes_merged = merged_records;
     stats->failed = result.failed;
+    stats->overlapping = overlapping;
   }
   return result;
 }

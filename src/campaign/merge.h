@@ -14,6 +14,8 @@
 // for byte identical to an unsharded run of the same campaign.
 #pragma once
 
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,43 @@ ShardManifest make_manifest(const std::vector<Scenario>& campaign_scenarios,
                             const ShardSpec& shard,
                             const CampaignResult& result);
 
+/// Incremental manifest writing for fleet workers (`hmpt_campaign
+/// --progress-manifest`): the manifest is (re)written atomically after
+/// every completed scenario, so
+///   * the fleet dispatcher can tail a worker's shard.manifest.json for
+///     per-scenario completion while the worker runs, and
+///   * a worker killed at any instant (SIGKILL, host death) leaves a
+///     valid manifest holding exactly the scenarios it finished — the
+///     dispatcher re-deals the rest to idle workers.
+/// Construction unions with any manifest already in the store directory
+/// for the *same* campaign and shard (a re-launched worker on its own
+/// store, or a thief's second generation, must not drop earlier entries)
+/// and saves immediately, so the manifest exists from t=0. A stale
+/// manifest from a different campaign is discarded. Thread-safe.
+class ManifestProgress {
+ public:
+  ManifestProgress(const std::vector<Scenario>& campaign_scenarios,
+                   const ShardSpec& shard, std::string store_dir);
+
+  /// Record one finished scenario (Executed/Cached → Complete, Failed →
+  /// Failed; Planned throws) and atomically rewrite the manifest. A
+  /// fingerprint recorded twice keeps the first terminal record unless
+  /// the new one is Complete (completion supersedes a recorded failure —
+  /// a retried scenario that eventually succeeded).
+  void record(const ScenarioRun& run);
+
+  /// The entries recorded so far, as a manifest value.
+  ShardManifest manifest() const;
+
+ private:
+  void save_locked();
+
+  mutable std::mutex mutex_;
+  ShardManifest manifest_;
+  std::map<std::string, std::size_t> index_;  ///< fingerprint → entry slot
+  std::string store_dir_;
+};
+
 /// Counters reported by merge_shards for logging and benchmarks.
 struct MergeStats {
   std::string campaign;     ///< validated campaign fingerprint
@@ -88,19 +127,30 @@ struct MergeStats {
   int scenarios = 0;        ///< full campaign size
   int outcomes_merged = 0;  ///< outcome files unioned into the output store
   int failed = 0;           ///< scenarios recorded as failed by their shard
+  /// Scenarios claimed by more than one shard (work stealing): benign
+  /// when every copy holds identical bytes, which the merge verifies.
+  int overlapping = 0;
 };
 
 /// Merge shard outcome stores into `output_dir`.
 ///
 /// Validates that every directory holds a manifest for the *same* campaign
 /// (fingerprint, shard count, campaign order), that the shard indices are
-/// exactly 1..N with no duplicates, that the slices are pairwise disjoint
-/// and together cover the campaign, and that every Complete scenario's
-/// outcome record exists. The stores are then unioned content-addressed:
+/// exactly 1..N with no duplicates, that the slices together cover the
+/// campaign, and that every Complete scenario's outcome record exists.
+/// Overlapping coverage — the same fingerprint claimed by several shards,
+/// which work stealing produces legitimately (a straggler's scenario
+/// re-dealt to an idle worker, both finishing) — is accepted *only* when
+/// every copy holds identical outcome bytes; the content-addressed store
+/// makes duplicate execution a byte-level no-op, and the merge verifies
+/// that rather than assuming it. The stores are unioned content-addressed:
 /// identical bytes under the same fingerprint merge silently; *different*
 /// bytes under the same fingerprint throw hmpt::Error — that is either a
 /// determinism bug or stores from different experiments, and must never
-/// be papered over.
+/// be papered over. When a fingerprint is claimed both Complete and
+/// Failed (a thief finished what its victim had failed, or vice versa),
+/// the Complete record wins — the scenario did complete somewhere, which
+/// is exactly what an unsharded run would report.
 ///
 /// Each shard store may be dir- or packed-format (auto-detected per
 /// directory) and `output_format` picks the merged store's layout

@@ -211,6 +211,50 @@ ShardSpec parse_shard_spec(const std::string& text) {
   return shard;
 }
 
+void save_scenario_plan(const std::string& path,
+                        const std::vector<Scenario>& scenarios) {
+  JsonObject o;
+  o["format_version"] = Json(kFingerprintVersion);
+  JsonArray list;
+  for (const auto& s : scenarios) list.push_back(s.to_json());
+  o["scenarios"] = Json(std::move(list));
+  const std::string bytes = Json(std::move(o)).dump();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary);
+    if (!os.good()) raise("cannot write " + tmp);
+    os << bytes;
+    os.flush();
+    if (!os.good()) raise("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    raise("cannot finalise " + path + ": " + ec.message());
+  }
+}
+
+std::vector<Scenario> load_scenario_plan(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) raise("cannot read scenario plan " + path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    HMPT_REQUIRE(static_cast<int>(doc.at("format_version").as_number()) ==
+                     kFingerprintVersion,
+                 "plan format version mismatch");
+    std::vector<Scenario> scenarios;
+    for (const Json& s : doc.at("scenarios").as_array())
+      scenarios.push_back(Scenario::from_json(s));
+    return scenarios;
+  } catch (const std::exception& e) {
+    raise("corrupt scenario plan " + path + ": " + e.what());
+  }
+}
+
 std::vector<Scenario> shard_scenarios(const std::vector<Scenario>& scenarios,
                                       const ShardSpec& shard) {
   HMPT_REQUIRE(shard.count >= 1 && shard.index >= 1 &&

@@ -86,6 +86,17 @@ struct ShardSpec {
 /// Parse "i/N" (1 <= i <= N); throws hmpt::Error on anything else.
 ShardSpec parse_shard_spec(const std::string& text);
 
+/// Serialise the expanded scenario list (matrix order) to a plan file —
+/// how the fleet dispatcher hands its workers the full campaign, so every
+/// process derives the same campaign fingerprint and artefact order
+/// without re-expanding a matrix (whose recorded-profile digests could
+/// have drifted between hosts). Atomic write (temp + rename).
+void save_scenario_plan(const std::string& path,
+                        const std::vector<Scenario>& scenarios);
+/// Load a plan file; throws hmpt::Error when missing, malformed, or of a
+/// different fingerprint version.
+std::vector<Scenario> load_scenario_plan(const std::string& path);
+
 /// Deterministically partition a campaign across `shard.count` processes:
 /// the scenario list is ordered by fingerprint and rank r (0-based) goes
 /// to shard (r mod count) + 1. Shards are pairwise disjoint, their union

@@ -531,6 +531,193 @@ TEST_F(MergeTest, DetectsConflictingOutcomesForTheSameFingerprint) {
   }
 }
 
+TEST_F(MergeTest, OverlappingIdenticalCoverageMergesByteForByte) {
+  TempDir root("hmpt_merge_overlap");
+  const auto full = scenarios();
+
+  // Unsharded reference.
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  const auto cold = CampaignRunner(whole).run(full);
+  ASSERT_TRUE(cold.ok());
+  write_artifacts(cold, whole.output_dir);
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // Simulate a steal: shard 1 also executes (and claims) a scenario that
+  // shard 2 owns — duplicate coverage, identical bytes, exactly what a
+  // thief's --progress-manifest leaves behind when the victim finished
+  // after all.
+  const auto stolen = shard_scenarios(full, {2, 2}).front();
+  CampaignOptions dup;
+  dup.output_dir = shard_dirs[0];
+  const auto dup_run = CampaignRunner(dup).run({stolen});
+  ASSERT_TRUE(dup_run.ok());
+  ManifestProgress progress(full, {1, 2}, shard_dirs[0]);
+  progress.record(dup_run.runs[0]);
+
+  MergeStats stats;
+  const auto merged =
+      merge_shards(shard_dirs, root.path() + "/merged", &stats);
+  EXPECT_EQ(stats.overlapping, 1);
+  EXPECT_EQ(stats.outcomes_merged, static_cast<int>(full.size()));
+  EXPECT_EQ(merged.cached, static_cast<int>(full.size()));
+
+  write_artifacts(merged, root.path() + "/merged");
+  EXPECT_EQ(slurp(root.path() + "/merged/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/merged/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+}
+
+TEST_F(MergeTest, OverlappingClaimsWithDifferingBytesStillFailLoudly) {
+  TempDir root("hmpt_merge_overlap_conflict");
+  const auto full = scenarios();
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // The same steal as above, but the duplicate copy's bytes are tampered
+  // with after the fact: overlap tolerance must not weaken the
+  // conflicting-outcome check.
+  const auto stolen = shard_scenarios(full, {2, 2}).front();
+  CampaignOptions dup;
+  dup.output_dir = shard_dirs[0];
+  const auto dup_run = CampaignRunner(dup).run({stolen});
+  ASSERT_TRUE(dup_run.ok());
+  ManifestProgress progress(full, {1, 2}, shard_dirs[0]);
+  progress.record(dup_run.runs[0]);
+  const std::string copy =
+      shard_dirs[0] + "/outcomes/" + stolen.fingerprint() + ".json";
+  std::string tampered = slurp(copy);
+  tampered += " ";
+  {
+    std::ofstream os(copy, std::ios::binary);
+    os << tampered;
+  }
+
+  try {
+    merge_shards(shard_dirs, root.path() + "/merged");
+    FAIL() << "overlapping claims with differing bytes must not merge";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("conflicting outcomes"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(MergeTest, CompleteClaimBeatsFailedClaimOnOverlap) {
+  TempDir root("hmpt_merge_overlap_failed");
+  const auto full = scenarios();
+
+  CampaignOptions whole;
+  whole.output_dir = root.path() + "/whole";
+  const auto cold = CampaignRunner(whole).run(full);
+  ASSERT_TRUE(cold.ok());
+  write_artifacts(cold, whole.output_dir);
+
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i <= 2; ++i) {
+    shard_dirs.push_back(root.path() + "/shard" + std::to_string(i));
+    ASSERT_TRUE(run_shard(full, {i, 2}, shard_dirs.back()).ok());
+  }
+
+  // A victim recorded a failure for a scenario a thief then completed
+  // (the victim's attempt hit a transient error; the re-deal succeeded).
+  // Append the failed claim to shard 1's manifest for a scenario shard 2
+  // completed — whichever direction the merge scans, Complete must own
+  // the scenario and the artefacts must match the unsharded run.
+  const auto stolen = shard_scenarios(full, {2, 2}).front();
+  auto manifest = ShardManifest::load(shard_dirs[0]);
+  ShardManifest::Entry failed_claim;
+  failed_claim.fingerprint = stolen.fingerprint();
+  failed_claim.scenario = stolen;
+  failed_claim.status = ShardEntryStatus::Failed;
+  failed_claim.error = "induced transient failure";
+  manifest.entries.push_back(failed_claim);
+  manifest.save(shard_dirs[0]);
+
+  MergeStats stats;
+  const auto merged =
+      merge_shards(shard_dirs, root.path() + "/merged", &stats);
+  EXPECT_EQ(stats.overlapping, 1);
+  EXPECT_EQ(merged.failed, 0);
+  write_artifacts(merged, root.path() + "/merged");
+  EXPECT_EQ(slurp(root.path() + "/merged/runs.csv"),
+            slurp(whole.output_dir + "/runs.csv"));
+  EXPECT_EQ(slurp(root.path() + "/merged/summary.json"),
+            slurp(whole.output_dir + "/summary.json"));
+}
+
+TEST_F(MergeTest, ManifestProgressUnionsAcrossGenerationsAndUpgradesFailures) {
+  TempDir dir("hmpt_manifest_progress");
+  const auto full = scenarios();
+  fs::create_directories(dir.path());
+
+  // Generation 1 records one completion and one failure, incrementally —
+  // the manifest on disk is valid after every record.
+  {
+    ManifestProgress progress(full, {1, 1}, dir.path());
+    EXPECT_EQ(ShardManifest::load(dir.path()).entries.size(), 0u);
+
+    ScenarioRun done;
+    done.scenario = full[0];
+    done.fingerprint = full[0].fingerprint();
+    done.status = ScenarioRun::Status::Executed;
+    progress.record(done);
+    EXPECT_EQ(ShardManifest::load(dir.path()).entries.size(), 1u);
+
+    ScenarioRun failed;
+    failed.scenario = full[1];
+    failed.fingerprint = full[1].fingerprint();
+    failed.status = ScenarioRun::Status::Failed;
+    failed.error = "boom";
+    progress.record(failed);
+    const auto on_disk = ShardManifest::load(dir.path());
+    ASSERT_EQ(on_disk.entries.size(), 2u);
+    EXPECT_EQ(on_disk.entries[1].status, ShardEntryStatus::Failed);
+    EXPECT_EQ(on_disk.entries[1].error, "boom");
+
+    // Dry-run entries have no durable state to record.
+    ScenarioRun planned;
+    planned.scenario = full[2];
+    planned.status = ScenarioRun::Status::Planned;
+    EXPECT_THROW(progress.record(planned), Error);
+  }
+
+  // Generation 2 (a relaunch on the same store) unions with generation
+  // 1's entries and upgrades the recorded failure to Complete when the
+  // retry succeeds.
+  {
+    ManifestProgress progress(full, {1, 1}, dir.path());
+    EXPECT_EQ(progress.manifest().entries.size(), 2u);
+    ScenarioRun retried;
+    retried.scenario = full[1];
+    retried.fingerprint = full[1].fingerprint();
+    retried.status = ScenarioRun::Status::Cached;
+    progress.record(retried);
+    const auto on_disk = ShardManifest::load(dir.path());
+    ASSERT_EQ(on_disk.entries.size(), 2u);
+    EXPECT_EQ(on_disk.entries[1].status, ShardEntryStatus::Complete);
+  }
+
+  // A stale manifest from a *different* campaign is discarded, not
+  // unioned: the new generation starts fresh.
+  {
+    auto other = scenarios();
+    other.pop_back();
+    ManifestProgress progress(other, {1, 1}, dir.path());
+    EXPECT_EQ(progress.manifest().entries.size(), 0u);
+  }
+}
+
 TEST_F(MergeTest, StoredFingerprintsSurviveProfileChangesOnTheMergeHost) {
   TempDir root("hmpt_merge_recorded");
 

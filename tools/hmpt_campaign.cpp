@@ -10,6 +10,10 @@
 //                 [--strategy NAME]... [--tiers K]... [--budget-gb N]...
 //                 [--tier-budget-gb T:N]... [--reps N] [--top-k N]
 //                 [--out DIR] [--store-format dir|packed] [--shard I/N]
+//                 [--plan FILE] [--assign FILE] [--progress-manifest]
+//                 [--fleet N] [--worker-bin PATH] [--exec-template T]
+//                 [--sync-template T] [--straggler-after S]
+//                 [--poll-interval S] [--max-deals N]
 //                 [--resume] [--dry-run] [--keep-going] [--report]
 //                 [--jobs N] [--measure-jobs N]
 //                 [--retries N] [--scenario-timeout S] [--quiet]
@@ -28,14 +32,27 @@
 // such stores against the campaign fingerprint and reproduces the
 // unsharded artefacts byte-for-byte.
 //
+// --fleet N runs the whole campaign as N shard worker processes with
+// work stealing and merges the result in-process (see src/fleet/fleet.h
+// and the dedicated hmpt_fleet tool — this flag is the same dispatcher).
+// --plan/--assign/--progress-manifest are the worker side of that
+// protocol: run the exact scenario list of a dispatcher-written plan
+// file, restricted to an assigned fingerprint set, rewriting the shard
+// manifest after every scenario so the dispatcher can tail progress and
+// a SIGKILLed worker leaves a valid manifest.
+//
 // Exit codes: 0 success, 1 bad usage, 2 campaign failure (including any
 // failed scenario under --keep-going).
+#include <unistd.h>
+
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,7 +61,9 @@
 #include "campaign/merge.h"
 #include "campaign/platforms.h"
 #include "cli_parse.h"
+#include "common/error.h"
 #include "common/units.h"
+#include "fleet/fleet.h"
 #include "obs/trace.h"
 #include "report/report.h"
 #include "version.h"
@@ -80,6 +99,35 @@ void usage(const char* argv0) {
       << "  --shard I/N                run the I-th of N deterministic\n"
       << "                             slices of the campaign (1-based;\n"
       << "                             merge the stores with hmpt_merge)\n"
+      << "  --plan FILE                run the exact scenario list of a\n"
+      << "                             plan file (written by the fleet\n"
+      << "                             dispatcher) instead of a campaign\n"
+      << "                             file / matrix flags\n"
+      << "  --assign FILE              run only the fingerprints listed in\n"
+      << "                             FILE (one per line; each must\n"
+      << "                             belong to the campaign)\n"
+      << "  --progress-manifest        rewrite shard.manifest.json\n"
+      << "                             atomically after every scenario, so\n"
+      << "                             a dispatcher can tail progress and\n"
+      << "                             a killed run leaves a valid\n"
+      << "                             manifest\n"
+      << "  --fleet N                  run the campaign as N shard worker\n"
+      << "                             processes with work stealing, then\n"
+      << "                             merge (artefacts byte-identical to\n"
+      << "                             an unsharded run; see hmpt_fleet)\n"
+      << "  --worker-bin PATH          fleet: worker binary (default:\n"
+      << "                             this binary)\n"
+      << "  --exec-template T          fleet: launch each worker via\n"
+      << "                             /bin/sh -c with {cmd}/{index}\n"
+      << "                             substituted (ssh/srun seam)\n"
+      << "  --sync-template T          fleet: run per worker store before\n"
+      << "                             the merge ({dir}/{index})\n"
+      << "  --straggler-after S        fleet: steal from a worker with no\n"
+      << "                             progress for S seconds (default 30)\n"
+      << "  --poll-interval S          fleet: manifest poll interval in\n"
+      << "                             seconds (default 0.2)\n"
+      << "  --max-deals N              fleet: launch cap per scenario\n"
+      << "                             (default 3)\n"
       << "  --resume                   skip scenarios already stored\n"
       << "  --dry-run                  print the scenario plan, run nothing\n"
       << "  --keep-going               record failures and continue\n"
@@ -113,6 +161,15 @@ double parse_double(const char* argv0, const std::string& flag,
   return hmpt::cli::parse_double(flag, text, [argv0] { usage(argv0); });
 }
 
+/// This binary's own path — the default fleet worker binary.
+std::string self_exe_path() {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +182,11 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool write_html_report = false;
   std::string trace_path;
+  std::string plan_path;    // --plan: dispatcher-written scenario list
+  std::string assign_path;  // --assign: fingerprint subset to run
+  bool progress_manifest = false;
+  int fleet_workers = 0;  // --fleet N; 0 = no fleet, run in-process
+  fleet::FleetOptions fleet_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +245,20 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    else if (arg == "--plan") plan_path = next();
+    else if (arg == "--assign") assign_path = next();
+    else if (arg == "--progress-manifest") progress_manifest = true;
+    else if (arg == "--fleet")
+      fleet_workers = parse_int(argv[0], arg, next());
+    else if (arg == "--worker-bin") fleet_options.worker_bin = next();
+    else if (arg == "--exec-template") fleet_options.exec_template = next();
+    else if (arg == "--sync-template") fleet_options.sync_template = next();
+    else if (arg == "--straggler-after")
+      fleet_options.straggler_after_s = parse_double(argv[0], arg, next());
+    else if (arg == "--poll-interval")
+      fleet_options.poll_interval_s = parse_double(argv[0], arg, next());
+    else if (arg == "--max-deals")
+      fleet_options.max_deals = parse_int(argv[0], arg, next());
     else if (arg == "--resume") options.resume = true;
     else if (arg == "--dry-run") options.dry_run = true;
     else if (arg == "--keep-going") options.keep_going = true;
@@ -238,38 +314,74 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+  if (fleet_workers < 0) {
+    std::cerr << "--fleet must be >= 1\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if (fleet_workers > 0 &&
+      (!shard.is_whole() || !assign_path.empty() || progress_manifest)) {
+    std::cerr << "--fleet does its own dealing; it cannot be combined with "
+                 "--shard, --assign or --progress-manifest\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if (fleet_workers == 0 &&
+      (!fleet_options.worker_bin.empty() ||
+       !fleet_options.exec_template.empty() ||
+       !fleet_options.sync_template.empty())) {
+    std::cerr << "--worker-bin/--exec-template/--sync-template need --fleet\n";
+    usage(argv[0]);
+    return 1;
+  }
 
   // Declaring the campaign (file parse, axis validation, expansion) is
   // usage territory: errors exit 1 with the usage text, like bad flags.
   // Only failures while actually running scenarios exit 2.
   std::vector<campaign::Scenario> scenarios;
   try {
-    // The campaign file provides the base matrix; flags append to its
-    // axes, so "hmpt_campaign nightly.campaign --platform knl" widens the
-    // declared campaign by one platform.
-    campaign::ScenarioMatrix matrix;
-    if (!campaign_file.empty())
-      matrix = campaign::ScenarioMatrix::load(campaign_file);
-    matrix.workloads.insert(matrix.workloads.end(), flags.workloads.begin(),
-                            flags.workloads.end());
-    matrix.platforms.insert(matrix.platforms.end(), flags.platforms.begin(),
-                            flags.platforms.end());
-    matrix.strategies.insert(matrix.strategies.end(),
-                             flags.strategies.begin(),
-                             flags.strategies.end());
-    matrix.tiers.insert(matrix.tiers.end(), flags.tiers.begin(),
-                        flags.tiers.end());
-    matrix.budgets_gb.insert(matrix.budgets_gb.end(),
-                             flags.budgets_gb.begin(),
-                             flags.budgets_gb.end());
-    matrix.tier_budgets_gb.insert(matrix.tier_budgets_gb.end(),
-                                  flags.tier_budgets_gb.begin(),
-                                  flags.tier_budgets_gb.end());
-    if (reps != -1) matrix.repetitions = reps;
-    if (top_k != -1) matrix.top_k = top_k;
-    if (matrix.platforms.empty()) matrix.platforms = {"xeon-max"};
-    if (matrix.strategies.empty()) matrix.strategies = {"exhaustive"};
-    scenarios = matrix.expand();
+    if (!plan_path.empty()) {
+      // A plan file *is* the campaign — mixing in matrix axes would
+      // change the campaign fingerprint out from under the dispatcher
+      // that wrote the plan.
+      const bool matrix_input =
+          !campaign_file.empty() || !flags.workloads.empty() ||
+          !flags.platforms.empty() || !flags.strategies.empty() ||
+          !flags.tiers.empty() || !flags.budgets_gb.empty() ||
+          !flags.tier_budgets_gb.empty() || reps != -1 || top_k != -1;
+      if (matrix_input)
+        raise("--plan replaces the campaign file and matrix flags");
+      scenarios = campaign::load_scenario_plan(plan_path);
+    } else {
+      // The campaign file provides the base matrix; flags append to its
+      // axes, so "hmpt_campaign nightly.campaign --platform knl" widens
+      // the declared campaign by one platform.
+      campaign::ScenarioMatrix matrix;
+      if (!campaign_file.empty())
+        matrix = campaign::ScenarioMatrix::load(campaign_file);
+      matrix.workloads.insert(matrix.workloads.end(),
+                              flags.workloads.begin(),
+                              flags.workloads.end());
+      matrix.platforms.insert(matrix.platforms.end(),
+                              flags.platforms.begin(),
+                              flags.platforms.end());
+      matrix.strategies.insert(matrix.strategies.end(),
+                               flags.strategies.begin(),
+                               flags.strategies.end());
+      matrix.tiers.insert(matrix.tiers.end(), flags.tiers.begin(),
+                          flags.tiers.end());
+      matrix.budgets_gb.insert(matrix.budgets_gb.end(),
+                               flags.budgets_gb.begin(),
+                               flags.budgets_gb.end());
+      matrix.tier_budgets_gb.insert(matrix.tier_budgets_gb.end(),
+                                    flags.tier_budgets_gb.begin(),
+                                    flags.tier_budgets_gb.end());
+      if (reps != -1) matrix.repetitions = reps;
+      if (top_k != -1) matrix.top_k = top_k;
+      if (matrix.platforms.empty()) matrix.platforms = {"xeon-max"};
+      if (matrix.strategies.empty()) matrix.strategies = {"exhaustive"};
+      scenarios = matrix.expand();
+    }
   } catch (const std::exception& e) {
     std::cerr << e.what() << '\n';
     usage(argv[0]);
@@ -278,16 +390,105 @@ int main(int argc, char** argv) {
 
   // The slice this process runs: the whole campaign (the default 1/1
   // shard keeps the scenario list in matrix order, so artefacts are
-  // unchanged), or a deterministic fingerprint-ordered partition.
-  const std::vector<campaign::Scenario> slice =
-      shard.is_whole() ? scenarios
-                       : campaign::shard_scenarios(scenarios, shard);
+  // unchanged), a deterministic fingerprint-ordered partition, or — as a
+  // fleet worker — exactly the dispatcher-assigned fingerprint set.
+  std::vector<campaign::Scenario> slice;
+  if (!assign_path.empty()) {
+    try {
+      std::map<std::string, const campaign::Scenario*> by_fp;
+      for (const auto& scenario : scenarios)
+        by_fp.emplace(scenario.fingerprint(), &scenario);
+      const auto fps = fleet::load_assignment(assign_path);
+      const std::set<std::string> want(fps.begin(), fps.end());
+      for (const auto& fp : want) {  // set order = fingerprint order
+        const auto it = by_fp.find(fp);
+        if (it == by_fp.end())
+          raise("assigned fingerprint is not in the campaign: " + fp);
+        slice.push_back(*it->second);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      usage(argv[0]);
+      return 1;
+    }
+  } else {
+    slice = shard.is_whole() ? scenarios
+                             : campaign::shard_scenarios(scenarios, shard);
+  }
+
+  if (fleet_workers > 0) {
+    // Fleet mode: this process becomes the dispatcher; the campaign runs
+    // in worker child processes and is merged in-process at the end.
+    if (options.dry_run) {
+      std::cout << "campaign: " << scenarios.size() << " scenarios, fleet of "
+                << fleet_workers << " workers\n"
+                << campaign::plan_table(scenarios).to_text()
+                << "\ndry run: nothing executed\n";
+      return 0;
+    }
+    try {
+      if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+      fleet_options.workers = fleet_workers;
+      fleet_options.output_dir = options.output_dir;
+      fleet_options.store_format = options.store_format;
+      fleet_options.worker_jobs = options.scenario_jobs;
+      fleet_options.measure_jobs = options.measure_jobs;
+      fleet_options.attempts = options.attempts;
+      fleet_options.scenario_timeout_s = options.scenario_timeout_s;
+      fleet_options.keep_going = options.keep_going;
+      if (fleet_options.worker_bin.empty())
+        fleet_options.worker_bin = self_exe_path();
+      if (fleet_options.worker_bin.empty())
+        raise("cannot resolve this binary's path; pass --worker-bin");
+
+      std::cout << "campaign: " << scenarios.size() << " scenarios, fleet of "
+                << fleet_workers << " workers\n"
+                << campaign::plan_table(scenarios).to_text() << "\n";
+      fleet::FleetStats stats;
+      const auto result = fleet::run_fleet(
+          scenarios, fleet_options, &stats,
+          quiet ? fleet::FleetLog{} : fleet::FleetLog{[](const std::string& m) {
+            std::cout << m << "\n";
+          }});
+      campaign::make_manifest(scenarios, campaign::ShardSpec{}, result)
+          .save(options.output_dir);
+      const auto paths =
+          campaign::write_artifacts(result, options.output_dir);
+      std::cout << "\nranked scenarios:\n"
+                << campaign::ranked_table(result).to_text();
+      std::cout << "\nfleet of " << stats.workers << ": " << stats.launches
+                << " launches, " << stats.steals << " steals, "
+                << stats.worker_deaths << " worker deaths; merged "
+                << stats.merge.outcomes_merged << " outcomes ("
+                << stats.merge.overlapping << " overlapping, "
+                << stats.merge.failed << " failed)\n";
+      for (const auto& path : paths) std::cout << "wrote " << path << "\n";
+      if (!trace_path.empty()) {
+        obs::TraceRecorder::instance().stop_and_write(trace_path);
+        std::cout << "wrote " << trace_path << "\n";
+      }
+      if (write_html_report)
+        std::cout << "wrote "
+                  << report::write_report(result, options.output_dir) << "\n";
+      std::cout << "outcome store: " << options.output_dir
+                << (options.store_format == campaign::StoreFormat::Packed
+                        ? "/outcomes.log"
+                        : "/outcomes/")
+                << "\n";
+      return result.ok() ? 0 : 2;
+    } catch (const std::exception& e) {
+      std::cerr << "fleet failed: " << e.what() << '\n';
+      return 2;
+    }
+  }
 
   std::cout << "campaign: " << scenarios.size() << " scenarios";
-  if (!shard.is_whole())
+  if (!shard.is_whole() || !assign_path.empty())
     std::cout << " (fingerprint "
-              << campaign::campaign_fingerprint(scenarios) << "), shard "
-              << shard.to_string() << ": " << slice.size() << " scenarios";
+              << campaign::campaign_fingerprint(scenarios) << "), "
+              << (assign_path.empty() ? "shard " + shard.to_string()
+                                      : "assigned")
+              << ": " << slice.size() << " scenarios";
   std::cout << "\n" << campaign::plan_table(slice).to_text();
   if (options.dry_run) {
     std::cout << "\ndry run: nothing executed\n";
@@ -301,8 +502,16 @@ int main(int argc, char** argv) {
     // artefacts written further down are byte-identical either way.
     if (!trace_path.empty()) obs::TraceRecorder::instance().start();
     const campaign::CampaignRunner runner(options);
+    // --progress-manifest: the manifest is rewritten atomically after
+    // every scenario instead of once at the end, so a fleet dispatcher
+    // can tail it and a kill at any instant leaves a valid manifest of
+    // exactly the finished scenarios.
+    std::optional<campaign::ManifestProgress> progress;
+    if (progress_manifest)
+      progress.emplace(scenarios, shard, options.output_dir);
     const auto result = runner.run(
         slice, [&](std::size_t index, const campaign::ScenarioRun& run) {
+          if (progress) progress->record(run);
           if (quiet) return;
           std::cout << "[" << index + 1 << "/" << slice.size() << "] "
                     << campaign::to_string(run.status) << " "
@@ -317,8 +526,12 @@ int main(int argc, char** argv) {
 
     // Every real run leaves a manifest so its store can be validated and
     // merged (an unsharded run is the 1/1 shard of its own campaign).
-    campaign::make_manifest(scenarios, shard, result)
-        .save(options.output_dir);
+    // Under --progress-manifest the incremental writer already holds the
+    // union of this and any earlier generation's entries — writing
+    // make_manifest's snapshot instead would drop the earlier ones.
+    if (!progress)
+      campaign::make_manifest(scenarios, shard, result)
+          .save(options.output_dir);
 
     const auto paths =
         campaign::write_artifacts(result, options.output_dir);

@@ -1,0 +1,351 @@
+// hmpt_fleet — distributed campaign dispatch with work stealing.
+//
+// Expands a campaign exactly like hmpt_campaign, then runs it as a fleet:
+// the scenario matrix is dealt (fingerprint-ordered, round-robin) into N
+// shard worker processes, each an `hmpt_campaign --plan --assign
+// --progress-manifest` child on its own outcome store; the dispatcher
+// tails every worker's shard.manifest.json for per-scenario completion
+// and re-deals unfinished work away from dead or stalled workers to idle
+// ones. Duplicate execution from steals is resolved by the store's
+// first-write-wins byte-compare, and the final in-process merge verifies
+// every overlap byte-for-byte — runs.csv, summary.json and the merged
+// outcome store are byte-identical to a single-process run of the same
+// campaign, whatever was killed, stopped or stolen along the way:
+//
+//   hmpt_fleet [<campaign-file>] --workers N
+//              [--workload NAME[:k=v,...]]... [--platform NAME]...
+//              [--strategy NAME]... [--tiers K]... [--budget-gb N]...
+//              [--tier-budget-gb T:N]... [--reps N] [--top-k N]
+//              [--out DIR] [--store-format dir|packed]
+//              [--worker-bin PATH] [--exec-template T] [--sync-template T]
+//              [--straggler-after S] [--poll-interval S] [--max-deals N]
+//              [--jobs N] [--measure-jobs N]
+//              [--retries N] [--scenario-timeout S]
+//              [--keep-going] [--dry-run] [--report] [--trace FILE]
+//              [--quiet]
+//
+// --exec-template launches each worker through /bin/sh -c with {cmd}
+// (the shell-quoted worker command) and {index} (the 1-based worker
+// index) substituted — "ssh node{index} {cmd}" turns the local fleet
+// into an ssh fleet; --sync-template then pulls each store back before
+// the merge ({dir}/{index} substituted). `hmpt_campaign --fleet N` is
+// the same dispatcher reached from the campaign tool.
+//
+// Exit codes: 0 success, 1 bad usage, 2 fleet failure (a worker failed
+// under fail-fast, a scenario exhausted its deal cap, the merge found
+// conflicting bytes, or any scenario failed under --keep-going).
+#include <unistd.h>
+
+#include <climits>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.h"
+#include "campaign/merge.h"
+#include "campaign/platforms.h"
+#include "cli_parse.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "fleet/fleet.h"
+#include "obs/trace.h"
+#include "report/report.h"
+#include "version.h"
+
+namespace {
+
+using namespace hmpt;
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [<campaign-file>] --workers N [options]\n"
+      << "  --workers N                shard worker processes (required)\n"
+      << "  --workload NAME[:k=v,...]  add a workload (repeatable; see\n"
+      << "                             --list-workloads)\n"
+      << "  --platform NAME            add a platform (repeatable; default\n"
+      << "                             xeon-max; see --list-platforms)\n"
+      << "  --strategy NAME            add a strategy (repeatable; default\n"
+      << "                             exhaustive)\n"
+      << "  --tiers K                  add a tier count (repeatable)\n"
+      << "  --budget-gb N              add an HBM budget (repeatable)\n"
+      << "  --tier-budget-gb T:N       tier T capacity cap (repeatable)\n"
+      << "  --reps N                   measurement repetitions (default 3)\n"
+      << "  --top-k N                  estimator: configs to measure\n"
+      << "  --out DIR                  merged store + artefacts (default\n"
+      << "                             fleet-out); worker stores live at\n"
+      << "                             DIR/shard-<i>\n"
+      << "  --store-format dir|packed  store layout, workers and merged\n"
+      << "                             store alike (default dir)\n"
+      << "  --worker-bin PATH          worker binary (default: the\n"
+      << "                             hmpt_campaign next to this binary)\n"
+      << "  --exec-template T          launch each worker via /bin/sh -c\n"
+      << "                             with {cmd}/{index} substituted\n"
+      << "                             (ssh/srun seam)\n"
+      << "  --sync-template T          run per worker store before the\n"
+      << "                             merge ({dir}/{index} substituted)\n"
+      << "  --straggler-after S        steal from a worker with no\n"
+      << "                             progress for S seconds (default 30)\n"
+      << "  --poll-interval S          manifest poll interval in seconds\n"
+      << "                             (default 0.2)\n"
+      << "  --max-deals N              launch cap per scenario (default 3)\n"
+      << "  --jobs N                   concurrent scenarios per worker\n"
+      << "                             (default 1; 0 = all hw threads)\n"
+      << "  --measure-jobs N           measurement threads per scenario\n"
+      << "  --retries N                retries per scenario (default 0)\n"
+      << "  --scenario-timeout S       per-attempt deadline in seconds\n"
+      << "  --keep-going               record scenario failures and finish\n"
+      << "                             the campaign (default: fail fast)\n"
+      << "  --dry-run                  print the scenario plan, run nothing\n"
+      << "  --report                   also write report/index.html\n"
+      << "  --trace FILE               Chrome trace-event JSON of the\n"
+      << "                             dispatch (launch/steal/death events;\n"
+      << "                             artefacts identical either way)\n"
+      << "  --quiet                    only errors and artefact paths\n"
+      << "  --list-workloads           print the workload registry and exit\n"
+      << "  --list-platforms           print the platform catalogue and exit\n";
+}
+
+int parse_int(const char* argv0, const std::string& flag, const char* text) {
+  return hmpt::cli::parse_int(flag, text, [argv0] { usage(argv0); });
+}
+
+double parse_double(const char* argv0, const std::string& flag,
+                    const char* text) {
+  return hmpt::cli::parse_double(flag, text, [argv0] { usage(argv0); });
+}
+
+/// The hmpt_campaign binary installed next to this one — the default
+/// worker binary.
+std::string sibling_campaign_bin() {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  const std::string self(buf);
+  const auto slash = self.rfind('/');
+  if (slash == std::string::npos) return "";
+  return self.substr(0, slash + 1) + "hmpt_campaign";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_file;
+  campaign::ScenarioMatrix flags;
+  fleet::FleetOptions options;
+  options.workers = 0;  // required flag; 0 trips the check below
+  options.output_dir = "fleet-out";
+  int reps = -1;
+  int top_k = -1;
+  bool dry_run = false;
+  bool quiet = false;
+  bool write_html_report = false;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      try {
+        flags.workloads.push_back(campaign::parse_workload_spec(next()));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    }
+    else if (arg == "--platform") flags.platforms.emplace_back(next());
+    else if (arg == "--strategy") flags.strategies.emplace_back(next());
+    else if (arg == "--tiers")
+      flags.tiers.push_back(parse_int(argv[0], arg, next()));
+    else if (arg == "--budget-gb")
+      flags.budgets_gb.push_back(parse_double(argv[0], arg, next()));
+    else if (arg == "--tier-budget-gb") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--tier-budget-gb expects T:N (e.g. 2:64)\n";
+        usage(argv[0]);
+        return 1;
+      }
+      flags.tier_budgets_gb.emplace_back(
+          parse_int(argv[0], arg, spec.substr(0, colon).c_str()),
+          parse_double(argv[0], arg, spec.substr(colon + 1).c_str()));
+    }
+    else if (arg == "--reps") reps = parse_int(argv[0], arg, next());
+    else if (arg == "--top-k") top_k = parse_int(argv[0], arg, next());
+    else if (arg == "--workers")
+      options.workers = parse_int(argv[0], arg, next());
+    else if (arg == "--out") options.output_dir = next();
+    else if (arg == "--store-format") {
+      try {
+        options.store_format = campaign::store_format_from(next());
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        usage(argv[0]);
+        return 1;
+      }
+    }
+    else if (arg == "--worker-bin") options.worker_bin = next();
+    else if (arg == "--exec-template") options.exec_template = next();
+    else if (arg == "--sync-template") options.sync_template = next();
+    else if (arg == "--straggler-after")
+      options.straggler_after_s = parse_double(argv[0], arg, next());
+    else if (arg == "--poll-interval")
+      options.poll_interval_s = parse_double(argv[0], arg, next());
+    else if (arg == "--max-deals")
+      options.max_deals = parse_int(argv[0], arg, next());
+    else if (arg == "--jobs")
+      options.worker_jobs = parse_int(argv[0], arg, next());
+    else if (arg == "--measure-jobs")
+      options.measure_jobs = parse_int(argv[0], arg, next());
+    else if (arg == "--retries")
+      options.attempts = 1 + parse_int(argv[0], arg, next());
+    else if (arg == "--scenario-timeout")
+      options.scenario_timeout_s = parse_double(argv[0], arg, next());
+    else if (arg == "--keep-going") options.keep_going = true;
+    else if (arg == "--dry-run") dry_run = true;
+    else if (arg == "--report") write_html_report = true;
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--list-workloads") {
+      std::cout << campaign::WorkloadRegistry::instance().list_text();
+      return 0;
+    }
+    else if (arg == "--list-platforms") {
+      std::cout << campaign::platform_catalog_text();
+      return 0;
+    }
+    else if (arg == "--version") {
+      cli::print_version("hmpt_fleet");
+      return 0;
+    }
+    else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      usage(argv[0]);
+      return 1;
+    } else if (campaign_file.empty()) {
+      campaign_file = arg;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (options.workers < 1) {
+    std::cerr << "--workers N (>= 1) is required\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if (options.worker_jobs < 0 || options.measure_jobs < 0 ||
+      options.attempts < 1 || options.scenario_timeout_s < 0.0 ||
+      options.max_deals < 1 || options.poll_interval_s <= 0.0) {
+    std::cerr << "--jobs/--measure-jobs/--retries/--scenario-timeout must be "
+                 ">= 0; --max-deals >= 1; --poll-interval > 0\n";
+    usage(argv[0]);
+    return 1;
+  }
+  if ((reps != -1 && reps < 1) || (top_k != -1 && top_k < 1)) {
+    std::cerr << "--reps/--top-k must be >= 1\n";
+    usage(argv[0]);
+    return 1;
+  }
+
+  std::vector<campaign::Scenario> scenarios;
+  try {
+    campaign::ScenarioMatrix matrix;
+    if (!campaign_file.empty())
+      matrix = campaign::ScenarioMatrix::load(campaign_file);
+    matrix.workloads.insert(matrix.workloads.end(), flags.workloads.begin(),
+                            flags.workloads.end());
+    matrix.platforms.insert(matrix.platforms.end(), flags.platforms.begin(),
+                            flags.platforms.end());
+    matrix.strategies.insert(matrix.strategies.end(),
+                             flags.strategies.begin(),
+                             flags.strategies.end());
+    matrix.tiers.insert(matrix.tiers.end(), flags.tiers.begin(),
+                        flags.tiers.end());
+    matrix.budgets_gb.insert(matrix.budgets_gb.end(),
+                             flags.budgets_gb.begin(),
+                             flags.budgets_gb.end());
+    matrix.tier_budgets_gb.insert(matrix.tier_budgets_gb.end(),
+                                  flags.tier_budgets_gb.begin(),
+                                  flags.tier_budgets_gb.end());
+    if (reps != -1) matrix.repetitions = reps;
+    if (top_k != -1) matrix.top_k = top_k;
+    if (matrix.platforms.empty()) matrix.platforms = {"xeon-max"};
+    if (matrix.strategies.empty()) matrix.strategies = {"exhaustive"};
+    scenarios = matrix.expand();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    usage(argv[0]);
+    return 1;
+  }
+
+  if (!quiet || dry_run)
+    std::cout << "campaign: " << scenarios.size() << " scenarios (fingerprint "
+              << campaign::campaign_fingerprint(scenarios) << "), fleet of "
+              << options.workers << " workers\n"
+              << campaign::plan_table(scenarios).to_text() << "\n";
+  if (dry_run) {
+    std::cout << "dry run: nothing executed\n";
+    return 0;
+  }
+
+  try {
+    if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+    if (options.worker_bin.empty()) options.worker_bin = sibling_campaign_bin();
+    if (options.worker_bin.empty())
+      raise("cannot locate hmpt_campaign next to this binary; "
+            "pass --worker-bin");
+
+    fleet::FleetStats stats;
+    const auto result = fleet::run_fleet(
+        scenarios, options, &stats,
+        quiet ? fleet::FleetLog{} : fleet::FleetLog{[](const std::string& m) {
+          std::cout << m << "\n";
+        }});
+
+    // The merged output is a complete 1/1 campaign store: manifest +
+    // artefacts exactly as an unsharded hmpt_campaign run writes them.
+    campaign::make_manifest(scenarios, campaign::ShardSpec{}, result)
+        .save(options.output_dir);
+    const auto paths = campaign::write_artifacts(result, options.output_dir);
+
+    if (!quiet)
+      std::cout << "\nranked scenarios:\n"
+                << campaign::ranked_table(result).to_text() << "\n"
+                << "fleet of " << stats.workers << ": " << stats.launches
+                << " launches, " << stats.steals << " steals, "
+                << stats.worker_deaths << " worker deaths; merged "
+                << stats.merge.outcomes_merged << " outcomes ("
+                << stats.merge.overlapping << " overlapping, "
+                << stats.merge.failed << " failed)\n";
+    for (const auto& path : paths) std::cout << "wrote " << path << "\n";
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::instance().stop_and_write(trace_path);
+      std::cout << "wrote " << trace_path << "\n";
+    }
+    if (write_html_report)
+      std::cout << "wrote "
+                << report::write_report(result, options.output_dir) << "\n";
+    std::cout << "merged outcome store: " << options.output_dir
+              << (options.store_format == campaign::StoreFormat::Packed
+                      ? "/outcomes.log"
+                      : "/outcomes/")
+              << "\n";
+    return result.ok() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet failed: " << e.what() << '\n';
+    return 2;
+  }
+}
